@@ -1,0 +1,484 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets. Each BenchmarkTableN/BenchmarkFigN corresponds to a row/series
+// of the evaluation (§8); cmd/plsh-bench prints the full formatted
+// counterparts. Fixtures are cached across b.N re-runs, so setup cost is
+// paid once per configuration.
+package plsh
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"plsh/internal/baseline"
+	"plsh/internal/core"
+	"plsh/internal/corpus"
+	"plsh/internal/delta"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/sched"
+	"plsh/internal/sparse"
+)
+
+// Bench scale: large enough that candidate sets behave realistically,
+// small enough that the full suite finishes in minutes.
+const (
+	benchN    = 20000
+	benchDim  = 20000
+	benchQ    = 200
+	benchSeed = 42
+)
+
+type fixture struct {
+	col     *corpus.Collection
+	queries []sparse.Vector
+	fams    map[[2]int]*lshhash.Family
+	statics map[[2]int]*core.Static
+	mu      sync.Mutex
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+func benchFixture(b *testing.B) *fixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		col := corpus.Generate(corpus.Twitter(benchN, benchDim, benchSeed))
+		fix = &fixture{
+			col:     col,
+			queries: col.SampleQueries(benchQ, benchSeed+1),
+			fams:    map[[2]int]*lshhash.Family{},
+			statics: map[[2]int]*core.Static{},
+		}
+	})
+	return fix
+}
+
+func (f *fixture) family(b *testing.B, k, m int) *lshhash.Family {
+	b.Helper()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]int{k, m}
+	if fam, ok := f.fams[key]; ok {
+		return fam
+	}
+	fam, err := lshhash.NewFamily(lshhash.Params{Dim: benchDim, K: k, M: m, Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.fams[key] = fam
+	return fam
+}
+
+func (f *fixture) static(b *testing.B, k, m int) *core.Static {
+	b.Helper()
+	fam := f.family(b, k, m)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]int{k, m}
+	if st, ok := f.statics[key]; ok {
+		return st
+	}
+	st, err := core.Build(fam, f.col.Mat, core.Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.statics[key] = st
+	return st
+}
+
+// reportPerQuery converts total batch nanoseconds into a per-query metric.
+func reportPerQuery(b *testing.B, queries int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*queries), "ns/query")
+}
+
+// --- Table 2: PLSH vs inverted index vs exhaustive search ---------------
+
+func BenchmarkTable2PLSH(b *testing.B) {
+	f := benchFixture(b)
+	st := f.static(b, 12, 10)
+	eng := core.NewEngine(st, f.col.Mat, core.QueryDefaults())
+	eng.QueryBatch(f.queries[:32])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.QueryBatch(f.queries)
+	}
+	reportPerQuery(b, len(f.queries))
+}
+
+func BenchmarkTable2InvertedIndex(b *testing.B) {
+	f := benchFixture(b)
+	inv := baseline.NewInverted(f.col.Mat, 0.9, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inv.QueryBatch(f.queries)
+	}
+	reportPerQuery(b, len(f.queries))
+}
+
+func BenchmarkTable2Exhaustive(b *testing.B) {
+	f := benchFixture(b)
+	ex := baseline.NewExhaustive(f.col.Mat, 0.9, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.QueryBatch(f.queries)
+	}
+	reportPerQuery(b, len(f.queries))
+}
+
+func BenchmarkTable2ChainedLSH(b *testing.B) {
+	f := benchFixture(b)
+	ch := baseline.NewChained(f.family(b, 12, 10), f.col.Mat, 0.9, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.QueryBatch(f.queries)
+	}
+	reportPerQuery(b, len(f.queries))
+}
+
+// --- Figure 4: construction optimization breakdown -----------------------
+
+func BenchmarkFig4Construction(b *testing.B) {
+	f := benchFixture(b)
+	fam := f.family(b, 12, 10)
+	for _, cfg := range []struct {
+		name string
+		opts core.BuildOptions
+	}{
+		{"NoOpt", core.BuildOptions{}},
+		{"TwoLevel", core.BuildOptions{TwoLevel: true}},
+		{"SharedTables", core.BuildOptions{TwoLevel: true, ShareFirstLevel: true}},
+		{"Vectorized", core.BuildOptions{TwoLevel: true, ShareFirstLevel: true, Vectorized: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(fam, f.col.Mat, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5: query optimization breakdown ------------------------------
+
+func BenchmarkFig5Query(b *testing.B) {
+	f := benchFixture(b)
+	st := f.static(b, 12, 10)
+	scattered := sparse.NewScatteredStore(f.col.Mat)
+	for _, cfg := range []struct {
+		name  string
+		store sparse.Store
+		opts  core.QueryOptions
+	}{
+		{"NoOpt", scattered, core.QueryOptions{}},
+		{"Bitvector", scattered, core.QueryOptions{UseBitvector: true}},
+		{"OptSparseDP", scattered, core.QueryOptions{UseBitvector: true, OptimizedDP: true}},
+		{"Extract", scattered, core.QueryOptions{UseBitvector: true, OptimizedDP: true, ExtractCandidates: true}},
+		{"Arena", f.col.Mat, core.QueryOptions{UseBitvector: true, OptimizedDP: true, ExtractCandidates: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			cfg.opts.Radius = 0.9
+			eng := core.NewEngine(st, cfg.store, cfg.opts)
+			eng.QueryBatch(f.queries[:32])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.QueryBatch(f.queries)
+			}
+			reportPerQuery(b, len(f.queries))
+		})
+	}
+}
+
+// --- Figure 7: query time across (k, m) ----------------------------------
+
+func BenchmarkFig7Params(b *testing.B) {
+	f := benchFixture(b)
+	for _, pt := range []struct{ k, m int }{{12, 21}, {14, 29}, {16, 40}} {
+		b.Run(fmt.Sprintf("k%dm%d", pt.k, pt.m), func(b *testing.B) {
+			st := f.static(b, pt.k, pt.m)
+			eng := core.NewEngine(st, f.col.Mat, core.QueryDefaults())
+			eng.QueryBatch(f.queries[:32])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.QueryBatch(f.queries)
+			}
+			reportPerQuery(b, len(f.queries))
+		})
+	}
+}
+
+// --- Figure 8: thread scaling --------------------------------------------
+
+func BenchmarkFig8InitThreads(b *testing.B) {
+	f := benchFixture(b)
+	fam := f.family(b, 12, 10)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			opts := core.Defaults()
+			opts.Workers = threads
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(fam, f.col.Mat, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig8QueryThreads(b *testing.B) {
+	f := benchFixture(b)
+	st := f.static(b, 12, 10)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			opts := core.QueryDefaults()
+			opts.Workers = threads
+			eng := core.NewEngine(st, f.col.Mat, opts)
+			eng.QueryBatch(f.queries[:32])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.QueryBatch(f.queries)
+			}
+			reportPerQuery(b, len(f.queries))
+		})
+	}
+}
+
+// --- Figure 9: node scaling ----------------------------------------------
+
+func BenchmarkFig9Nodes(b *testing.B) {
+	f := benchFixture(b)
+	perNode := 4000
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("n%d", nodes), func(b *testing.B) {
+			cl, err := NewCluster(nodes, nodes, Config{
+				Dim: benchDim, K: 12, M: 10, Capacity: perNode + 1, Seed: benchSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			docs := docsSlice(f.col, nodes*perNode)
+			if _, err := cl.Insert(docs); err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.Merge(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cl.QueryBatch(f.queries[:32]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.QueryBatch(f.queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPerQuery(b, len(f.queries))
+		})
+	}
+}
+
+func docsSlice(c *corpus.Collection, n int) []sparse.Vector {
+	out := make([]sparse.Vector, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.Mat.Row(i%c.Mat.Rows()))
+	}
+	return out
+}
+
+// --- Figure 10: latency vs throughput across batch sizes -----------------
+
+func BenchmarkFig10BatchSize(b *testing.B) {
+	f := benchFixture(b)
+	st := f.static(b, 12, 10)
+	eng := core.NewEngine(st, f.col.Mat, core.QueryDefaults())
+	all := f.col.SampleQueries(1000, benchSeed+5)
+	eng.QueryBatch(all[:64])
+	for _, bs := range []int{1, 10, 30, 100, 1000} {
+		b.Run(fmt.Sprintf("b%d", bs), func(b *testing.B) {
+			batch := all[:bs]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.QueryBatch(batch)
+			}
+			reportPerQuery(b, bs)
+		})
+	}
+}
+
+// --- Figure 11: streaming delta overhead ---------------------------------
+
+func BenchmarkFig11DeltaFill(b *testing.B) {
+	f := benchFixture(b)
+	for _, cfg := range []struct {
+		name            string
+		staticN, deltaN int
+	}{
+		{"AllStatic", benchN, 0},
+		{"Static90Delta5", benchN * 9 / 10, benchN / 20},
+		{"Static90Delta10", benchN * 9 / 10, benchN / 10},
+		{"Static50Delta10", benchN / 2, benchN / 10},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			n := benchNode(b, cfg.staticN, cfg.deltaN)
+			n.QueryBatch(f.queries[:32])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.QueryBatch(f.queries)
+			}
+			reportPerQuery(b, len(f.queries))
+		})
+	}
+}
+
+func benchNode(b *testing.B, staticN, deltaN int) *node.Node {
+	b.Helper()
+	f := benchFixture(b)
+	cfg := node.Config{
+		Params:    lshhash.Params{Dim: benchDim, K: 12, M: 10, Seed: benchSeed},
+		Capacity:  staticN + deltaN + 1,
+		AutoMerge: false,
+		Build:     core.Defaults(),
+		Query:     core.QueryDefaults(),
+	}
+	n, err := node.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := docsSlice(f.col, staticN+deltaN)
+	if staticN > 0 {
+		if _, err := n.Insert(docs[:staticN]); err != nil {
+			b.Fatal(err)
+		}
+		n.MergeNow()
+	}
+	if deltaN > 0 {
+		if _, err := n.Insert(docs[staticN:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return n
+}
+
+// --- §8.6: streaming insert and merge costs ------------------------------
+
+func BenchmarkStreamingInsertChunk(b *testing.B) {
+	f := benchFixture(b)
+	fam := f.family(b, 12, 10)
+	chunk := docsSlice(f.col, benchN/100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dt := delta.New(fam, 0)
+		b.StartTimer()
+		dt.Insert(chunk)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(chunk)), "ns/doc")
+}
+
+func BenchmarkStreamingMerge(b *testing.B) {
+	f := benchFixture(b)
+	fam := f.family(b, 12, 10)
+	for i := 0; i < b.N; i++ {
+		// Merge = rebuild over all rows (§6.2); this is the dominant cost.
+		if _, err := core.Build(fam, f.col.Mat, core.Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations beyond the figures ----------------------------------------
+
+// Hashing kernels: the Fig. 4 "+vectorization" arm in isolation.
+func BenchmarkHashingKernel(b *testing.B) {
+	f := benchFixture(b)
+	fam := f.family(b, 16, 16)
+	pool := sched.NewPool(0)
+	b.Run("Vectorized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fam.SketchAll(f.col.Mat, pool, true)
+		}
+	})
+	b.Run("Scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fam.SketchAll(f.col.Mat, pool, false)
+		}
+	})
+}
+
+// Dedup strategies: bitvector-and-extract vs mark-and-append vs map set.
+func BenchmarkDedupStrategy(b *testing.B) {
+	f := benchFixture(b)
+	st := f.static(b, 12, 10)
+	for _, cfg := range []struct {
+		name string
+		opts core.QueryOptions
+	}{
+		{"MapSet", core.QueryOptions{Radius: 0.9, OptimizedDP: true}},
+		{"BitvecAppend", core.QueryOptions{Radius: 0.9, UseBitvector: true, OptimizedDP: true}},
+		{"BitvecExtract", core.QueryOptions{Radius: 0.9, UseBitvector: true, ExtractCandidates: true, OptimizedDP: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng := core.NewEngine(st, f.col.Mat, cfg.opts)
+			eng.QueryBatch(f.queries[:32])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.QueryBatch(f.queries)
+			}
+			reportPerQuery(b, len(f.queries))
+		})
+	}
+}
+
+// Sparse dot-product kernels (§5.2.3).
+func BenchmarkSparseDotKernels(b *testing.B) {
+	f := benchFixture(b)
+	q := f.queries[0]
+	mask := sparse.NewQueryMask(benchDim)
+	mask.Scatter(q)
+	docs := make([]sparse.Vector, 256)
+	for i := range docs {
+		docs[i] = f.col.Mat.Row(i)
+	}
+	b.Run("MergeIntersect", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, d := range docs {
+				sink += sparse.Dot(q, d)
+			}
+		}
+		_ = sink
+	})
+	b.Run("BinarySearch", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, d := range docs {
+				sink += sparse.DotBinary(q, d)
+			}
+		}
+		_ = sink
+	})
+	b.Run("QueryMask", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, d := range docs {
+				sink += mask.Dot(d.Idx, d.Val)
+			}
+		}
+		_ = sink
+	})
+}
+
+// Parameter auto-tuning end to end (§7.3).
+func BenchmarkTune(b *testing.B) {
+	f := benchFixture(b)
+	sample := docsSlice(f.col, 1000)
+	for i := 0; i < b.N; i++ {
+		if _, err := Tune(sample, TuneOptions{TargetN: benchN}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

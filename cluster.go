@@ -1,0 +1,98 @@
+package plsh
+
+import (
+	"fmt"
+
+	"plsh/internal/cluster"
+	"plsh/internal/node"
+	"plsh/internal/transport"
+)
+
+// ClusterNeighbor is a cluster query answer: the node index, the node-
+// local document ID, and the angular distance. GlobalID packs the first
+// two into one identifier usable with Cluster.Delete.
+type ClusterNeighbor = cluster.Neighbor
+
+// GlobalID packs (node, local ID) into one opaque document identifier.
+func GlobalID(nodeIdx int, local uint32) uint64 { return cluster.GlobalID(nodeIdx, local) }
+
+// SplitGlobalID inverts GlobalID.
+func SplitGlobalID(g uint64) (nodeIdx int, local uint32) { return cluster.SplitGlobalID(g) }
+
+// Cluster coordinates many PLSH nodes: queries broadcast to every node and
+// concatenate; inserts go round-robin to a rolling window of WindowM nodes,
+// and when the window wraps, the nodes holding the oldest data are erased —
+// giving the stream well-defined expiration (the paper runs 100 nodes with
+// a window of 4 to absorb 400M tweets/day).
+type Cluster struct {
+	c *cluster.Cluster
+}
+
+// NewCluster builds an in-process cluster of nodes identical nodes, each
+// with cfg's parameters and capacity, and an insert window of windowM
+// nodes (0 → min(4, nodes)).
+func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]transport.NodeClient, nodes)
+	for i := range clients {
+		n, err := node.New(cfg.nodeConfig())
+		if err != nil {
+			return nil, fmt.Errorf("plsh: node %d: %w", i, err)
+		}
+		clients[i] = transport.NewLocal(n)
+	}
+	c, err := cluster.New(clients, windowM)
+	if err != nil {
+		return nil, fmt.Errorf("plsh: %w", err)
+	}
+	return &Cluster{c: c}, nil
+}
+
+// DialCluster connects to remote plsh-node servers (see cmd/plsh-node) and
+// coordinates them exactly like an in-process cluster.
+func DialCluster(addrs []string, windowM int) (*Cluster, error) {
+	clients := make([]transport.NodeClient, len(addrs))
+	for i, addr := range addrs {
+		c, err := transport.Dial(addr)
+		if err != nil {
+			for _, done := range clients[:i] {
+				done.Close()
+			}
+			return nil, fmt.Errorf("plsh: dial %s: %w", addr, err)
+		}
+		clients[i] = c
+	}
+	c, err := cluster.New(clients, windowM)
+	if err != nil {
+		return nil, fmt.Errorf("plsh: %w", err)
+	}
+	return &Cluster{c: c}, nil
+}
+
+// Insert distributes documents over the insert window, expiring the oldest
+// nodes' contents as the window wraps. Returned IDs parallel docs.
+func (cl *Cluster) Insert(docs []Vector) ([]uint64, error) { return cl.c.Insert(docs) }
+
+// Query broadcasts one query to all nodes and concatenates the answers.
+func (cl *Cluster) Query(q Vector) ([]ClusterNeighbor, error) { return cl.c.Query(q) }
+
+// QueryBatch broadcasts a batch.
+func (cl *Cluster) QueryBatch(qs []Vector) ([][]ClusterNeighbor, error) { return cl.c.QueryBatch(qs) }
+
+// Delete removes a document by its global ID.
+func (cl *Cluster) Delete(g uint64) error { return cl.c.Delete(g) }
+
+// Merge forces every node's delta into its static structure.
+func (cl *Cluster) Merge() error { return cl.c.MergeAll() }
+
+// Stats returns per-node snapshots.
+func (cl *Cluster) Stats() ([]Stats, error) { return cl.c.Stats() }
+
+// NumNodes returns the node count.
+func (cl *Cluster) NumNodes() int { return cl.c.NumNodes() }
+
+// Close releases node connections (a no-op for in-process clusters).
+func (cl *Cluster) Close() error { return cl.c.Close() }

@@ -1,0 +1,56 @@
+// Command plsh-gen emits a synthetic corpus as JSON lines, one document
+// per line: {"idx":[...],"val":[...]} — unit-normalized IDF-weighted
+// sparse vectors with the Twitter-like (or Wikipedia-like) statistics the
+// benchmarks use. Pipe it into your own tooling or use it as a
+// reproducible test fixture.
+//
+// Usage:
+//
+//	plsh-gen -n 100000 -d 500000 -kind twitter > tweets.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"plsh/internal/corpus"
+)
+
+type doc struct {
+	Idx []uint32  `json:"idx"`
+	Val []float32 `json:"val"`
+}
+
+func main() {
+	n := flag.Int("n", 10000, "documents to generate")
+	dim := flag.Int("d", 50000, "vocabulary size")
+	kind := flag.String("kind", "twitter", "corpus preset: twitter | wikipedia")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	var cfg corpus.Config
+	switch *kind {
+	case "twitter":
+		cfg = corpus.Twitter(*n, *dim, *seed)
+	case "wikipedia":
+		cfg = corpus.Wikipedia(*n, *dim, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "plsh-gen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	stream := corpus.NewStream(cfg)
+	for i := 0; i < *n; i++ {
+		v := stream.NextVector()
+		if err := enc.Encode(doc{Idx: v.Idx, Val: v.Val}); err != nil {
+			log.Fatalf("plsh-gen: %v", err)
+		}
+	}
+}

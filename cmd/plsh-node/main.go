@@ -1,0 +1,62 @@
+// Command plsh-node serves one PLSH node over TCP, the per-machine unit of
+// a multi-node deployment (the paper's 100-node cluster, §5.3). A
+// coordinator connects with plsh.DialCluster.
+//
+// Usage:
+//
+//	plsh-node -addr :7070 -dim 500000 -k 16 -m 16 -capacity 1000000
+//
+// All state is in memory; terminating the process discards it, exactly as
+// retiring the node would.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"plsh/internal/core"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	dim := flag.Int("dim", 500000, "vector-space dimensionality")
+	k := flag.Int("k", 16, "bits per hash table (even)")
+	m := flag.Int("m", 16, "half-width hash functions (L = m(m-1)/2)")
+	capacity := flag.Int("capacity", 1<<20, "maximum documents held")
+	eta := flag.Float64("eta", 0.1, "delta fraction before automatic merge")
+	radius := flag.Float64("r", 0.9, "query radius (radians)")
+	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 1, "hash-family seed (must match across coordinated nodes only if you rely on reproducibility)")
+	flag.Parse()
+
+	build := core.Defaults()
+	build.Workers = *workers
+	query := core.QueryDefaults()
+	query.Radius = *radius
+	query.Workers = *workers
+	n, err := node.New(node.Config{
+		Params:        lshhash.Params{Dim: *dim, K: *k, M: *m, Seed: *seed},
+		Capacity:      *capacity,
+		DeltaFraction: *eta,
+		AutoMerge:     true,
+		Build:         build,
+		Query:         query,
+	})
+	if err != nil {
+		log.Fatalf("plsh-node: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("plsh-node: %v", err)
+	}
+	log.Printf("plsh-node: serving on %s (dim=%d k=%d m=%d L=%d capacity=%d)",
+		l.Addr(), *dim, *k, *m, (*m)*(*m-1)/2, *capacity)
+	if err := transport.Serve(l, n, nil); err != nil {
+		log.Fatalf("plsh-node: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package plsh is a streaming similarity-search library: a Go
+// implementation of Parallel Locality-Sensitive Hashing (PLSH) from
+// "Streaming Similarity Search over one Billion Tweets using Parallel
+// Locality-Sensitive Hashing" (Sundaram et al., VLDB 2013).
+//
+// PLSH answers R-near-neighbor queries over sparse high-dimensional unit
+// vectors (e.g. IDF-weighted bag-of-words documents) under angular
+// distance. It combines:
+//
+//   - an all-pairs LSH scheme: m half-width hash functions composed into
+//     L = m(m−1)/2 tables, cutting hashing cost to O(NNZ·k·√L);
+//   - cache-conscious static tables built by two-level parallel
+//     partitioning with shared first-level partitions;
+//   - a batched query engine with bitvector duplicate elimination, sorted
+//     candidate extraction, and masked sparse dot products;
+//   - streaming inserts through an insert-optimized delta table that is
+//     periodically merged into the static structure, with deletion support
+//     and well-defined expiration;
+//   - an analytical performance model that selects the (k, m) parameters
+//     for a target recall and memory budget;
+//   - a multi-node coordinator (in-process or TCP) with a rolling insert
+//     window for cluster-scale corpora.
+//
+// # Quick start
+//
+//	store, err := plsh.NewStore(plsh.Config{Dim: 1 << 18})
+//	if err != nil { ... }
+//	ids, err := store.Insert(docs)      // docs are unit plsh.Vectors
+//	hits := store.Query(q)              // R-near neighbors of q
+//
+// See the examples directory for streaming, first-story detection, and
+// multi-node usage, and DESIGN.md for the paper-to-package map.
+package plsh

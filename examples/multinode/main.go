@@ -1,0 +1,81 @@
+// Multinode: an in-process PLSH cluster with the paper's rolling insert
+// window (Fig. 1). Documents stream into M window nodes round-robin;
+// queries broadcast to every node; when the window wraps, the nodes
+// holding the oldest data are erased — giving the stream a well-defined
+// expiration horizon. Swap NewCluster for DialCluster to coordinate real
+// plsh-node servers over TCP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plsh"
+)
+
+const (
+	numNodes    = 6
+	windowM     = 2
+	nodeCap     = 2000
+	vocabSize   = 20000
+	streamTotal = 14000 // > cluster capacity: forces expiration
+)
+
+func main() {
+	cluster, err := plsh.NewCluster(numNodes, windowM, plsh.Config{
+		Dim:      vocabSize,
+		K:        10,
+		M:        8,
+		Capacity: nodeCap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	docs := plsh.SyntheticTweets(streamTotal, vocabSize, 11)
+	ids, err := cluster.Insert(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d docs through %d nodes (capacity %d each, window %d)\n",
+		len(ids), numNodes, nodeCap, windowM)
+
+	stats, err := cluster.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for i, st := range stats {
+		fmt.Printf("  node %d: %5d docs (%d static / %d delta, %d merges)\n",
+			i, st.StaticLen+st.DeltaLen, st.StaticLen, st.DeltaLen, st.Merges)
+		total += st.StaticLen + st.DeltaLen
+	}
+	fmt.Printf("cluster holds %d docs — the oldest %d expired with the rolling window\n",
+		total, streamTotal-total)
+
+	// The most recent documents are always findable...
+	recent := docs[streamTotal-1]
+	res, err := cluster.Query(recent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	foundRecent := false
+	for _, nb := range res {
+		if plsh.GlobalID(nb.Node, nb.ID) == ids[streamTotal-1] {
+			foundRecent = true
+		}
+	}
+	// ...while the oldest have been expired.
+	oldRes, err := cluster.Query(docs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	foundOld := false
+	for _, nb := range oldRes {
+		if plsh.GlobalID(nb.Node, nb.ID) == ids[0] {
+			foundOld = true
+		}
+	}
+	fmt.Printf("newest doc findable: %v; oldest doc expired: %v\n", foundRecent, !foundOld)
+}

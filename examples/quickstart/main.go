@@ -1,0 +1,75 @@
+// Quickstart: index a corpus of short documents and answer R-near-neighbor
+// queries — the minimal end-to-end use of the plsh public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plsh"
+)
+
+func main() {
+	// Encode a small text corpus as IDF-weighted unit vectors. For real
+	// data you would Observe a large sample first; the encoder mirrors
+	// the paper's pipeline (lowercase, strip non-alphabet, drop stop
+	// words, IDF weights, unit normalization).
+	enc := plsh.NewEncoder(1 << 16)
+	corpus := []string{
+		"earthquake strikes the coastal city at dawn",
+		"coastal city rocked by earthquake at dawn today",
+		"stock markets rally after strong earnings reports",
+		"earnings reports push stock markets to record highs",
+		"local team clinches the championship in overtime",
+		"overtime thriller sees local team win championship",
+		"new espresso bar opens downtown with latte art",
+		"gardening tips for a thriving spring vegetable patch",
+	}
+	for _, d := range corpus {
+		enc.Observe(d)
+	}
+
+	// Build the store. Dim must cover the encoder's space; K/M default to
+	// the paper's table geometry. Radius 1.2 rad suits tiny corpora where
+	// even paraphrases share only a few words.
+	store, err := plsh.NewStore(plsh.Config{
+		Dim:      1 << 16,
+		K:        8,
+		M:        8,
+		Radius:   1.2,
+		Capacity: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var docs []plsh.Vector
+	for _, d := range corpus {
+		v, ok := enc.Encode(d)
+		if !ok {
+			log.Fatalf("document %q encoded to zero", d)
+		}
+		docs = append(docs, v)
+	}
+	ids, err := store.Insert(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d documents\n", len(ids))
+
+	// Query with fresh text.
+	for _, qText := range []string{
+		"earthquake hits city on the coast",
+		"markets rally on earnings",
+		"team wins the championship",
+	} {
+		q, ok := enc.Encode(qText)
+		if !ok {
+			log.Fatalf("query %q has no known words", qText)
+		}
+		fmt.Printf("\nquery: %q\n", qText)
+		for _, nb := range store.Query(q) {
+			fmt.Printf("  %.3f rad  %q\n", nb.Dist, corpus[nb.ID])
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package plsh
+
+import (
+	"net"
+	"testing"
+
+	"plsh/internal/core"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/transport"
+)
+
+// startTestNode serves a fresh node over TCP on an ephemeral port.
+func startTestNode(t *testing.T, capacity int) string {
+	t.Helper()
+	n, err := node.New(node.Config{
+		Params:   lshhash.Params{Dim: 2000, K: 8, M: 6, Seed: 42},
+		Capacity: capacity,
+		Build:    core.Defaults(),
+		Query:    core.QueryDefaults(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done) })
+	go transport.Serve(l, n, done)
+	return l.Addr().String()
+}
+
+// TestTCPClusterEndToEnd drives the full public pipeline — encode, insert,
+// query, delete, expire — against real TCP node servers, verifying the
+// distributed deployment path works exactly like the in-process one.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	addrs := []string{
+		startTestNode(t, 150),
+		startTestNode(t, 150),
+		startTestNode(t, 150),
+	}
+	remote, err := DialCluster(addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// Seed must match the TCP nodes' hash families: LSH answers are only
+	// comparable across stores drawing identical hyperplanes.
+	local, err := NewCluster(3, 2, Config{Dim: 2000, K: 8, M: 6, Capacity: 150, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	docs := SyntheticTweets(400, 2000, 7) // 400 > 3×150·(2/3): forces a wrap
+	idsR, err := remote.Insert(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsL, err := local.Insert(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idsR) != len(idsL) {
+		t.Fatalf("id counts differ: %d vs %d", len(idsR), len(idsL))
+	}
+
+	// Identical seeds and routing → identical answers.
+	queries := docs[len(docs)-20:]
+	resR, err := remote.QueryBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resL, err := local.QueryBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		if len(resR[qi]) != len(resL[qi]) {
+			t.Fatalf("query %d: TCP %d results, local %d", qi, len(resR[qi]), len(resL[qi]))
+		}
+	}
+
+	// Newest doc findable over TCP; delete removes it.
+	last := len(docs) - 1
+	found := func() bool {
+		res, err := remote.Query(docs[last])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range res {
+			if GlobalID(nb.Node, nb.ID) == idsR[last] {
+				return true
+			}
+		}
+		return false
+	}
+	if !found() {
+		t.Fatal("newest doc not found over TCP")
+	}
+	if err := remote.Delete(idsR[last]); err != nil {
+		t.Fatal(err)
+	}
+	if found() {
+		t.Fatal("deleted doc still returned over TCP")
+	}
+
+	// Stats reach across the wire.
+	stats, err := remote.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.StaticLen + st.DeltaLen
+	}
+	if total == 0 || total > 450 {
+		t.Fatalf("implausible cluster total %d", total)
+	}
+}
+
+// TestStoreStreamsPastDeltaThreshold verifies the public Store merges
+// automatically and stays correct across the static/delta boundary.
+func TestStoreStreamsPastDeltaThreshold(t *testing.T) {
+	s, err := NewStore(Config{Dim: 2000, K: 8, M: 6, Capacity: 3000, DeltaFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := SyntheticTweets(1200, 2000, 9)
+	for off := 0; off < len(docs); off += 100 {
+		if _, err := s.Insert(docs[off : off+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Merges == 0 {
+		t.Fatal("no automatic merges despite exceeding η·C repeatedly")
+	}
+	for i := 0; i < len(docs); i += 113 {
+		found := false
+		for _, nb := range s.Query(docs[i]) {
+			if nb.ID == uint32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("doc %d lost across merges", i)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package cluster implements the multi-node PLSH system of §4 and §5.3:
+// a coordinator that broadcasts queries to every node and concatenates the
+// partial answers, and a rolling window of M insert nodes that gives the
+// system well-defined expiration of the oldest data.
+//
+// Data is partitioned by document, not by table (§5.3's "second scheme"):
+// each node holds all L tables over its own subset, so queries need no
+// cross-node candidate deduplication and node count scales with data size.
+// Inserts go round-robin to the M window nodes; when the window's nodes
+// reach capacity the window advances, and on wrap-around the nodes it
+// advances onto — necessarily holding the oldest data — are retired
+// (erased) before accepting new inserts (§6, Fig. 1).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+	"plsh/internal/transport"
+)
+
+// Neighbor is a cluster-level query answer: the node that holds the
+// document, its node-local ID, and the angular distance.
+type Neighbor struct {
+	Node int
+	ID   uint32
+	Dist float64
+}
+
+// GlobalID packs (node, local ID) into one opaque identifier.
+func GlobalID(nodeIdx int, local uint32) uint64 {
+	return uint64(nodeIdx)<<32 | uint64(local)
+}
+
+// SplitGlobalID inverts GlobalID.
+func SplitGlobalID(g uint64) (nodeIdx int, local uint32) {
+	return int(g >> 32), uint32(g)
+}
+
+// Cluster is the coordinator. Query methods may run concurrently with each
+// other; Insert/Delete/Retire serialize behind an internal mutex (the
+// paper's coordinator is likewise a single insertion sequencer).
+type Cluster struct {
+	mu    sync.Mutex
+	nodes []transport.NodeClient
+	caps  []int
+	used  []int
+	m     int // insert-window width M
+	start int // first node of the current window
+}
+
+// New builds a coordinator over the given nodes with an insert window of
+// windowM nodes (paper: M=4 of 100). Node capacities are read from Stats.
+func New(nodes []transport.NodeClient, windowM int) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if windowM <= 0 || windowM > len(nodes) {
+		windowM = min(4, len(nodes))
+	}
+	c := &Cluster{
+		nodes: nodes,
+		caps:  make([]int, len(nodes)),
+		used:  make([]int, len(nodes)),
+		m:     windowM,
+	}
+	for i, n := range nodes {
+		st, err := n.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stats from node %d: %w", i, err)
+		}
+		c.caps[i] = st.Capacity
+		c.used[i] = st.StaticLen + st.DeltaLen
+	}
+	return c, nil
+}
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// WindowStart returns the index of the first node in the current insert
+// window (exposed for tests and monitoring).
+func (c *Cluster) WindowStart() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.start
+}
+
+// Insert distributes the batch round-robin over the insert window,
+// advancing the window — and retiring the oldest nodes on wrap-around —
+// as nodes fill (§6). The returned IDs parallel vs.
+func (c *Cluster) Insert(vs []sparse.Vector) ([]uint64, error) {
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]uint64, len(vs))
+	// pending holds positions into vs still awaiting placement.
+	pending := make([]int, len(vs))
+	for i := range pending {
+		pending[i] = i
+	}
+	scratch := make([]sparse.Vector, 0, len(vs))
+	// Each round either places documents or advances the window (which
+	// retires old data, freeing capacity). A round that does neither means
+	// the cluster has no usable capacity at all.
+	for len(pending) > 0 {
+		window := c.windowNodes()
+		free := 0
+		for _, w := range window {
+			free += c.caps[w] - c.used[w]
+		}
+		if free == 0 {
+			if err := c.advanceWindow(); err != nil {
+				return nil, err
+			}
+			window = c.windowNodes()
+			free = 0
+			for _, w := range window {
+				free += c.caps[w] - c.used[w]
+			}
+			if free == 0 {
+				return nil, errors.New("cluster: no insertable capacity (all node capacities zero?)")
+			}
+		}
+		// Round-robin shares: split what fits evenly over the window's
+		// non-full nodes; anything a node cannot take (its even share
+		// exceeds its space) stays pending for the next round.
+		fit := min(len(pending), free)
+		batch := pending[:fit]
+		rest := pending[fit:]
+		live := 0
+		for _, w := range window {
+			if c.caps[w] > c.used[w] {
+				live++
+			}
+		}
+		offset := 0
+		placed := 0
+		var requeue []int
+		for _, w := range window {
+			space := c.caps[w] - c.used[w]
+			if space == 0 || offset == len(batch) {
+				continue
+			}
+			share := (len(batch) - offset + live - 1) / live
+			live--
+			if share > space {
+				share = space
+			}
+			if share == 0 {
+				continue
+			}
+			part := batch[offset : offset+share]
+			offset += share
+			scratch = scratch[:0]
+			for _, pos := range part {
+				scratch = append(scratch, vs[pos])
+			}
+			local, err := c.nodes[w].Insert(scratch)
+			if errors.Is(err, node.ErrFull) {
+				// Bookkeeping drift (shouldn't happen): resync and retry
+				// this part in a later round.
+				c.resyncUsed(w)
+				requeue = append(requeue, part...)
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("cluster: insert on node %d: %w", w, err)
+			}
+			c.used[w] += len(part)
+			placed += len(part)
+			for i, l := range local {
+				ids[part[i]] = GlobalID(w, l)
+			}
+		}
+		// Keep the capped tail and any ErrFull retries pending.
+		requeue = append(requeue, batch[offset:]...)
+		pending = append(requeue, rest...)
+		if placed == 0 {
+			// No progress this round despite free > 0: bookkeeping and
+			// reality disagree irrecoverably.
+			return nil, errors.New("cluster: insert made no progress")
+		}
+	}
+	return ids, nil
+}
+
+func (c *Cluster) windowNodes() []int {
+	out := make([]int, 0, c.m)
+	for i := 0; i < c.m; i++ {
+		out = append(out, (c.start+i)%len(c.nodes))
+	}
+	return out
+}
+
+// advanceWindow moves the insert window forward by M nodes, retiring any
+// node in the new window that still holds (old) data.
+func (c *Cluster) advanceWindow() error {
+	c.start = (c.start + c.m) % len(c.nodes)
+	for i := 0; i < c.m; i++ {
+		w := (c.start + i) % len(c.nodes)
+		if c.used[w] > 0 {
+			if err := c.nodes[w].Retire(); err != nil {
+				return fmt.Errorf("cluster: retire node %d: %w", w, err)
+			}
+			c.used[w] = 0
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) resyncUsed(w int) {
+	if st, err := c.nodes[w].Stats(); err == nil {
+		c.used[w] = st.StaticLen + st.DeltaLen
+	}
+}
+
+// Query answers one query by broadcast.
+func (c *Cluster) Query(q sparse.Vector) ([]Neighbor, error) {
+	res, _, err := c.QueryBatchTimed([]sparse.Vector{q})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// QueryBatch broadcasts the batch to every node in parallel and
+// concatenates the per-node answers (§4: "individual query responses from
+// each structure are concatenated by the coordinator").
+func (c *Cluster) QueryBatch(qs []sparse.Vector) ([][]Neighbor, error) {
+	res, _, err := c.QueryBatchTimed(qs)
+	return res, err
+}
+
+// QueryBatchTimed additionally reports each node's wall time for the batch
+// — the load-balance measure of Fig. 9 (max/avg ≤ 1.3 in the paper).
+func (c *Cluster) QueryBatchTimed(qs []sparse.Vector) ([][]Neighbor, []time.Duration, error) {
+	perNode := make([][][]Neighbor, len(c.nodes))
+	times := make([]time.Duration, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i := range c.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := c.nodes[i].QueryBatch(qs)
+			times[i] = time.Since(t0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			conv := make([][]Neighbor, len(res))
+			for qi, ns := range res {
+				out := make([]Neighbor, len(ns))
+				for j, nb := range ns {
+					out[j] = Neighbor{Node: i, ID: nb.ID, Dist: nb.Dist}
+				}
+				conv[qi] = out
+			}
+			perNode[i] = conv
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, times, fmt.Errorf("cluster: query on node %d: %w", i, err)
+		}
+	}
+	out := make([][]Neighbor, len(qs))
+	for qi := range qs {
+		var merged []Neighbor
+		for i := range c.nodes {
+			merged = append(merged, perNode[i][qi]...)
+		}
+		out[qi] = merged
+	}
+	return out, times, nil
+}
+
+// Delete removes a document by global ID.
+func (c *Cluster) Delete(g uint64) error {
+	nodeIdx, local := SplitGlobalID(g)
+	if nodeIdx < 0 || nodeIdx >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", nodeIdx)
+	}
+	return c.nodes[nodeIdx].Delete(local)
+}
+
+// MergeAll forces a merge on every node (used by experiments to reach a
+// fully static state).
+func (c *Cluster) MergeAll() error {
+	for i, n := range c.nodes {
+		if err := n.MergeNow(); err != nil {
+			return fmt.Errorf("cluster: merge node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats gathers per-node snapshots.
+func (c *Cluster) Stats() ([]node.Stats, error) {
+	out := make([]node.Stats, len(c.nodes))
+	for i, n := range c.nodes {
+		st, err := n.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: stats node %d: %w", i, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// Close closes every node client.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"testing"
+
+	"plsh/internal/core"
+	"plsh/internal/corpus"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+	"plsh/internal/transport"
+)
+
+func testNodes(t *testing.T, count, capacity int) []transport.NodeClient {
+	t.Helper()
+	out := make([]transport.NodeClient, count)
+	for i := range out {
+		n, err := node.New(node.Config{
+			Params:   lshhash.Params{Dim: 2000, K: 8, M: 6, Seed: 42},
+			Capacity: capacity,
+			Build:    core.Defaults(),
+			Query:    core.QueryDefaults(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = transport.NewLocal(n)
+	}
+	return out
+}
+
+func testDocs(n int, seed uint64) []sparse.Vector {
+	c := corpus.Generate(corpus.Twitter(n, 2000, seed))
+	out := make([]sparse.Vector, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.Mat.Row(i)
+	}
+	return out
+}
+
+func findGlobal(ns []Neighbor, g uint64) bool {
+	for _, nb := range ns {
+		if GlobalID(nb.Node, nb.ID) == g {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGlobalIDRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		node  int
+		local uint32
+	}{{0, 0}, {1, 7}, {99, 1 << 30}, {65535, ^uint32(0)}} {
+		g := GlobalID(tc.node, tc.local)
+		n, l := SplitGlobalID(g)
+		if n != tc.node || l != tc.local {
+			t.Fatalf("round trip (%d,%d) → %d → (%d,%d)", tc.node, tc.local, g, n, l)
+		}
+	}
+}
+
+func TestInsertDistributesOverWindow(t *testing.T) {
+	nodes := testNodes(t, 6, 1000)
+	c, err := New(nodes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(300, 1)
+	ids, err := c.Insert(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 300 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	// All inserts must land on window nodes 0..2, roughly evenly.
+	stats, _ := c.Stats()
+	for i := 0; i < 3; i++ {
+		n := stats[i].StaticLen + stats[i].DeltaLen
+		if n < 80 || n > 120 {
+			t.Fatalf("node %d holds %d docs, want ≈100", i, n)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if stats[i].StaticLen+stats[i].DeltaLen != 0 {
+			t.Fatalf("node %d outside window received inserts", i)
+		}
+	}
+}
+
+// Cluster queries must equal a single node holding the whole corpus.
+func TestClusterEquivalentToSingleNode(t *testing.T) {
+	vs := testDocs(400, 3)
+	queries := testDocs(25, 9)
+
+	single := testNodes(t, 1, 1000)[0]
+	if _, err := single.Insert(vs); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := testNodes(t, 4, 200)
+	c, err := New(nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(vs); err != nil {
+		t.Fatal(err)
+	}
+
+	singleRes, _ := single.QueryBatch(queries)
+	clusterRes, err := c.QueryBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		if len(singleRes[qi]) != len(clusterRes[qi]) {
+			t.Fatalf("query %d: single %d vs cluster %d results",
+				qi, len(singleRes[qi]), len(clusterRes[qi]))
+		}
+	}
+}
+
+func TestEveryInsertedDocFindable(t *testing.T) {
+	nodes := testNodes(t, 4, 150)
+	c, _ := New(nodes, 2)
+	vs := testDocs(300, 5)
+	ids, err := c.Insert(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(vs); i += 23 {
+		res, err := c.Query(vs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !findGlobal(res, ids[i]) {
+			t.Fatalf("doc %d (gid %d) not found", i, ids[i])
+		}
+	}
+}
+
+func TestWindowAdvancesAndRetires(t *testing.T) {
+	// 4 nodes × 100 capacity, window 2: inserting 350 docs fills nodes
+	// 0-1 (200), advances to 2-3 (150). Inserting 250 more fills 2-3 and
+	// wraps: nodes 0-1 retire and receive the rest.
+	nodes := testNodes(t, 4, 100)
+	c, _ := New(nodes, 2)
+	vs := testDocs(600, 7)
+	if _, err := c.Insert(vs[:350]); err != nil {
+		t.Fatal(err)
+	}
+	if c.WindowStart() != 2 {
+		t.Fatalf("window start = %d, want 2", c.WindowStart())
+	}
+	firstBatchRes, err := c.Query(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(firstBatchRes) == 0 {
+		t.Fatal("doc 0 missing before wrap")
+	}
+
+	if _, err := c.Insert(vs[350:]); err != nil {
+		t.Fatal(err)
+	}
+	if c.WindowStart() != 0 {
+		t.Fatalf("window start after wrap = %d, want 0", c.WindowStart())
+	}
+	stats, _ := c.Stats()
+	total := 0
+	for _, st := range stats {
+		total += st.StaticLen + st.DeltaLen
+	}
+	// 0-1 retired (lost 200 oldest), then received the last 250.
+	if total != 400 {
+		t.Fatalf("cluster holds %d docs, want 400 after retirement", total)
+	}
+}
+
+func TestOldestDataExpires(t *testing.T) {
+	nodes := testNodes(t, 4, 100)
+	c, _ := New(nodes, 2)
+	vs := testDocs(600, 11)
+	ids, err := c.Insert(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first 200 docs lived on nodes 0-1, which were retired during the
+	// wrap; they must no longer be findable at their original identity.
+	res, err := c.Query(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findGlobal(res, ids[0]) {
+		t.Fatal("expired doc still answers at its original global ID")
+	}
+	// The last docs must be findable.
+	last := len(vs) - 1
+	res, _ = c.Query(vs[last])
+	if !findGlobal(res, ids[last]) {
+		t.Fatal("most recent doc not found")
+	}
+}
+
+func TestDeleteByGlobalID(t *testing.T) {
+	nodes := testNodes(t, 3, 200)
+	c, _ := New(nodes, 3)
+	vs := testDocs(150, 13)
+	ids, _ := c.Insert(vs)
+	if err := c.Delete(ids[42]); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := c.Query(vs[42])
+	if findGlobal(res, ids[42]) {
+		t.Fatal("deleted doc returned")
+	}
+	if err := c.Delete(GlobalID(99, 0)); err == nil {
+		t.Fatal("delete on unknown node accepted")
+	}
+}
+
+func TestQueryBatchTimedReportsAllNodes(t *testing.T) {
+	nodes := testNodes(t, 5, 200)
+	c, _ := New(nodes, 5)
+	vs := testDocs(250, 15)
+	c.Insert(vs)
+	_, times, err := c.QueryBatchTimed(vs[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 5 {
+		t.Fatalf("times for %d nodes", len(times))
+	}
+	for i, d := range times {
+		if d <= 0 {
+			t.Fatalf("node %d reported no time", i)
+		}
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	nodes := testNodes(t, 3, 500)
+	c, _ := New(nodes, 3)
+	vs := testDocs(90, 17)
+	c.Insert(vs)
+	if err := c.MergeAll(); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := c.Stats()
+	for i, st := range stats {
+		if st.DeltaLen != 0 {
+			t.Fatalf("node %d delta not merged: %+v", i, st)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 2); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	// Window clamped when out of range.
+	nodes := testNodes(t, 2, 100)
+	c, err := New(nodes, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.m != 2 {
+		t.Fatalf("window not clamped: %d", c.m)
+	}
+}
+
+func TestInsertLargerThanClusterWraps(t *testing.T) {
+	// Total capacity 200; inserting 250 must succeed by expiring the
+	// oldest — the cluster is a sliding window over the stream.
+	nodes := testNodes(t, 2, 100)
+	c, _ := New(nodes, 1)
+	vs := testDocs(250, 19)
+	ids, err := c.Insert(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 250 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	res, _ := c.Query(vs[249])
+	if !findGlobal(res, ids[249]) {
+		t.Fatal("newest doc missing after wrap")
+	}
+}
+
+func TestEmptyInsert(t *testing.T) {
+	nodes := testNodes(t, 2, 100)
+	c, _ := New(nodes, 1)
+	ids, err := c.Insert(nil)
+	if err != nil || ids != nil {
+		t.Fatalf("empty insert: %v %v", ids, err)
+	}
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"plsh/internal/lshhash"
+	"plsh/internal/sched"
+	"plsh/internal/sparse"
+)
+
+// BuildOptions selects a construction strategy. The zero value is the
+// fully unoptimized baseline of Fig. 4; Defaults() enables everything.
+type BuildOptions struct {
+	// TwoLevel splits each table's k-bit partition into two k/2-bit passes
+	// (§5.1.2), bounding the number of simultaneous partitions at 2^(k/2)
+	// — the paper's remedy for TLB thrash at 2^16 buckets.
+	TwoLevel bool
+	// ShareFirstLevel reuses one first-level partition per hash function
+	// u_a across all tables g_{a,·}, cutting partition passes from 2L to
+	// L+m. Requires TwoLevel.
+	ShareFirstLevel bool
+	// Vectorized selects the unrolled slab hashing kernel over the naive
+	// per-function kernel (the Fig. 4 "+vectorization" arm).
+	Vectorized bool
+	// Workers sets the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Defaults returns fully optimized build options.
+func Defaults() BuildOptions {
+	return BuildOptions{TwoLevel: true, ShareFirstLevel: true, Vectorized: true}
+}
+
+// BuildTimings reports wall time (ns) spent in each construction phase, for
+// the Fig. 6 model-validation experiment.
+type BuildTimings struct {
+	HashNS int64 // sketch computation (§5.1.1)
+	I1NS   int64 // first-level partitions (Step I1)
+	I2NS   int64 // second-key gather (Step I2)
+	I3NS   int64 // second-level partitions (Step I3)
+}
+
+// Build constructs a Static index over every row of mat.
+func Build(fam *lshhash.Family, mat *sparse.Matrix, opts BuildOptions) (*Static, error) {
+	st, _, err := BuildTimed(fam, mat, opts)
+	return st, err
+}
+
+// BuildTimed is Build with per-phase timings.
+func BuildTimed(fam *lshhash.Family, mat *sparse.Matrix, opts BuildOptions) (*Static, BuildTimings, error) {
+	var tm BuildTimings
+	if err := checkDims(fam, mat); err != nil {
+		return nil, tm, err
+	}
+	if opts.ShareFirstLevel && !opts.TwoLevel {
+		opts.TwoLevel = true // sharing implies the 2-level layout
+	}
+	pool := sched.NewPool(opts.Workers)
+	p := fam.Params()
+	n := mat.Rows()
+
+	t0 := now()
+	sk := fam.SketchAll(mat, pool, opts.Vectorized)
+	tm.HashNS = now() - t0
+
+	st := &Static{fam: fam, n: n, tables: make([]Table, p.L())}
+	switch {
+	case !opts.TwoLevel:
+		t1 := now()
+		buildOneLevel(st, sk, p, pool)
+		tm.I3NS = now() - t1 // the single monolithic partition pass
+	case !opts.ShareFirstLevel:
+		buildTwoLevel(st, sk, p, pool, &tm)
+	default:
+		buildShared(st, sk, p, pool, &tm)
+	}
+	return st, tm, nil
+}
+
+// MustBuild is Build for callers whose dimensions are statically known to
+// match; it panics on error.
+func MustBuild(fam *lshhash.Family, mat *sparse.Matrix, opts BuildOptions) *Static {
+	st, err := Build(fam, mat, opts)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// BuildFromSketches constructs a Static index from precomputed sketches,
+// used by the streaming merge path where delta sketches already exist.
+func BuildFromSketches(fam *lshhash.Family, sk *lshhash.Sketches, workers int) *Static {
+	pool := sched.NewPool(workers)
+	p := fam.Params()
+	st := &Static{fam: fam, n: sk.N(), tables: make([]Table, p.L())}
+	var tm BuildTimings
+	buildShared(st, sk, p, pool, &tm)
+	return st
+}
+
+// buildOneLevel is the unoptimized baseline: every table partitions all N
+// items by its full k-bit key in one 2^k-way pass.
+func buildOneLevel(st *Static, sk *lshhash.Sketches, p lshhash.Params, pool *sched.Pool) {
+	n := sk.N()
+	buckets := p.Buckets()
+	half := uint(p.K / 2)
+	type scratch struct {
+		keys []uint32
+		hist []uint32
+	}
+	ws := make([]scratch, pool.Workers())
+	pool.Run(p.L(), func(l, w int) {
+		if ws[w].keys == nil {
+			ws[w].keys = make([]uint32, n)
+			ws[w].hist = make([]uint32, buckets+1)
+		}
+		a, b := lshhash.PairForTable(l, p.M)
+		keys := ws[w].keys
+		for i := 0; i < n; i++ {
+			keys[i] = sk.At(i, a)<<half | sk.At(i, b)
+		}
+		t := &st.tables[l]
+		t.Items = make([]uint32, n)
+		t.Offsets = make([]uint32, buckets+1)
+		partitionIdentity(keys, ws[w].hist, t.Items, t.Offsets)
+	})
+}
+
+// buildTwoLevel partitions each table independently in two k/2-bit passes
+// (no sharing): first by u_a — carrying each item's second-level key
+// through the scatter so no random gather is needed — then each
+// first-level segment by u_b. 2L partition passes, each over 2^(k/2)
+// partitions only (the TLB/cache argument of §5.1.2).
+func buildTwoLevel(st *Static, sk *lshhash.Sketches, p lshhash.Params, pool *sched.Pool, tm *BuildTimings) {
+	n := sk.N()
+	halfB := p.HalfBuckets()
+	type scratch struct {
+		keys1, keys2 []uint32
+		perm1, kperm []uint32
+		offs1        []uint32
+		hist         []uint32
+	}
+	ws := make([]scratch, pool.Workers())
+	t0 := now()
+	pool.Run(p.L(), func(l, w int) {
+		s := &ws[w]
+		if s.keys1 == nil {
+			s.keys1 = make([]uint32, n)
+			s.keys2 = make([]uint32, n)
+			s.perm1 = make([]uint32, n)
+			s.kperm = make([]uint32, n)
+			s.offs1 = make([]uint32, halfB+1)
+			s.hist = make([]uint32, halfB+1)
+		}
+		a, b := lshhash.PairForTable(l, p.M)
+		// Sequential sketch read: both keys come from one cache line.
+		for i := 0; i < n; i++ {
+			s.keys1[i] = sk.At(i, a)
+			s.keys2[i] = sk.At(i, b)
+		}
+		// First-level pass moves (item, key2) pairs together.
+		partitionPairs(s.keys1, s.keys2, s.hist, s.perm1, s.kperm, s.offs1)
+		secondLevel(&st.tables[l], s.perm1, s.kperm, s.offs1, s.hist, p)
+	})
+	// First- and second-level passes are fused per table; attribute the
+	// total evenly for reporting.
+	total := now() - t0
+	tm.I1NS = total / 2
+	tm.I3NS = total - total/2
+}
+
+// buildShared is the paper's full algorithm (Steps I1–I3 of §5.1.2): one
+// first-level partition per hash function u_a, shared by all tables (a, ·),
+// then per-table second-level refinement — m−1 first-level passes + L
+// second-level passes instead of 2L.
+//
+// Steps I1 and I2 are fused: the first-level scatter carries every
+// remaining hash column u_{a+1..m} along with the data index, so the
+// "rearrange the hash values according to the final scatter offsets" step
+// costs no random gather — sketch rows are read sequentially exactly once
+// per first-level function, and each table (a, b) then reads its
+// second-level keys sequentially from the shared column buffer.
+func buildShared(st *Static, sk *lshhash.Sketches, p lshhash.Params, pool *sched.Pool, tm *BuildTimings) {
+	n := sk.N()
+	halfB := p.HalfBuckets()
+	m := p.M
+
+	// Shared buffers, reused across first-level functions.
+	perm := make([]uint32, n)
+	offs := make([]uint32, halfB+1)
+	cols := make([][]uint32, m)
+	for j := 1; j < m; j++ {
+		cols[j] = make([]uint32, n)
+	}
+	type scratch struct {
+		hist []uint32
+	}
+	ws := make([]scratch, pool.Workers())
+
+	w := pool.Workers()
+	if w > n {
+		w = n
+	}
+	hists := make([][]uint32, w)
+
+	for a := 0; a < m-1; a++ {
+		// Step I1: local histograms over u_a, then one prefix sum giving
+		// per-worker scatter cursors (§5.1.2 "Parallelism").
+		t0 := now()
+		if n > 0 {
+			pool.Static(n, func(lo, hi, self int) {
+				h := hists[self]
+				if h == nil {
+					h = make([]uint32, halfB)
+					hists[self] = h
+				} else {
+					for i := range h {
+						h[i] = 0
+					}
+				}
+				for i := lo; i < hi; i++ {
+					h[sk.At(i, a)]++
+				}
+			})
+			var cum uint32
+			for b := 0; b < halfB; b++ {
+				offs[b] = cum
+				for t := 0; t < w; t++ {
+					c := hists[t][b]
+					hists[t][b] = cum
+					cum += c
+				}
+			}
+			offs[halfB] = cum
+		}
+		tm.I1NS += now() - t0
+
+		// Step I2 (fused scatter): move each data index and its remaining
+		// hash columns to the first-level position. Sketch rows are read
+		// sequentially; writes go to 2^(k/2) partition streams.
+		t1 := now()
+		if n > 0 {
+			aa := a
+			pool.Static(n, func(lo, hi, self int) {
+				h := hists[self]
+				for i := lo; i < hi; i++ {
+					row := sk.Row(i)
+					dst := h[row[aa]]
+					h[row[aa]]++
+					perm[dst] = uint32(i)
+					for j := aa + 1; j < m; j++ {
+						cols[j][dst] = row[j]
+					}
+				}
+			})
+		}
+		tm.I2NS += now() - t1
+
+		// Step I3: second-level partitions of every table (a, b), in
+		// parallel over tables (work stealing, as the paper's task-queue
+		// model prescribes).
+		t2 := now()
+		pool.Run(m-1-a, func(i, wkr int) {
+			b := a + 1 + i
+			s := &ws[wkr]
+			if s.hist == nil {
+				s.hist = make([]uint32, halfB+1)
+			}
+			l := lshhash.TableForPair(a, b, m)
+			secondLevel(&st.tables[l], perm, cols[b], offs, s.hist, p)
+		})
+		tm.I3NS += now() - t2
+	}
+}
+
+// partitionPairs partitions the identity index sequence by keys1 into
+// outPerm while carrying keys2 along into outKeys2 (so the second-level
+// pass needs no random gather). hist is scratch of len nB+1.
+func partitionPairs(keys1, keys2, hist, outPerm, outKeys2, outOffs []uint32) {
+	for i := range hist {
+		hist[i] = 0
+	}
+	for _, k := range keys1 {
+		hist[k]++
+	}
+	nB := len(hist) - 1
+	var cum uint32
+	for b := 0; b < nB; b++ {
+		outOffs[b] = cum
+		c := hist[b]
+		hist[b] = cum
+		cum += c
+	}
+	outOffs[nB] = cum
+	for i, k := range keys1 {
+		dst := hist[k]
+		hist[k]++
+		outPerm[dst] = uint32(i)
+		outKeys2[dst] = keys2[i]
+	}
+}
+
+// secondLevel refines each first-level segment of perm1 by the second-level
+// keys, writing the table's final Items and the full 2^k+1 Offsets.
+func secondLevel(t *Table, perm1, keys2, offs1, hist []uint32, p lshhash.Params) {
+	n := len(perm1)
+	halfB := p.HalfBuckets()
+	half := uint(p.K / 2)
+	buckets := p.Buckets()
+	t.Items = make([]uint32, n)
+	t.Offsets = make([]uint32, buckets+1)
+	for part := 0; part < halfB; part++ {
+		segLo, segHi := offs1[part], offs1[part+1]
+		seg := keys2[segLo:segHi]
+		// Histogram of the segment's second-level keys.
+		for i := range hist {
+			hist[i] = 0
+		}
+		for _, k2 := range seg {
+			hist[k2]++
+		}
+		// Prefix sum → absolute offsets for buckets (part, 0..halfB).
+		cum := segLo
+		base := uint32(part) << half
+		for q := 0; q < halfB; q++ {
+			t.Offsets[base+uint32(q)] = cum
+			c := hist[q]
+			hist[q] = cum // reuse as scatter cursor
+			cum += c
+		}
+		// Scatter.
+		for i, k2 := range seg {
+			dst := hist[k2]
+			hist[k2]++
+			t.Items[dst] = perm1[segLo+uint32(i)]
+		}
+	}
+	t.Offsets[buckets] = uint32(n)
+}
+
+// partitionIdentity partitions the identity index sequence 0..len(keys)-1
+// by keys into outPerm with bucket boundaries in outOffs (len = nB+1,
+// where nB+1 == len(hist)). hist is scratch.
+func partitionIdentity(keys, hist, outPerm, outOffs []uint32) {
+	for i := range hist {
+		hist[i] = 0
+	}
+	for _, k := range keys {
+		hist[k]++
+	}
+	nB := len(hist) - 1
+	var cum uint32
+	for b := 0; b < nB; b++ {
+		outOffs[b] = cum
+		c := hist[b]
+		hist[b] = cum
+		cum += c
+	}
+	outOffs[nB] = cum
+	for i, k := range keys {
+		dst := hist[k]
+		hist[k]++
+		outPerm[dst] = uint32(i)
+	}
+}
+
+// partitionParallel is the 3-step parallel partition of §5.1.2: each worker
+// histograms its chunk, one thread prefix-sums the per-worker histograms
+// into global scatter offsets, then workers scatter their chunks. Returns
+// the permuted index array and the nB+1 bucket offsets.
+func partitionParallel(pool *sched.Pool, n, nB int, key func(int) uint32) ([]uint32, []uint32) {
+	w := pool.Workers()
+	if w > n {
+		w = n
+	}
+	if n == 0 {
+		return nil, make([]uint32, nB+1)
+	}
+	perm := make([]uint32, n)
+	offs := make([]uint32, nB+1)
+	hists := make([][]uint32, w)
+
+	// Pass 1: local histograms.
+	pool.Static(n, func(lo, hi, self int) {
+		h := make([]uint32, nB)
+		for i := lo; i < hi; i++ {
+			h[key(i)]++
+		}
+		hists[self] = h
+	})
+
+	// Prefix sum in bucket-major, worker-minor order so each bucket's
+	// output region is contiguous and workers write disjoint sub-ranges.
+	var cum uint32
+	for b := 0; b < nB; b++ {
+		offs[b] = cum
+		for t := 0; t < w; t++ {
+			c := hists[t][b]
+			hists[t][b] = cum
+			cum += c
+		}
+	}
+	offs[nB] = cum
+
+	// Pass 2: scatter.
+	pool.Static(n, func(lo, hi, self int) {
+		h := hists[self]
+		for i := lo; i < hi; i++ {
+			b := key(i)
+			perm[h[b]] = uint32(i)
+			h[b]++
+		}
+	})
+	return perm, offs
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"plsh/internal/bitvec"
+	"plsh/internal/lshhash"
+	"plsh/internal/sched"
+	"plsh/internal/sparse"
+)
+
+// Neighbor is one query answer: a document index and its angular distance.
+type Neighbor struct {
+	ID   uint32
+	Dist float64
+}
+
+// QueryOptions selects the query-path optimizations of §5.2. The zero value
+// is the fully unoptimized baseline of Fig. 5; QueryDefaults enables
+// everything.
+type QueryOptions struct {
+	// Radius is the R-near-neighbor radius in radians (paper: 0.9).
+	Radius float64
+	// UseBitvector replaces set-based duplicate elimination with the
+	// O(1)-per-index bitvector histogram (§5.2.1).
+	UseBitvector bool
+	// OptimizedDP replaces merge-intersection dot products with the dense
+	// query vocabulary mask (§5.2.3).
+	OptimizedDP bool
+	// ExtractCandidates scans the bitvector into a sorted dense array
+	// before Step Q3, making candidate access sequential — the portable
+	// analogue of the paper's software prefetching (§5.2.2). Requires
+	// UseBitvector.
+	ExtractCandidates bool
+	// Workers sets the pool size for batch queries; <= 0 means GOMAXPROCS.
+	Workers int
+	// CollectPhases accumulates per-phase wall time into Engine.Phases().
+	CollectPhases bool
+}
+
+// QueryDefaults returns fully optimized query options with the paper's
+// radius.
+func QueryDefaults() QueryOptions {
+	return QueryOptions{
+		Radius:            0.9,
+		UseBitvector:      true,
+		OptimizedDP:       true,
+		ExtractCandidates: true,
+	}
+}
+
+// QueryStats counts the work a query performed, matching the quantities of
+// the §7 model: Collisions is the total bucket-entry count over all L
+// tables (duplicates included); Unique is the deduplicated candidate count
+// (the number of distance computations); Results is the answer count.
+type QueryStats struct {
+	Collisions int
+	Unique     int
+	Results    int
+}
+
+// PhaseTimes accumulates wall time (ns) by query phase across an Engine's
+// lifetime (only when CollectPhases is set). Workers run concurrently, so
+// these are summed-across-workers phase times, suitable for the relative
+// attribution of Fig. 6.
+type PhaseTimes struct {
+	Q2NS int64 // bucket reads + duplicate elimination (+ extraction scan)
+	Q3NS int64 // candidate fetch + distance computation
+}
+
+// Engine answers R-near-neighbor queries against a Static index and a
+// document store. Engines are safe for arbitrary concurrent use; query
+// workspaces (candidate bitvector, vocabulary mask) are recycled through a
+// sync.Pool, the Go analogue of the paper's per-thread private bitvectors.
+type Engine struct {
+	st      *Static
+	store   sparse.Store
+	opts    QueryOptions
+	pool    *sched.Pool
+	deleted *bitvec.Vector
+	pairs   []tablePair // (a, b) per table, precomputed once
+	wsPool  sync.Pool
+	q2ns    atomic.Int64
+	q3ns    atomic.Int64
+}
+
+// tablePair caches PairForTable so the hot Q2 loop composes each table's
+// key with two array reads instead of an O(m) search.
+type tablePair struct {
+	a, b uint16
+}
+
+// workspace is one in-flight query's private state.
+type workspace struct {
+	seen   *bitvec.Vector
+	cand   []uint32
+	set    map[uint32]struct{}
+	mask   *sparse.QueryMask
+	scores []float32
+	sketch []uint32
+}
+
+// NewEngine builds a query engine. The store must hold exactly the
+// documents the index was built over (store row i ↔ index item i).
+func NewEngine(st *Static, store sparse.Store, opts QueryOptions) *Engine {
+	if opts.Radius <= 0 {
+		opts.Radius = 0.9
+	}
+	if opts.ExtractCandidates && !opts.UseBitvector {
+		opts.ExtractCandidates = false
+	}
+	e := &Engine{
+		st:    st,
+		store: store,
+		opts:  opts,
+		pool:  sched.NewPool(opts.Workers),
+		pairs: make([]tablePair, st.NumTables()),
+	}
+	for l := range e.pairs {
+		a, b := lshhash.PairForTable(l, st.fam.Params().M)
+		e.pairs[l] = tablePair{a: uint16(a), b: uint16(b)}
+	}
+	e.wsPool.New = func() any {
+		ws := &workspace{
+			seen:   bitvec.New(st.Len()),
+			scores: make([]float32, st.fam.Params().NumFuncs()),
+			sketch: make([]uint32, st.fam.Params().M),
+		}
+		if !opts.UseBitvector {
+			ws.set = make(map[uint32]struct{}, 1024)
+		}
+		if opts.OptimizedDP {
+			ws.mask = sparse.NewQueryMask(store.Dimension())
+		}
+		return ws
+	}
+	return e
+}
+
+// Pool exposes the engine's worker pool so callers (the node layer) can
+// schedule combined static+delta batches on it.
+func (e *Engine) Pool() *sched.Pool { return e.pool }
+
+// Options returns the engine's query options.
+func (e *Engine) Options() QueryOptions { return e.opts }
+
+// SetDeleted installs the deletion bitvector consulted before distance
+// computation (§6.2). Pass nil to clear. The vector is read, not copied;
+// callers must not mutate it concurrently with queries.
+func (e *Engine) SetDeleted(del *bitvec.Vector) { e.deleted = del }
+
+// Phases returns accumulated per-phase times.
+func (e *Engine) Phases() PhaseTimes {
+	return PhaseTimes{Q2NS: e.q2ns.Load(), Q3NS: e.q3ns.Load()}
+}
+
+// ResetPhases zeroes the phase accumulators.
+func (e *Engine) ResetPhases() {
+	e.q2ns.Store(0)
+	e.q3ns.Store(0)
+}
+
+// Query answers a single query.
+func (e *Engine) Query(q sparse.Vector) []Neighbor {
+	res, _ := e.QueryWithStats(q)
+	return res
+}
+
+// QueryWithStats answers a single query and reports work counts.
+func (e *Engine) QueryWithStats(q sparse.Vector) ([]Neighbor, QueryStats) {
+	ws := e.wsPool.Get().(*workspace)
+	res, stats := e.queryOn(q, ws)
+	e.wsPool.Put(ws)
+	return res, stats
+}
+
+// QueryBatch answers a batch in parallel with work stealing over queries
+// (§5.2 "Parallelism": queries are independent tasks; batching trades
+// latency for throughput, Fig. 10).
+func (e *Engine) QueryBatch(qs []sparse.Vector) [][]Neighbor {
+	out := make([][]Neighbor, len(qs))
+	e.pool.Run(len(qs), func(task, worker int) {
+		out[task] = e.Query(qs[task])
+	})
+	return out
+}
+
+// QueryBatchStats answers a batch and reports per-query work counts.
+func (e *Engine) QueryBatchStats(qs []sparse.Vector) ([][]Neighbor, []QueryStats) {
+	out := make([][]Neighbor, len(qs))
+	stats := make([]QueryStats, len(qs))
+	e.pool.Run(len(qs), func(task, worker int) {
+		out[task], stats[task] = e.QueryWithStats(qs[task])
+	})
+	return out, stats
+}
+
+// queryOn runs the full Q1–Q4 pipeline on a private workspace.
+func (e *Engine) queryOn(q sparse.Vector, ws *workspace) ([]Neighbor, QueryStats) {
+	var stats QueryStats
+	if e.st.Len() == 0 || q.NNZ() == 0 {
+		return nil, stats
+	}
+	p := e.st.fam.Params()
+	half := uint(p.K / 2)
+
+	// Step Q1: hash the query (cheap; the paper ignores its cost too).
+	e.st.fam.SketchInto(q, ws.scores, ws.sketch)
+
+	var t0 int64
+	if e.opts.CollectPhases {
+		t0 = now()
+	}
+
+	// Step Q2: read buckets from all L tables and deduplicate.
+	ws.cand = ws.cand[:0]
+	if e.opts.UseBitvector {
+		seen := ws.seen
+		if e.opts.ExtractCandidates {
+			// Mark-only pass, then scan to a sorted array (§5.2.2).
+			for l := range e.st.tables {
+				pr := e.pairs[l]
+				key := ws.sketch[pr.a]<<half | ws.sketch[pr.b]
+				bucket := e.st.tables[l].Bucket(key)
+				stats.Collisions += len(bucket)
+				for _, id := range bucket {
+					seen.Set(int(id))
+				}
+			}
+			ws.cand = seen.AppendSet(ws.cand)
+		} else {
+			// Mark-and-append: dedup without the sorted extraction.
+			for l := range e.st.tables {
+				pr := e.pairs[l]
+				key := ws.sketch[pr.a]<<half | ws.sketch[pr.b]
+				bucket := e.st.tables[l].Bucket(key)
+				stats.Collisions += len(bucket)
+				for _, id := range bucket {
+					if seen.TestAndSet(int(id)) {
+						ws.cand = append(ws.cand, id)
+					}
+				}
+			}
+		}
+		seen.ResetList(ws.cand)
+	} else {
+		// Unoptimized: a set container (the paper's "C++ STL set" arm).
+		set := ws.set
+		for l := range e.st.tables {
+			pr := e.pairs[l]
+			key := ws.sketch[pr.a]<<half | ws.sketch[pr.b]
+			bucket := e.st.tables[l].Bucket(key)
+			stats.Collisions += len(bucket)
+			for _, id := range bucket {
+				set[id] = struct{}{}
+			}
+		}
+		for id := range set {
+			ws.cand = append(ws.cand, id)
+			delete(set, id)
+		}
+	}
+	stats.Unique = len(ws.cand)
+
+	if e.opts.CollectPhases {
+		t1 := now()
+		e.q2ns.Add(t1 - t0)
+		t0 = t1
+	}
+
+	// Steps Q3+Q4: distance computation and radius filter.
+	thr := sparse.CosThreshold(e.opts.Radius)
+	var out []Neighbor
+	if e.opts.OptimizedDP {
+		ws.mask.Scatter(q)
+	}
+	for _, id := range ws.cand {
+		if e.deleted != nil && e.deleted.Test(int(id)) {
+			continue
+		}
+		idx, val := e.store.Doc(int(id))
+		var dot float64
+		if e.opts.OptimizedDP {
+			dot = ws.mask.Dot(idx, val)
+		} else {
+			dot = sparse.Dot(q, sparse.Vector{Idx: idx, Val: val})
+		}
+		if dot >= thr {
+			out = append(out, Neighbor{ID: id, Dist: sparse.AngularDistance(dot)})
+		}
+	}
+	if e.opts.OptimizedDP {
+		ws.mask.Unscatter()
+	}
+	if e.opts.CollectPhases {
+		e.q3ns.Add(now() - t0)
+	}
+	stats.Results = len(out)
+	return out, stats
+}
+
+// SortNeighbors orders neighbors by ascending distance, breaking ties by ID
+// — a stable presentation order for callers and tests.
+func SortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// ExactNeighbors computes the ground-truth answer by exhaustive scan over
+// the store — the reference used by recall tests. It ignores the index.
+func ExactNeighbors(store sparse.Store, q sparse.Vector, radius float64) []Neighbor {
+	thr := sparse.CosThreshold(radius)
+	var out []Neighbor
+	for i := 0; i < store.Rows(); i++ {
+		idx, val := store.Doc(i)
+		dot := sparse.Dot(q, sparse.Vector{Idx: idx, Val: val})
+		if dot >= thr {
+			out = append(out, Neighbor{ID: uint32(i), Dist: sparse.AngularDistance(dot)})
+		}
+	}
+	return out
+}

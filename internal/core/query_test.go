@@ -1,0 +1,310 @@
+package core
+
+import (
+	"testing"
+
+	"plsh/internal/bitvec"
+	"plsh/internal/corpus"
+	"plsh/internal/lshhash"
+	"plsh/internal/sparse"
+)
+
+// queryFixture builds a small corpus, index, and ground truth.
+type queryFixture struct {
+	fam     *lshhash.Family
+	mat     *sparse.Matrix
+	st      *Static
+	queries []sparse.Vector
+}
+
+func newQueryFixture(t *testing.T, nDocs, nQueries int) *queryFixture {
+	t.Helper()
+	// K=8, M=8 → L=28 tables; small enough for exhaustive verification,
+	// selective enough to have structure.
+	p := lshhash.Params{Dim: 2000, K: 8, M: 8, Seed: 42}
+	fam, err := lshhash.NewFamily(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := corpus.Twitter(nDocs, p.Dim, 7)
+	cfg.NearDupRate = 0.25 // plant plenty of true neighbors
+	c := corpus.Generate(cfg)
+	st, err := Build(fam, c.Mat, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &queryFixture{fam: fam, mat: c.Mat, st: st, queries: c.SampleQueries(nQueries, 99)}
+}
+
+// candidateSet computes, by brute force, the documents sharing at least one
+// bucket with q — the exact candidate set an LSH query must consider.
+func (f *queryFixture) candidateSet(q sparse.Vector) map[uint32]bool {
+	p := f.fam.Params()
+	qsk := f.fam.Sketch(q)
+	out := map[uint32]bool{}
+	for i := 0; i < f.mat.Rows(); i++ {
+		dsk := f.fam.Sketch(f.mat.Row(i))
+		matches := 0
+		for j := 0; j < p.M; j++ {
+			if qsk[j] == dsk[j] {
+				matches++
+			}
+		}
+		// g_{a,b} collides iff both u_a and u_b collide; any pair of
+		// matching functions yields a shared bucket.
+		if matches >= 2 {
+			out[uint32(i)] = true
+		}
+	}
+	return out
+}
+
+// TestQueryMatchesBruteForceCandidates is the core correctness theorem: the
+// engine returns exactly the candidates within radius R, for every
+// combination of optimization toggles.
+func TestQueryMatchesBruteForceCandidates(t *testing.T) {
+	f := newQueryFixture(t, 300, 20)
+	const R = 0.9
+	for _, opts := range []QueryOptions{
+		{Radius: R}, // fully unoptimized
+		{Radius: R, UseBitvector: true},
+		{Radius: R, UseBitvector: true, OptimizedDP: true},
+		{Radius: R, UseBitvector: true, OptimizedDP: true, ExtractCandidates: true},
+		{Radius: R, OptimizedDP: true},
+	} {
+		eng := NewEngine(f.st, f.mat, opts)
+		for qi, q := range f.queries {
+			want := map[uint32]bool{}
+			for id := range f.candidateSet(q) {
+				d := sparse.Dot(q, f.mat.Row(int(id)))
+				if sparse.AngularDistance(d) <= R {
+					want[id] = true
+				}
+			}
+			got := eng.Query(q)
+			if len(got) != len(want) {
+				t.Fatalf("opts %+v query %d: got %d results, want %d", opts, qi, len(got), len(want))
+			}
+			for _, nb := range got {
+				if !want[nb.ID] {
+					t.Fatalf("opts %+v query %d: unexpected result %d", opts, qi, nb.ID)
+				}
+				d := sparse.Dot(q, f.mat.Row(int(nb.ID)))
+				if diff := sparse.AngularDistance(d) - nb.Dist; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("opts %+v query %d: distance mismatch", opts, qi)
+				}
+			}
+		}
+	}
+}
+
+// All optimization combinations must agree with each other exactly.
+func TestAllQueryOptionsAgree(t *testing.T) {
+	f := newQueryFixture(t, 400, 30)
+	base := NewEngine(f.st, f.mat, QueryOptions{Radius: 0.9})
+	variants := []*Engine{
+		NewEngine(f.st, f.mat, QueryOptions{Radius: 0.9, UseBitvector: true}),
+		NewEngine(f.st, f.mat, QueryOptions{Radius: 0.9, UseBitvector: true, ExtractCandidates: true}),
+		NewEngine(f.st, f.mat, QueryDefaults()),
+		NewEngine(f.st, sparse.NewScatteredStore(f.mat), QueryDefaults()),
+	}
+	for qi, q := range f.queries {
+		want := base.Query(q)
+		SortNeighbors(want)
+		for vi, eng := range variants {
+			got := eng.Query(q)
+			SortNeighbors(got)
+			if len(got) != len(want) {
+				t.Fatalf("variant %d query %d: %d vs %d results", vi, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("variant %d query %d: result %d differs", vi, qi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryBatchMatchesSingles(t *testing.T) {
+	f := newQueryFixture(t, 300, 40)
+	eng := NewEngine(f.st, f.mat, QueryDefaults())
+	batch := eng.QueryBatch(f.queries)
+	for i, q := range f.queries {
+		single := eng.Query(q)
+		SortNeighbors(single)
+		got := append([]Neighbor(nil), batch[i]...)
+		SortNeighbors(got)
+		if len(single) != len(got) {
+			t.Fatalf("query %d: batch %d vs single %d", i, len(got), len(single))
+		}
+		for j := range single {
+			if single[j].ID != got[j].ID {
+				t.Fatalf("query %d result %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	// A document queried against its own index must return itself at
+	// distance 0 (it collides with itself in every table).
+	f := newQueryFixture(t, 200, 0)
+	eng := NewEngine(f.st, f.mat, QueryDefaults())
+	for i := 0; i < 200; i += 13 {
+		res := eng.Query(f.mat.Row(i))
+		found := false
+		for _, nb := range res {
+			// acos is steep near dot=1, so float32 rounding inflates the
+			// self-distance to ~1e-3; anything below 0.01 rad is "self".
+			if nb.ID == uint32(i) && nb.Dist < 0.01 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("doc %d does not find itself", i)
+		}
+	}
+}
+
+func TestDeletedExcluded(t *testing.T) {
+	f := newQueryFixture(t, 200, 0)
+	eng := NewEngine(f.st, f.mat, QueryDefaults())
+	del := bitvec.New(200)
+	del.Set(17)
+	eng.SetDeleted(del)
+	res := eng.Query(f.mat.Row(17))
+	for _, nb := range res {
+		if nb.ID == 17 {
+			t.Fatal("deleted document returned")
+		}
+	}
+	eng.SetDeleted(nil)
+	res = eng.Query(f.mat.Row(17))
+	found := false
+	for _, nb := range res {
+		if nb.ID == 17 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("clearing deletion vector did not restore the document")
+	}
+}
+
+func TestQueryStatsConsistent(t *testing.T) {
+	f := newQueryFixture(t, 300, 10)
+	eng := NewEngine(f.st, f.mat, QueryDefaults())
+	for _, q := range f.queries {
+		res, stats := eng.QueryWithStats(q)
+		if stats.Results != len(res) {
+			t.Fatalf("stats.Results = %d, len = %d", stats.Results, len(res))
+		}
+		if stats.Unique > stats.Collisions {
+			t.Fatalf("unique %d > collisions %d", stats.Unique, stats.Collisions)
+		}
+		if stats.Results > stats.Unique {
+			t.Fatalf("results %d > unique %d", stats.Results, stats.Unique)
+		}
+		want := len(f.candidateSet(q))
+		if stats.Unique != want {
+			t.Fatalf("unique = %d, brute force says %d", stats.Unique, want)
+		}
+	}
+}
+
+func TestWorkspaceReuseAcrossQueries(t *testing.T) {
+	// Back-to-back queries must not leak state (bitvector bits, mask
+	// values) between calls: two runs of the same query sandwiching a
+	// different query must agree.
+	f := newQueryFixture(t, 300, 2)
+	eng := NewEngine(f.st, f.mat, QueryDefaults())
+	r1 := eng.Query(f.queries[0])
+	_ = eng.Query(f.queries[1])
+	r2 := eng.Query(f.queries[0])
+	SortNeighbors(r1)
+	SortNeighbors(r2)
+	if len(r1) != len(r2) {
+		t.Fatalf("workspace leak: %d vs %d results", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatal("workspace leak: differing results")
+		}
+	}
+}
+
+func TestPhaseCollection(t *testing.T) {
+	f := newQueryFixture(t, 300, 10)
+	opts := QueryDefaults()
+	opts.CollectPhases = true
+	eng := NewEngine(f.st, f.mat, opts)
+	eng.QueryBatch(f.queries)
+	ph := eng.Phases()
+	if ph.Q2NS <= 0 || ph.Q3NS <= 0 {
+		t.Fatalf("phases not collected: %+v", ph)
+	}
+	eng.ResetPhases()
+	if ph = eng.Phases(); ph.Q2NS != 0 || ph.Q3NS != 0 {
+		t.Fatal("ResetPhases did not zero")
+	}
+}
+
+func TestZeroQueryReturnsNothing(t *testing.T) {
+	f := newQueryFixture(t, 100, 0)
+	eng := NewEngine(f.st, f.mat, QueryDefaults())
+	if res := eng.Query(sparse.Vector{}); res != nil {
+		t.Fatalf("zero query returned %v", res)
+	}
+}
+
+func TestExactNeighborsGroundTruth(t *testing.T) {
+	f := newQueryFixture(t, 150, 5)
+	for _, q := range f.queries {
+		exact := ExactNeighbors(f.mat, q, 0.9)
+		// Every exact neighbor must genuinely be within R; and the count
+		// must match a naive recount.
+		count := 0
+		for i := 0; i < f.mat.Rows(); i++ {
+			d := sparse.AngularDistance(sparse.Dot(q, f.mat.Row(i)))
+			if d <= 0.9 {
+				count++
+			}
+		}
+		if len(exact) != count {
+			t.Fatalf("ExactNeighbors = %d, recount %d", len(exact), count)
+		}
+	}
+}
+
+// Recall: with planted near-duplicates, the fraction of true R-near
+// neighbors the index reports must respect the 1−δ guarantee (δ set by the
+// parameter choice; here we check empirically against the analytic P').
+func TestRecallMatchesRetrievalProb(t *testing.T) {
+	f := newQueryFixture(t, 800, 60)
+	eng := NewEngine(f.st, f.mat, QueryDefaults())
+	p := f.fam.Params()
+	var expected, got float64
+	for _, q := range f.queries {
+		exact := ExactNeighbors(f.mat, q, 0.9)
+		res := eng.Query(q)
+		found := map[uint32]bool{}
+		for _, nb := range res {
+			found[nb.ID] = true
+		}
+		for _, nb := range exact {
+			expected += lshhash.RetrievalProb(nb.Dist, p.K, p.M)
+			if found[nb.ID] {
+				got++
+			}
+		}
+	}
+	if expected == 0 {
+		t.Skip("no true neighbors in sample")
+	}
+	ratio := got / expected
+	// Chernoff slack: empirical retrieval within 15% of the analytic sum.
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("retrieved %v true neighbors, model expects %v (ratio %v)", got, expected, ratio)
+	}
+}

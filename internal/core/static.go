@@ -1,0 +1,72 @@
+// Package core implements the paper's primary contribution: the static PLSH
+// structure — cache-conscious parallel construction of the L hash tables
+// (§5.1) and the optimized batched query engine (§5.2).
+//
+// A static PLSH instance is an immutable index over N documents. Each of
+// the L = m(m−1)/2 tables is a contiguous array of the N document indexes
+// partitioned by the table's k-bit key, plus a 2^k+1 offsets array — no
+// pointers, no per-bucket allocations, exactly enough space for every
+// bucket (Fig. 3a of the paper). Construction options reproduce the Fig. 4
+// ablation (1-level → 2-level → shared first level → vectorized hashing);
+// query options reproduce the Fig. 5 ablation (set dedup → bitvector →
+// optimized sparse dot product → candidate extraction → arena layout).
+package core
+
+import (
+	"errors"
+
+	"plsh/internal/lshhash"
+	"plsh/internal/sparse"
+)
+
+// Table is one LSH hash table: Items holds the N document indexes grouped
+// by bucket; bucket b occupies Items[Offsets[b]:Offsets[b+1]].
+type Table struct {
+	Offsets []uint32
+	Items   []uint32
+}
+
+// Bucket returns the document indexes in bucket key.
+func (t *Table) Bucket(key uint32) []uint32 {
+	return t.Items[t.Offsets[key]:t.Offsets[key+1]]
+}
+
+// Static is an immutable PLSH index over n documents.
+type Static struct {
+	fam    *lshhash.Family
+	n      int
+	tables []Table
+}
+
+// Family returns the hash family the index was built with.
+func (s *Static) Family() *lshhash.Family { return s.fam }
+
+// Len returns the number of indexed documents.
+func (s *Static) Len() int { return s.n }
+
+// NumTables returns L.
+func (s *Static) NumTables() int { return len(s.tables) }
+
+// Table returns table l.
+func (s *Static) Table(l int) *Table { return &s.tables[l] }
+
+// MemoryBytes reports the index footprint: the L·N·4 item bytes that
+// dominate Eq. 7.4's memory constraint plus the offset arrays' 2^k·L·4.
+func (s *Static) MemoryBytes() int64 {
+	var b int64
+	for i := range s.tables {
+		b += int64(len(s.tables[i].Offsets))*4 + int64(len(s.tables[i].Items))*4
+	}
+	return b
+}
+
+// errDimMismatch is returned when data dimensionality does not match the
+// family's.
+var errDimMismatch = errors.New("core: matrix dimensionality does not match hash family")
+
+func checkDims(fam *lshhash.Family, mat *sparse.Matrix) error {
+	if mat.Dim != fam.Params().Dim {
+		return errDimMismatch
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package core
+
+import "time"
+
+// epoch anchors monotonic phase timing.
+var epoch = time.Now()
+
+// now returns monotonic nanoseconds since package init.
+func now() int64 { return int64(time.Since(epoch)) }

@@ -1,0 +1,195 @@
+package delta
+
+import (
+	"testing"
+
+	"plsh/internal/bitvec"
+	"plsh/internal/corpus"
+	"plsh/internal/lshhash"
+	"plsh/internal/sparse"
+)
+
+func testFamily(t *testing.T) *lshhash.Family {
+	t.Helper()
+	fam, err := lshhash.NewFamily(lshhash.Params{Dim: 2000, K: 8, M: 6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fam
+}
+
+func docs(n int, dim int, seed uint64) []sparse.Vector {
+	c := corpus.Generate(corpus.Twitter(n, dim, seed))
+	out := make([]sparse.Vector, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.Mat.Row(i)
+	}
+	return out
+}
+
+func TestInsertAssignsSequentialIDs(t *testing.T) {
+	fam := testFamily(t)
+	d := New(fam, 2)
+	vs := docs(50, 2000, 1)
+	if first := d.Insert(vs[:20]); first != 0 {
+		t.Fatalf("first batch ID = %d", first)
+	}
+	if first := d.Insert(vs[20:]); first != 20 {
+		t.Fatalf("second batch ID = %d", first)
+	}
+	if d.Len() != 50 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Sketches().N() != 50 {
+		t.Fatalf("sketches N = %d", d.Sketches().N())
+	}
+}
+
+// Candidates must return exactly the documents sharing ≥1 bucket with the
+// query — the same candidate-set law the static engine obeys.
+func TestCandidatesMatchBruteForce(t *testing.T) {
+	fam := testFamily(t)
+	p := fam.Params()
+	d := New(fam, 4)
+	vs := docs(200, 2000, 3)
+	d.Insert(vs)
+	seen := bitvec.New(d.Len())
+	queries := docs(20, 2000, 9)
+	for qi, q := range queries {
+		qsk := fam.Sketch(q)
+		cand, collisions := d.Candidates(qsk, seen, nil)
+		seen.ResetList(cand)
+
+		want := map[uint32]bool{}
+		wantCollisions := 0
+		for i, v := range vs {
+			dsk := fam.Sketch(v)
+			matches := 0
+			for j := 0; j < p.M; j++ {
+				if qsk[j] == dsk[j] {
+					matches++
+				}
+			}
+			if matches >= 2 {
+				want[uint32(i)] = true
+				wantCollisions += matches * (matches - 1) / 2
+			}
+		}
+		if len(cand) != len(want) {
+			t.Fatalf("query %d: %d candidates, want %d", qi, len(cand), len(want))
+		}
+		for _, id := range cand {
+			if !want[id] {
+				t.Fatalf("query %d: unexpected candidate %d", qi, id)
+			}
+		}
+		if collisions != wantCollisions {
+			t.Fatalf("query %d: collisions %d, want %d", qi, collisions, wantCollisions)
+		}
+	}
+}
+
+func TestCandidatesDeduplicated(t *testing.T) {
+	fam := testFamily(t)
+	d := New(fam, 1)
+	vs := docs(100, 2000, 5)
+	d.Insert(vs)
+	seen := bitvec.New(d.Len())
+	// Query with an indexed document: it collides in all L tables but must
+	// appear once.
+	qsk := fam.Sketch(vs[7])
+	cand, collisions := d.Candidates(qsk, seen, nil)
+	if collisions < fam.Params().L() {
+		t.Fatalf("self query should collide in all %d tables, got %d", fam.Params().L(), collisions)
+	}
+	counts := map[uint32]int{}
+	for _, id := range cand {
+		counts[id]++
+	}
+	if counts[7] != 1 {
+		t.Fatalf("self appears %d times", counts[7])
+	}
+	seen.ResetList(cand)
+	if seen.Count() != 0 {
+		t.Fatal("ResetList contract violated")
+	}
+}
+
+func TestInsertParallelMatchesSerial(t *testing.T) {
+	fam := testFamily(t)
+	vs := docs(300, 2000, 7)
+	d1 := New(fam, 1)
+	d8 := New(fam, 8)
+	d1.Insert(vs)
+	d8.Insert(vs)
+	seen1 := bitvec.New(300)
+	seen8 := bitvec.New(300)
+	for _, q := range docs(10, 2000, 11) {
+		qsk := fam.Sketch(q)
+		c1, n1 := d1.Candidates(qsk, seen1, nil)
+		c8, n8 := d8.Candidates(qsk, seen8, nil)
+		seen1.ResetList(c1)
+		seen8.ResetList(c8)
+		if n1 != n8 || len(c1) != len(c8) {
+			t.Fatalf("parallel insert diverged: %d/%d vs %d/%d", n1, len(c1), n8, len(c8))
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	fam := testFamily(t)
+	d := New(fam, 2)
+	vs := docs(50, 2000, 13)
+	d.Insert(vs)
+	d.Reset()
+	if d.Len() != 0 || d.Sketches().N() != 0 {
+		t.Fatal("Reset did not empty table")
+	}
+	seen := bitvec.New(64)
+	cand, collisions := d.Candidates(fam.Sketch(vs[0]), seen, nil)
+	if len(cand) != 0 || collisions != 0 {
+		t.Fatal("candidates survive Reset")
+	}
+	// Table must be reusable.
+	d.Insert(vs[:10])
+	if d.Len() != 10 {
+		t.Fatal("table unusable after Reset")
+	}
+}
+
+func TestSketchesMatchFamily(t *testing.T) {
+	fam := testFamily(t)
+	d := New(fam, 2)
+	vs := docs(40, 2000, 17)
+	d.Insert(vs[:15])
+	d.Insert(vs[15:])
+	for i, v := range vs {
+		want := fam.Sketch(v)
+		for j := range want {
+			if d.Sketches().At(i, j) != want[j] {
+				t.Fatalf("sketch %d fn %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestMemoryBytesGrows(t *testing.T) {
+	fam := testFamily(t)
+	d := New(fam, 1)
+	before := d.MemoryBytes()
+	d.Insert(docs(100, 2000, 19))
+	if d.MemoryBytes() <= before {
+		t.Fatal("MemoryBytes did not grow after insert")
+	}
+}
+
+func TestEmptyInsert(t *testing.T) {
+	fam := testFamily(t)
+	d := New(fam, 2)
+	if first := d.Insert(nil); first != 0 {
+		t.Fatalf("empty insert returned %d", first)
+	}
+	if d.Len() != 0 {
+		t.Fatal("empty insert changed Len")
+	}
+}

@@ -1,0 +1,89 @@
+package expr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOptions keeps every experiment under a second or two.
+func tinyOptions() Options {
+	return Options{
+		N:       1500,
+		Dim:     5000,
+		K:       8,
+		M:       6,
+		Queries: 40,
+		Radius:  0.9,
+		Seed:    42,
+	}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	markers := map[string][]string{
+		"table2":    {"exhaustive", "inverted index", "plsh", "speedup"},
+		"fig4":      {"no optimizations", "+2-level hashtable", "+shared tables", "+vectorization"},
+		"fig5":      {"no optimizations", "+bitvector", "+optimized sparse DP", "+sw prefetch", "+large pages"},
+		"fig6":      {"hashing", "step I1", "step I3", "bitvector (Q2)", "search (Q3)"},
+		"fig7":      {"twitter", "wikipedia", "(12,21)", "(18,55)"},
+		"fig8":      {"threads", "init", "query"},
+		"fig9":      {"nodes", "imbalance"},
+		"fig10":     {"batch size", "latency", "throughput"},
+		"fig11":     {"100% static reference", "50% static", "90% static"},
+		"streaming": {"insert per", "merge", "overhead"},
+		"recall":    {"measured recall", "model-expected recall"},
+	}
+	o := tinyOptions()
+	for _, r := range All() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			opts := o
+			if r.Name == "fig7" {
+				// fig7 sweeps m up to 55 (L=1485 tables); shrink N further.
+				opts.N = 600
+				opts.Queries = 20
+			}
+			if r.Name == "fig9" {
+				opts.N = 500
+				opts.Queries = 20
+			}
+			var buf bytes.Buffer
+			if err := r.Run(opts, &buf); err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			out := buf.String()
+			for _, m := range markers[r.Name] {
+				if !strings.Contains(out, m) {
+					t.Errorf("%s output missing %q:\n%s", r.Name, m, out)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("table2"); !ok {
+		t.Fatal("table2 not found")
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("nonsense found")
+	}
+	if len(All()) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(All()))
+	}
+}
+
+func TestMinMaxAvg(t *testing.T) {
+	mn, mx, avg := minMaxAvg(nil)
+	if mn != 0 || mx != 0 || avg != 0 {
+		t.Fatal("empty minMaxAvg not zero")
+	}
+	mn, mx, avg = minMaxAvg([]time.Duration{3e6, 1e6, 2e6})
+	if mn != 1e6 || mx != 3e6 || avg != 2e6 {
+		t.Fatalf("minMaxAvg = %v %v %v", mn, mx, avg)
+	}
+}

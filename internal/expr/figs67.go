@@ -1,0 +1,171 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"plsh/internal/core"
+	"plsh/internal/corpus"
+	"plsh/internal/lshhash"
+	"plsh/internal/perfmodel"
+	"plsh/internal/sparse"
+)
+
+// Fig6 reproduces Figure 6: estimated vs actual runtimes for PLSH creation
+// (hashing, Steps I1–I3) and querying (Q2 bitvector, Q3 search). The paper
+// finds the model within 15% on Twitter data (25% on Wikipedia). Estimates
+// here are single-threaded totals, so the measured side uses 1 worker for
+// construction and summed-across-workers phase times for queries.
+func Fig6(o Options, w io.Writer) error {
+	c := o.twitterCorpus()
+	queries := o.queries(c)
+	fam, err := lshFamily(o)
+	if err != nil {
+		return err
+	}
+	header(w, fmt.Sprintf("Figure 6: model vs measured (N=%d, k=%d, m=%d, %d queries)", o.N, o.K, o.M, len(queries)))
+
+	wl := perfmodel.SampleWorkload(c.Mat, min(o.Queries, 1000), min(o.N, 1000), o.Seed+7)
+	cc := perfmodel.DefaultCalibration(o.Dim, wl.MeanNNZ, o.N, o.K, o.M)
+	cc.Seed = o.Seed + 9
+	costs := perfmodel.CalibrateFor(cc)
+	// Query-side constants are fitted from an instrumented reference run at
+	// a deliberately different configuration (N/8 docs, k=12, m=8) and then
+	// extrapolated to (k, m, N) here — the Slaney-style regression the
+	// paper cites (§2).
+	costs, err = costs.FitQuery(c.Mat, perfmodel.FitConfig{Seed: o.Seed + 11})
+	if err != nil {
+		return err
+	}
+
+	// Creation: model vs 1-thread measured phases. GC first so the
+	// measured build does not absorb collection work from corpus
+	// generation and calibration.
+	runtime.GC()
+	buildOpts := core.Defaults()
+	buildOpts.Workers = 1
+	_, tm, err := core.BuildTimed(fam, c.Mat, buildOpts)
+	if err != nil {
+		return err
+	}
+	be := costs.EstimateBuild(wl, o.K, o.M)
+	tb := newTable(w)
+	tb.row("creation phase", "estimated (ms)", "actual (ms)", "error")
+	rows := []struct {
+		name     string
+		est, act float64
+	}{
+		{"hashing", be.HashNS, float64(tm.HashNS)},
+		{"step I1", be.I1NS, float64(tm.I1NS)},
+		{"step I2", be.I2NS, float64(tm.I2NS)},
+		{"step I3", be.I3NS, float64(tm.I3NS)},
+		{"total", be.TotalNS, float64(tm.HashNS + tm.I1NS + tm.I2NS + tm.I3NS)},
+	}
+	for _, r := range rows {
+		tb.row(r.name, msf(r.est), msf(r.act), fmt.Sprintf("%.0f%%", perfmodel.RelativeError(r.est, r.act)*100))
+	}
+	tb.flush()
+
+	// Query: model vs summed phase times on the real engine. One worker:
+	// the model's constants are contention-free per-worker costs (the
+	// paper likewise models per-core work and divides by core count).
+	qOpts := core.QueryDefaults()
+	qOpts.Radius = o.Radius
+	qOpts.Workers = 1
+	qOpts.CollectPhases = true
+	eng := core.NewEngine(core.MustBuild(fam, c.Mat, core.Defaults()), c.Mat, qOpts)
+	eng.QueryBatch(queries[:min(32, len(queries))]) // warm up
+	runtime.GC()
+	ph := bestPhases(eng, queries, 3)
+	qe := costs.EstimateQuery(wl, o.K, o.M)
+	nq := float64(len(queries))
+
+	tb = newTable(w)
+	tb.row("query phase", "estimated (ms)", "actual (ms)", "error")
+	tb.row("bitvector (Q2)", msf(qe.Q2NS*nq), msf(float64(ph.Q2NS)), fmt.Sprintf("%.0f%%", perfmodel.RelativeError(qe.Q2NS*nq, float64(ph.Q2NS))*100))
+	tb.row("search (Q3)", msf(qe.Q3NS*nq), msf(float64(ph.Q3NS)), fmt.Sprintf("%.0f%%", perfmodel.RelativeError(qe.Q3NS*nq, float64(ph.Q3NS))*100))
+	tb.row("total", msf(qe.TotalNS*nq), msf(float64(ph.Q2NS+ph.Q3NS)), fmt.Sprintf("%.0f%%", perfmodel.RelativeError(qe.TotalNS*nq, float64(ph.Q2NS+ph.Q3NS))*100))
+	tb.flush()
+	fmt.Fprintf(w, "paper: model within 15%% (Twitter) / 25%% (Wikipedia)\n")
+	return nil
+}
+
+// bestPhases measures the batch reps times and keeps the per-phase minima
+// (GC and scheduler interference only ever inflate a run).
+func bestPhases(eng *core.Engine, queries []sparse.Vector, reps int) core.PhaseTimes {
+	var best core.PhaseTimes
+	for r := 0; r < reps; r++ {
+		eng.ResetPhases()
+		eng.QueryBatch(queries)
+		ph := eng.Phases()
+		if r == 0 || ph.Q2NS < best.Q2NS {
+			best.Q2NS = ph.Q2NS
+		}
+		if r == 0 || ph.Q3NS < best.Q3NS {
+			best.Q3NS = ph.Q3NS
+		}
+	}
+	return best
+}
+
+// fig7Points are the paper's Figure 7 parameter sweep.
+var fig7Points = []struct{ K, M int }{{12, 21}, {14, 29}, {16, 40}, {18, 55}}
+
+// Fig7 reproduces Figure 7: estimated vs actual query runtimes for the
+// batch across (k, m) points, on both the Twitter-like and Wikipedia-like
+// corpora. The shape to verify: the model tracks the measured times as
+// parameters change (relative ordering preserved), on both datasets.
+func Fig7(o Options, w io.Writer) error {
+	type ds struct {
+		name string
+		col  *corpus.Collection
+	}
+	datasets := []ds{
+		{"twitter", o.twitterCorpus()},
+		{"wikipedia", o.wikipediaCorpus()},
+	}
+	header(w, fmt.Sprintf("Figure 7: model across (k,m) (N=%d, %d queries)", o.N, o.Queries))
+	tb := newTable(w)
+	tb.row("dataset", "(k,m)", "L", "estimated (ms)", "actual (ms)", "error")
+	for _, d := range datasets {
+		queries := d.col.SampleQueries(o.Queries, o.Seed+1)
+		wl := perfmodel.SampleWorkload(d.col.Mat, min(o.Queries, 1000), min(o.N, 1000), o.Seed+7)
+		for _, pt := range fig7Points {
+			cc := perfmodel.DefaultCalibration(o.Dim, wl.MeanNNZ, o.N, pt.K, pt.M)
+			cc.Seed = o.Seed + 9
+			costs := perfmodel.CalibrateFor(cc)
+			costs, err := costs.FitQuery(d.col.Mat, perfmodel.FitConfig{Seed: o.Seed + 11})
+			if err != nil {
+				return err
+			}
+			p := lshhash.Params{Dim: o.Dim, K: pt.K, M: pt.M, Seed: o.Seed}
+			fam, err := lshhash.NewFamily(p)
+			if err != nil {
+				return err
+			}
+			buildOpts := core.Defaults()
+			buildOpts.Workers = o.Workers
+			st, err := core.Build(fam, d.col.Mat, buildOpts)
+			if err != nil {
+				return err
+			}
+			qOpts := core.QueryDefaults()
+			qOpts.Radius = o.Radius
+			qOpts.Workers = 1 // fitted constants are per-worker
+			qOpts.CollectPhases = true
+			eng := core.NewEngine(st, d.col.Mat, qOpts)
+			eng.QueryBatch(queries[:min(32, len(queries))])
+			runtime.GC()
+			ph := bestPhases(eng, queries, 3)
+			actual := float64(ph.Q2NS + ph.Q3NS) // summed CPU-phase time
+			est := costs.EstimateQuery(wl, pt.K, pt.M).TotalNS * float64(len(queries))
+			tb.row(d.name, fmt.Sprintf("(%d,%d)", pt.K, pt.M), p.L(),
+				msf(est), msf(actual),
+				fmt.Sprintf("%.0f%%", perfmodel.RelativeError(est, actual)*100))
+		}
+	}
+	tb.flush()
+	fmt.Fprintf(w, "paper: errors <15%% Twitter, <25%% Wikipedia; relative ordering across (k,m) preserved\n")
+	return nil
+}

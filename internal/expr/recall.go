@@ -1,0 +1,66 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"plsh/internal/core"
+	"plsh/internal/lshhash"
+)
+
+// Recall reproduces the §8.1 accuracy measurement: the fraction of true
+// R-near neighbors (by exhaustive ground truth) that PLSH reports. The
+// paper's parameters guarantee ≥1−δ = 90% and measure 92%. The analytic
+// expectation Σ P′(d)/Σ 1 over the true neighbors' distances is printed
+// alongside — measured recall should track it closely.
+func Recall(o Options, w io.Writer) error {
+	cfg := o
+	c := cfg.twitterCorpus()
+	queries := o.queries(c)
+	fam, err := lshFamily(o)
+	if err != nil {
+		return err
+	}
+	buildOpts := core.Defaults()
+	buildOpts.Workers = o.Workers
+	st, err := core.Build(fam, c.Mat, buildOpts)
+	if err != nil {
+		return err
+	}
+	qOpts := core.QueryDefaults()
+	qOpts.Radius = o.Radius
+	qOpts.Workers = o.Workers
+	eng := core.NewEngine(st, c.Mat, qOpts)
+
+	var truth, found, expected float64
+	for _, q := range queries {
+		exact := core.ExactNeighbors(c.Mat, q, o.Radius)
+		got := map[uint32]bool{}
+		for _, nb := range eng.Query(q) {
+			got[nb.ID] = true
+		}
+		for _, nb := range exact {
+			truth++
+			expected += lshhash.RetrievalProb(nb.Dist, o.K, o.M)
+			if got[nb.ID] {
+				found++
+			}
+		}
+	}
+	header(w, fmt.Sprintf("Recall (§8.1): N=%d, %d queries, R=%.2f, k=%d, m=%d", o.N, len(queries), o.Radius, o.K, o.M))
+	if truth == 0 {
+		fmt.Fprintln(w, "no true neighbors in sample; increase N or near-duplicate rate")
+		return nil
+	}
+	tb := newTable(w)
+	tb.row("quantity", "value")
+	tb.row("true R-near neighbor pairs", int(truth))
+	tb.row("retrieved", int(found))
+	tb.row("measured recall", fmt.Sprintf("%.1f%%", 100*found/truth))
+	tb.row("model-expected recall", fmt.Sprintf("%.1f%%", 100*expected/truth))
+	tb.row("boundary guarantee P'(R)", fmt.Sprintf("%.1f%%", 100*lshhash.RetrievalProb(o.Radius, o.K, o.M)))
+	tb.flush()
+	fmt.Fprintf(w, "paper: 92%% measured at (k=16, m=40), guarantee 90%%; most true neighbors sit\n")
+	fmt.Fprintf(w, "well inside R, where P' exceeds its boundary value — hence measured > guarantee\n")
+	return nil
+}

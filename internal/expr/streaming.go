@@ -1,0 +1,97 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"plsh/internal/core"
+	"plsh/internal/corpus"
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+)
+
+// Streaming reproduces the §8.6 measurements: the cost of inserting
+// 100K-tweet chunks into the delta table (~400 ms in the paper), the worst-
+// case merge (~15 s when static is nearly full), and the resulting share of
+// wall time spent on maintenance at Twitter's 400M tweets/day with M=4
+// insert nodes (~2% in the paper). Chunk and capacity sizes scale with -n.
+func Streaming(o Options, w io.Writer) error {
+	capacity := o.N
+	chunk := max(1, capacity/100) // paper: 100K chunks into C=10M nodes
+	deltaCap := capacity / 10     // η = 0.1
+	header(w, fmt.Sprintf("Streaming (§8.6): C=%d, chunk=%d, η·C=%d", capacity, chunk, deltaCap))
+
+	cfg := node.Config{
+		Params:    o.params(),
+		Capacity:  capacity + 1,
+		AutoMerge: false,
+		Build:     core.Defaults(),
+		Query:     core.QueryDefaults(),
+	}
+	cfg.Build.Workers = o.Workers
+	cfg.Query.Workers = o.Workers
+	cfg.Query.Radius = o.Radius
+	n, err := node.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Fill static to 90% (the worst case of §6.3).
+	stream := corpus.NewStream(corpus.Twitter(0, o.Dim, o.Seed+77))
+	fill := capacity * 9 / 10
+	static := collectVecs(stream, fill)
+	if _, err := n.Insert(static); err != nil {
+		return err
+	}
+	n.MergeNow()
+
+	// Measure chunk inserts into the delta until it reaches η·C.
+	var insertTotal time.Duration
+	chunks := 0
+	for n.DeltaLen()+chunk <= deltaCap {
+		vs := collectVecs(stream, chunk)
+		t0 := time.Now()
+		if _, err := n.Insert(vs); err != nil {
+			return err
+		}
+		insertTotal += time.Since(t0)
+		chunks++
+	}
+	insertPerChunk := insertTotal / time.Duration(max(1, chunks))
+
+	// Worst-case merge: static ~90%, delta full.
+	t0 := time.Now()
+	n.MergeNow()
+	mergeDur := time.Since(t0)
+
+	tb := newTable(w)
+	tb.row("measurement", "value")
+	tb.row(fmt.Sprintf("insert per %d-doc chunk (ms)", chunk), ms(insertPerChunk))
+	tb.row("chunks absorbed before merge", chunks)
+	tb.row("worst-case merge (ms)", ms(mergeDur))
+	tb.flush()
+
+	// Overhead accounting at Twitter rates, scaled: the paper processes
+	// 400M tweets/day over M=4 insert nodes; each node absorbs η·C tweets
+	// between merges. Maintenance fraction = (insert+merge time per η·C
+	// tweets) / (wall time for η·C tweets to arrive at the node).
+	const tweetsPerDay = 400e6
+	const insertNodes = 4.0
+	perNodeRate := tweetsPerDay / 86400 / insertNodes // tweets/s at one node
+	arrivalWindow := float64(deltaCap) / perNodeRate  // seconds between merges
+	maintenance := insertTotal.Seconds() + mergeDur.Seconds()
+	fmt.Fprintf(w, "at Twitter rates (400M/day, M=4): η·C=%d tweets arrive in %.0f s;\n", deltaCap, arrivalWindow)
+	fmt.Fprintf(w, "maintenance (inserts+merge) = %.2f s → %.2f%% overhead\n",
+		maintenance, 100*maintenance/arrivalWindow)
+	fmt.Fprintf(w, "paper: 400 ms per 100K chunk, 15 s worst-case merge, ≈2%% total overhead\n")
+	return nil
+}
+
+func collectVecs(s *corpus.Stream, n int) []sparse.Vector {
+	out := make([]sparse.Vector, n)
+	for i := range out {
+		out[i] = s.NextVector()
+	}
+	return out
+}

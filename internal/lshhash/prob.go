@@ -1,0 +1,60 @@
+package lshhash
+
+import "math"
+
+// CollisionProb returns p(t) = 1 − t/π, the probability that two unit
+// vectors at angle t collide under one random-hyperplane hash bit (§3).
+func CollisionProb(t float64) float64 {
+	p := 1 - t/math.Pi
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// HalfCollisionProb returns p(t)^(k/2), the probability that a k/2-bit
+// function u_i agrees on two points at angle t.
+func HalfCollisionProb(t float64, k int) float64 {
+	return math.Pow(CollisionProb(t), float64(k)/2)
+}
+
+// RetrievalProb returns P′(t, k, m): the probability that a point at angle
+// t from the query is retrieved by the all-pairs scheme, i.e. that at least
+// two of the m functions u_i collide (§7.2):
+//
+//	P′ = 1 − (1−q)^m − m·q·(1−q)^(m−1),  q = p(t)^(k/2).
+func RetrievalProb(t float64, k, m int) float64 {
+	q := HalfCollisionProb(t, k)
+	miss := math.Pow(1-q, float64(m))
+	one := float64(m) * q * math.Pow(1-q, float64(m-1))
+	p := 1 - miss - one
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// TableCollisionProb returns p(t)^k, the probability that one specific
+// table g_{a,b} places a point at angle t in the query's bucket. The
+// expected total collision count across tables is L·p(t)^k (Eq. 7.1).
+func TableCollisionProb(t float64, k int) float64 {
+	return math.Pow(CollisionProb(t), float64(k))
+}
+
+// MinMForRecall returns the smallest m ≥ 2 such that
+// RetrievalProb(R, k, m) ≥ 1−δ, or (0, false) if none exists below limit.
+// This is the inner step of the §7.3 parameter enumeration.
+func MinMForRecall(radius, delta float64, k, limit int) (int, bool) {
+	for m := 2; m <= limit; m++ {
+		if RetrievalProb(radius, k, m) >= 1-delta {
+			return m, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,349 @@
+// Package node combines a static PLSH index with a streaming delta table
+// into one single-node store — the per-node architecture of §4 and §6.
+//
+// A node owns one contiguous document arena. Rows [0, staticLen) are
+// covered by the optimized static index; rows [staticLen, total) live in
+// the insert-optimized delta table. Queries consult both and concatenate
+// the answers (the two structures hold disjoint documents, so no cross-
+// structure deduplication is needed). When the delta reaches η·C the node
+// merges: the static structure is rebuilt over all rows — the paper shows
+// rebuild is within 2.67× of any possible merge scheme (§6.2) — and the
+// delta is emptied. Queries arriving during a merge block until it
+// completes ("queries received during the merge are buffered until the
+// merge completes").
+//
+// Deletions set a bit in a capacity-sized bitvector consulted before the
+// final distance filter (§6.2); retirement erases the node wholesale when
+// the cluster's rolling insert window moves past it.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"plsh/internal/bitvec"
+	"plsh/internal/core"
+	"plsh/internal/delta"
+	"plsh/internal/lshhash"
+	"plsh/internal/sparse"
+)
+
+// ErrFull is returned by Insert when accepting the batch would exceed the
+// node's capacity; the caller (the cluster's insert window) must advance to
+// the next node.
+var ErrFull = errors.New("node: capacity reached")
+
+// Config parameterizes a node.
+type Config struct {
+	// Params is the LSH family configuration shared by static and delta.
+	Params lshhash.Params
+	// Capacity is C, the maximum number of documents the node holds.
+	Capacity int
+	// DeltaFraction is η: the delta is merged into the static structure
+	// once it exceeds η·C (paper: 0.1, chosen so worst-case query time
+	// stays within 1.5× of static, §6.3).
+	DeltaFraction float64
+	// AutoMerge, when false, disables the η trigger so experiments can
+	// hold a chosen static/delta split (Fig. 11). MergeNow still works.
+	AutoMerge bool
+	// Build configures static (re)construction.
+	Build core.BuildOptions
+	// Query configures the static query path; Radius also applies to the
+	// delta path.
+	Query core.QueryOptions
+	// Seed feeds the hash family if Params.Seed is zero.
+	Seed uint64
+}
+
+// withDefaults normalizes cfg.
+func (cfg Config) withDefaults() Config {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1 << 20
+	}
+	if cfg.DeltaFraction <= 0 || cfg.DeltaFraction > 1 {
+		cfg.DeltaFraction = 0.1
+	}
+	if cfg.Params.Seed == 0 {
+		cfg.Params.Seed = cfg.Seed
+	}
+	if cfg.Query.Radius <= 0 {
+		cfg.Query.Radius = 0.9
+	}
+	return cfg
+}
+
+// Stats summarizes a node's state and accumulated maintenance costs.
+type Stats struct {
+	StaticLen    int
+	DeltaLen     int
+	Capacity     int
+	Deleted      int
+	Merges       int
+	LastMergeDur time.Duration
+	TotalMergeNS int64
+	InsertNS     int64
+	MemoryBytes  int64
+}
+
+// Node is a single-node PLSH store. All exported methods are safe for
+// concurrent use: queries share a read lock; inserts, merges, deletions and
+// retirement serialize behind the write lock (which is what buffers queries
+// during merges).
+type Node struct {
+	mu  sync.RWMutex
+	cfg Config
+	fam *lshhash.Family
+
+	store   *sparse.Matrix // all documents, arena layout
+	static  *core.Static   // over rows [0, staticLen)
+	eng     *core.Engine
+	dt      *delta.Table // rows [staticLen, store.Rows())
+	deleted *bitvec.Vector
+	nStatic int
+
+	// dwsPool recycles delta-side query workspaces, mirroring the static
+	// engine's private-bitvector-per-query design.
+	dwsPool sync.Pool
+
+	merges       int
+	lastMergeDur time.Duration
+	totalMergeNS int64
+	insertNS     int64
+}
+
+type deltaWorkspace struct {
+	seen   *bitvec.Vector
+	cand   []uint32
+	mask   *sparse.QueryMask
+	scores []float32
+	sketch []uint32
+}
+
+// New builds an empty node.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	fam, err := lshhash.NewFamily(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     cfg,
+		fam:     fam,
+		store:   sparse.NewMatrix(cfg.Params.Dim, cfg.Capacity, int(float64(cfg.Capacity)*8)),
+		dt:      delta.New(fam, cfg.Build.Workers),
+		deleted: bitvec.New(cfg.Capacity),
+	}
+	n.dwsPool.New = func() any {
+		return &deltaWorkspace{
+			seen:   bitvec.New(1024),
+			scores: make([]float32, cfg.Params.NumFuncs()),
+			sketch: make([]uint32, cfg.Params.M),
+			mask:   sparse.NewQueryMask(cfg.Params.Dim),
+		}
+	}
+	n.rebuild()
+	return n, nil
+}
+
+// rebuild reconstructs the static index over every stored row. Callers hold
+// the write lock (or are in New).
+func (n *Node) rebuild() {
+	st, err := core.Build(n.fam, n.store, n.cfg.Build)
+	if err != nil {
+		// The store and family share Dim by construction; this is
+		// unreachable absent memory corruption.
+		panic(fmt.Sprintf("node: rebuild failed: %v", err))
+	}
+	n.static = st
+	n.nStatic = n.store.Rows()
+	eng := core.NewEngine(st, n.store, n.cfg.Query)
+	eng.SetDeleted(n.deleted)
+	n.eng = eng
+	n.dt.Reset()
+}
+
+// Len returns the number of live rows (including deleted-but-present ones).
+func (n *Node) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.store.Rows()
+}
+
+// StaticLen returns the number of rows covered by the static index.
+func (n *Node) StaticLen() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.nStatic
+}
+
+// DeltaLen returns the number of rows in the delta table.
+func (n *Node) DeltaLen() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.dt.Len()
+}
+
+// Capacity returns C.
+func (n *Node) Capacity() int { return n.cfg.Capacity }
+
+// Family exposes the node's hash family (shared with tests and the model).
+func (n *Node) Family() *lshhash.Family { return n.fam }
+
+// Insert appends a batch of documents, returning their node-local IDs.
+// The batch must fit the remaining capacity, else ErrFull and nothing is
+// inserted. An automatic merge runs if the delta exceeds η·C.
+func (n *Node) Insert(vs []sparse.Vector) ([]uint32, error) {
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.store.Rows()+len(vs) > n.cfg.Capacity {
+		return nil, ErrFull
+	}
+	t0 := time.Now()
+	ids := make([]uint32, len(vs))
+	for i, v := range vs {
+		ids[i] = uint32(n.store.AppendRow(v))
+	}
+	n.dt.Insert(vs)
+	n.insertNS += int64(time.Since(t0))
+	if n.cfg.AutoMerge && float64(n.dt.Len()) > n.cfg.DeltaFraction*float64(n.cfg.Capacity) {
+		n.mergeLocked()
+	}
+	return ids, nil
+}
+
+// MergeNow forces a merge of the delta into the static structure.
+func (n *Node) MergeNow() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mergeLocked()
+}
+
+func (n *Node) mergeLocked() {
+	if n.dt.Len() == 0 {
+		return
+	}
+	t0 := time.Now()
+	n.rebuild()
+	n.lastMergeDur = time.Since(t0)
+	n.totalMergeNS += int64(n.lastMergeDur)
+	n.merges++
+}
+
+// Delete marks a node-local ID as deleted; it will not be returned by
+// queries. Deleting an out-of-range ID is a no-op.
+func (n *Node) Delete(id uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(id) < n.store.Rows() {
+		n.deleted.Set(int(id))
+	}
+}
+
+// Retire erases the node's contents (the rolling-window expiration of §6:
+// "the contents of the these nodes are erased"), retaining the hash family
+// and capacity.
+func (n *Node) Retire() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.store.Reset()
+	n.deleted.Reset()
+	n.rebuild()
+	n.merges = 0
+	n.lastMergeDur = 0
+	n.totalMergeNS = 0
+	n.insertNS = 0
+}
+
+// Stats returns a snapshot of the node's state.
+func (n *Node) Stats() Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return Stats{
+		StaticLen:    n.nStatic,
+		DeltaLen:     n.dt.Len(),
+		Capacity:     n.cfg.Capacity,
+		Deleted:      n.deleted.Count(),
+		Merges:       n.merges,
+		LastMergeDur: n.lastMergeDur,
+		TotalMergeNS: n.totalMergeNS,
+		InsertNS:     n.insertNS,
+		MemoryBytes:  n.static.MemoryBytes() + n.dt.MemoryBytes() + n.store.MemoryBytes(),
+	}
+}
+
+// Query answers one R-near-neighbor query over static + delta contents.
+func (n *Node) Query(q sparse.Vector) []core.Neighbor {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.queryLocked(q)
+}
+
+// QueryBatch answers a batch in parallel (work stealing over queries, as in
+// §5.2), each worker consulting both the static and delta structures.
+func (n *Node) QueryBatch(qs []sparse.Vector) [][]core.Neighbor {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([][]core.Neighbor, len(qs))
+	n.eng.Pool().Run(len(qs), func(task, _ int) {
+		out[task] = n.queryLocked(qs[task])
+	})
+	return out
+}
+
+// queryLocked runs the combined static+delta query. Callers hold at least
+// the read lock.
+func (n *Node) queryLocked(q sparse.Vector) []core.Neighbor {
+	if q.NNZ() == 0 {
+		return nil
+	}
+	res := n.eng.Query(q)
+	if n.dt.Len() == 0 {
+		return res
+	}
+	ws := n.dwsPool.Get().(*deltaWorkspace)
+	defer n.dwsPool.Put(ws)
+	n.fam.SketchInto(q, ws.scores, ws.sketch)
+	ws.seen = ws.seen.Grow(n.dt.Len())
+	ws.cand, _ = n.dt.Candidates(ws.sketch, ws.seen, ws.cand[:0])
+	ws.seen.ResetList(ws.cand)
+	thr := sparse.CosThreshold(n.cfg.Query.Radius)
+	useMask := n.cfg.Query.OptimizedDP
+	if useMask {
+		ws.mask.Scatter(q)
+	}
+	for _, localID := range ws.cand {
+		globalID := uint32(n.nStatic) + localID
+		if n.deleted.Test(int(globalID)) {
+			continue
+		}
+		idx, val := n.store.Doc(int(globalID))
+		var dot float64
+		if useMask {
+			dot = ws.mask.Dot(idx, val)
+		} else {
+			dot = sparse.Dot(q, sparse.Vector{Idx: idx, Val: val})
+		}
+		if dot >= thr {
+			res = append(res, core.Neighbor{ID: globalID, Dist: sparse.AngularDistance(dot)})
+		}
+	}
+	if useMask {
+		ws.mask.Unscatter()
+	}
+	return res
+}
+
+// Doc returns document id's vector (shared storage; do not modify).
+func (n *Node) Doc(id uint32) sparse.Vector {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.store.Row(int(id))
+}

@@ -1,0 +1,315 @@
+package node
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"plsh/internal/core"
+	"plsh/internal/corpus"
+	"plsh/internal/lshhash"
+	"plsh/internal/sparse"
+)
+
+func testConfig(capacity int) Config {
+	return Config{
+		Params:        lshhash.Params{Dim: 2000, K: 8, M: 6, Seed: 42},
+		Capacity:      capacity,
+		DeltaFraction: 0.1,
+		AutoMerge:     true,
+		Build:         core.Defaults(),
+		Query:         core.QueryDefaults(),
+	}
+}
+
+func testDocs(n int, seed uint64) []sparse.Vector {
+	c := corpus.Generate(corpus.Twitter(n, 2000, seed))
+	out := make([]sparse.Vector, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.Mat.Row(i)
+	}
+	return out
+}
+
+func neighborIDs(ns []core.Neighbor) map[uint32]bool {
+	m := map[uint32]bool{}
+	for _, nb := range ns {
+		m[nb.ID] = true
+	}
+	return m
+}
+
+func TestInsertQueryRoundTrip(t *testing.T) {
+	n, err := New(testConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(200, 1)
+	ids, err := n.Insert(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 200 || ids[0] != 0 || ids[199] != 199 {
+		t.Fatalf("bad IDs: %v...%v", ids[0], ids[199])
+	}
+	// Every inserted doc must find itself.
+	for i := 0; i < 200; i += 11 {
+		got := neighborIDs(n.Query(vs[i]))
+		if !got[uint32(i)] {
+			t.Fatalf("doc %d not found after insert", i)
+		}
+	}
+}
+
+// The central streaming invariant: a node with any static/delta split
+// answers exactly like a fully static node over the same data.
+func TestStaticDeltaSplitEquivalence(t *testing.T) {
+	vs := testDocs(400, 3)
+	queries := testDocs(30, 9)
+
+	// Reference: everything static.
+	ref, _ := New(testConfig(1000))
+	if _, err := ref.Insert(vs); err != nil {
+		t.Fatal(err)
+	}
+	ref.MergeNow()
+	if ref.DeltaLen() != 0 || ref.StaticLen() != 400 {
+		t.Fatalf("reference not fully static: %d/%d", ref.StaticLen(), ref.DeltaLen())
+	}
+
+	// Subject: half static, half delta (AutoMerge off to hold the split).
+	cfg := testConfig(1000)
+	cfg.AutoMerge = false
+	sub, _ := New(cfg)
+	if _, err := sub.Insert(vs[:200]); err != nil {
+		t.Fatal(err)
+	}
+	sub.MergeNow()
+	if _, err := sub.Insert(vs[200:]); err != nil {
+		t.Fatal(err)
+	}
+	if sub.StaticLen() != 200 || sub.DeltaLen() != 200 {
+		t.Fatalf("split not held: %d/%d", sub.StaticLen(), sub.DeltaLen())
+	}
+
+	for qi, q := range queries {
+		a := ref.Query(q)
+		b := sub.Query(q)
+		core.SortNeighbors(a)
+		core.SortNeighbors(b)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: static-only %d results, split %d", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("query %d result %d: %d vs %d", qi, i, a[i].ID, b[i].ID)
+			}
+		}
+	}
+}
+
+func TestAutoMergeTriggers(t *testing.T) {
+	cfg := testConfig(1000) // η·C = 100
+	n, _ := New(cfg)
+	vs := testDocs(250, 5)
+	if _, err := n.Insert(vs[:90]); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().Merges != 0 {
+		t.Fatal("merge before threshold")
+	}
+	if _, err := n.Insert(vs[90:150]); err != nil { // delta 150 > 100 → merge
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Merges != 1 {
+		t.Fatalf("Merges = %d, want 1", st.Merges)
+	}
+	if st.StaticLen != 150 || st.DeltaLen != 0 {
+		t.Fatalf("post-merge state: %d/%d", st.StaticLen, st.DeltaLen)
+	}
+	// Data still queryable after merge.
+	got := neighborIDs(n.Query(vs[120]))
+	if !got[120] {
+		t.Fatal("doc lost in merge")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	n, _ := New(testConfig(100))
+	vs := testDocs(150, 7)
+	if _, err := n.Insert(vs[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Insert(vs[100:]); !errors.Is(err, ErrFull) {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+	if n.Len() != 100 {
+		t.Fatalf("failed insert mutated node: Len = %d", n.Len())
+	}
+}
+
+func TestDeleteExcludesFromBothStructures(t *testing.T) {
+	cfg := testConfig(1000)
+	cfg.AutoMerge = false
+	n, _ := New(cfg)
+	vs := testDocs(100, 11)
+	n.Insert(vs[:50])
+	n.MergeNow() // ids 0..49 static
+	n.Insert(vs[50:])
+	// Delete one static and one delta doc.
+	n.Delete(10)
+	n.Delete(75)
+	if got := neighborIDs(n.Query(vs[10])); got[10] {
+		t.Fatal("deleted static doc returned")
+	}
+	if got := neighborIDs(n.Query(vs[75])); got[75] {
+		t.Fatal("deleted delta doc returned")
+	}
+	if n.Stats().Deleted != 2 {
+		t.Fatalf("Deleted = %d", n.Stats().Deleted)
+	}
+	// Deletion survives a merge (the bitvector is positional and rows are
+	// preserved in order).
+	n.MergeNow()
+	if got := neighborIDs(n.Query(vs[75])); got[75] {
+		t.Fatal("deleted doc resurfaced after merge")
+	}
+}
+
+func TestRetire(t *testing.T) {
+	n, _ := New(testConfig(500))
+	vs := testDocs(200, 13)
+	n.Insert(vs)
+	n.Delete(5)
+	n.Retire()
+	st := n.Stats()
+	if st.StaticLen != 0 || st.DeltaLen != 0 || st.Deleted != 0 || st.Merges != 0 {
+		t.Fatalf("retire left state: %+v", st)
+	}
+	if res := n.Query(vs[0]); len(res) != 0 {
+		t.Fatal("retired node still answers")
+	}
+	// Node is reusable after retirement.
+	if _, err := n.Insert(vs[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if got := neighborIDs(n.Query(vs[20])); !got[20] {
+		t.Fatal("node unusable after retire")
+	}
+}
+
+func TestQueryBatchMatchesSingles(t *testing.T) {
+	cfg := testConfig(1000)
+	cfg.AutoMerge = false
+	n, _ := New(cfg)
+	vs := testDocs(300, 15)
+	n.Insert(vs[:150])
+	n.MergeNow()
+	n.Insert(vs[150:])
+	queries := testDocs(25, 17)
+	batch := n.QueryBatch(queries)
+	for i, q := range queries {
+		single := n.Query(q)
+		core.SortNeighbors(single)
+		got := append([]core.Neighbor(nil), batch[i]...)
+		core.SortNeighbors(got)
+		if len(single) != len(got) {
+			t.Fatalf("query %d: %d vs %d", i, len(single), len(got))
+		}
+		for j := range single {
+			if single[j].ID != got[j].ID {
+				t.Fatalf("query %d result %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestConcurrentQueriesAndInserts(t *testing.T) {
+	cfg := testConfig(5000)
+	n, _ := New(cfg)
+	vs := testDocs(2000, 19)
+	n.Insert(vs[:500])
+	queries := testDocs(20, 21)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				q := queries[(g*20+rep)%len(queries)]
+				n.Query(q)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 500; i+50 <= 2000; i += 50 {
+			if _, err := n.Insert(vs[i : i+50]); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if n.Len() != 2000 {
+		t.Fatalf("Len = %d after concurrent run", n.Len())
+	}
+	// All docs findable afterwards.
+	for i := 0; i < 2000; i += 199 {
+		if got := neighborIDs(n.Query(vs[i])); !got[uint32(i)] {
+			t.Fatalf("doc %d lost", i)
+		}
+	}
+}
+
+func TestStatsTrackMaintenance(t *testing.T) {
+	n, _ := New(testConfig(1000))
+	vs := testDocs(300, 23)
+	n.Insert(vs) // triggers ≥1 auto-merge (η·C = 100)
+	st := n.Stats()
+	if st.Merges < 1 {
+		t.Fatalf("Merges = %d", st.Merges)
+	}
+	if st.TotalMergeNS <= 0 || st.InsertNS <= 0 {
+		t.Fatalf("maintenance times not tracked: %+v", st)
+	}
+	if st.MemoryBytes <= 0 {
+		t.Fatal("MemoryBytes not reported")
+	}
+}
+
+func TestDocReturnsStoredVector(t *testing.T) {
+	n, _ := New(testConfig(100))
+	vs := testDocs(10, 25)
+	ids, _ := n.Insert(vs)
+	for i, id := range ids {
+		got := n.Doc(id)
+		if got.NNZ() != vs[i].NNZ() {
+			t.Fatalf("doc %d NNZ mismatch", i)
+		}
+		for j := range got.Idx {
+			if got.Idx[j] != vs[i].Idx[j] || got.Val[j] != vs[i].Val[j] {
+				t.Fatalf("doc %d content mismatch", i)
+			}
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := testConfig(100)
+	cfg.Params.K = 7 // odd
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestEmptyInsertNoop(t *testing.T) {
+	n, _ := New(testConfig(100))
+	ids, err := n.Insert(nil)
+	if err != nil || ids != nil {
+		t.Fatalf("empty insert: ids=%v err=%v", ids, err)
+	}
+}

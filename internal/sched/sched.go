@@ -1,0 +1,167 @@
+// Package sched provides the parallel execution substrate PLSH runs on: a
+// work-stealing task pool and a static parallel-for.
+//
+// The paper parallelizes second-level partition construction and query
+// batches with "work-stealing task queues" (§5.1.2, §5.2) because both
+// workloads are irregular — one hash bucket or one query can cost far more
+// than another. Hashing and histogram phases, by contrast, are uniform per
+// item and use a static contiguous split (§5.1.1, "parallelized over the
+// data items").
+//
+// Workers own contiguous index ranges and steal half the remaining range of
+// a victim when they run dry, which keeps owner-side synchronization to one
+// mutex acquisition per pop while bounding imbalance.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool executes batches of indexed tasks across a fixed number of workers.
+// A Pool is stateless between calls and safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a Pool with the given worker count; workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// queue is one worker's remaining range [lo, hi).
+type queue struct {
+	mu sync.Mutex
+	lo int
+	hi int
+	_  [5]uint64 // pad to a cache line to avoid false sharing between queues
+}
+
+// pop takes the next task from the owner's end, returning ok=false when the
+// queue is empty.
+func (q *queue) pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.lo >= q.hi {
+		return 0, false
+	}
+	t := q.lo
+	q.lo++
+	return t, true
+}
+
+// stealHalf transfers the upper half of q's remaining range to the caller.
+func (q *queue) stealHalf() (lo, hi int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.hi - q.lo
+	if n <= 0 {
+		return 0, 0, false
+	}
+	take := (n + 1) / 2
+	hi = q.hi
+	lo = q.hi - take
+	q.hi = lo
+	return lo, hi, true
+}
+
+// push installs a freshly stolen range as the worker's own queue.
+func (q *queue) push(lo, hi int) {
+	q.mu.Lock()
+	q.lo, q.hi = lo, hi
+	q.mu.Unlock()
+}
+
+// Run executes fn(task, worker) for every task in [0, n), distributing tasks
+// over the pool's workers with range stealing. fn invocations for distinct
+// tasks may run concurrently; Run returns after all complete.
+func (p *Pool) Run(n int, fn func(task, worker int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for t := 0; t < n; t++ {
+			fn(t, 0)
+		}
+		return
+	}
+	queues := make([]queue, w)
+	for i := range queues {
+		queues[i].lo = i * n / w
+		queues[i].hi = (i + 1) * n / w
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(self int) {
+			defer wg.Done()
+			// Per-worker deterministic victim cursor; contention, not
+			// randomness quality, is what matters here.
+			victim := self
+			for {
+				if t, ok := queues[self].pop(); ok {
+					fn(t, self)
+					continue
+				}
+				// Empty: try to steal half of someone's remaining range.
+				stolen := false
+				for tries := 0; tries < w-1; tries++ {
+					victim++
+					if victim >= w {
+						victim = 0
+					}
+					if victim == self {
+						continue
+					}
+					if lo, hi, ok := queues[victim].stealHalf(); ok {
+						// Run the first stolen task immediately; queue the rest.
+						queues[self].push(lo+1, hi)
+						fn(lo, self)
+						stolen = true
+						break
+					}
+				}
+				if !stolen {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Static executes fn(lo, hi, worker) over an even contiguous split of
+// [0, n) — the barrier-style parallel-for used for uniform per-item phases.
+func (p *Pool) Static(n int, fn func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(self int) {
+			defer wg.Done()
+			fn(self*n/w, (self+1)*n/w, self)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,109 @@
+package sparse
+
+// QueryMask is the §5.2.3 query-side structure: a dense value array over the
+// vocabulary plus an occupancy mask, giving O(1) lookups per candidate
+// non-zero during Step Q3. The paper stores the mask as a bitvector over the
+// 500K-word vocabulary (fits in L2); we pair it with a dense float array so
+// the matched IDF score is one indexed load away.
+//
+// A QueryMask is scatter/unscatter-recycled across the queries a worker
+// processes, so the dense arrays are allocated once per worker.
+type QueryMask struct {
+	vals []float32
+	mask []uint64
+	// scattered remembers the active query's indexes for O(NNZ) unscatter.
+	scattered []uint32
+}
+
+// NewQueryMask returns a mask for dimensionality dim.
+func NewQueryMask(dim int) *QueryMask {
+	return &QueryMask{
+		vals: make([]float32, dim),
+		mask: make([]uint64, (dim+63)/64),
+	}
+}
+
+// Scatter loads query q into the mask. Any previously scattered query is
+// removed first.
+func (qm *QueryMask) Scatter(q Vector) {
+	qm.Unscatter()
+	for i, c := range q.Idx {
+		qm.vals[c] = q.Val[i]
+		qm.mask[c>>6] |= 1 << (uint64(c) & 63)
+	}
+	qm.scattered = append(qm.scattered[:0], q.Idx...)
+}
+
+// Unscatter removes the active query from the mask in O(NNZ).
+func (qm *QueryMask) Unscatter() {
+	for _, c := range qm.scattered {
+		qm.vals[c] = 0
+		qm.mask[c>>6] &^= 1 << (uint64(c) & 63)
+	}
+	qm.scattered = qm.scattered[:0]
+}
+
+// Dot computes the dot product between the scattered query and a candidate
+// document given as parallel index/value slices. Each candidate non-zero
+// costs one mask probe; only ~8% of probes hit for Twitter data (§5.2.3),
+// so the common path is a single bit test.
+func (qm *QueryMask) Dot(idx []uint32, val []float32) float64 {
+	var s float64
+	for i, c := range idx {
+		if qm.mask[c>>6]&(1<<(uint64(c)&63)) != 0 {
+			s += float64(val[i]) * float64(qm.vals[c])
+		}
+	}
+	return s
+}
+
+// DotSparseDense computes the dot product of a sparse vector (idx, val)
+// against a dense column vector. This is the inner kernel of LSH hashing
+// (§5.1.1): each hash bit is sign(sparse · hyperplane).
+func DotSparseDense(idx []uint32, val []float32, dense []float32) float32 {
+	var s float32
+	for i, c := range idx {
+		s += val[i] * dense[c]
+	}
+	return s
+}
+
+// DotSparseDense4 computes four sparse×dense dot products against four
+// dense vectors simultaneously. Processing hyperplanes in groups of four
+// amortizes the sparse-side loads and lets the compiler keep accumulators
+// in registers — the portable stand-in for the paper's AVX vectorization of
+// the hashing phase (Fig. 4, "+vectorization").
+func DotSparseDense4(idx []uint32, val []float32, d0, d1, d2, d3 []float32) (s0, s1, s2, s3 float32) {
+	for i, c := range idx {
+		v := val[i]
+		s0 += v * d0[c]
+		s1 += v * d1[c]
+		s2 += v * d2[c]
+		s3 += v * d3[c]
+	}
+	return
+}
+
+// DotSparseDenseStride computes a sparse vector against nCols dense columns
+// stored row-major in one plane slab: plane[c*stride+j] is column j of
+// vocabulary row c. Touching one contiguous slab row per non-zero maximizes
+// spatial locality exactly as §5.1.1 prescribes ("at least one row of the
+// dense matrix is read consecutively"). Results are accumulated into out,
+// which must have length ≥ nCols and arrive zeroed.
+func DotSparseDenseStride(idx []uint32, val []float32, plane []float32, stride, nCols int, out []float32) {
+	// Four-way unrolled across columns; handles the tail scalar-wise.
+	for i, c := range idx {
+		v := val[i]
+		row := plane[int(c)*stride : int(c)*stride+nCols]
+		j := 0
+		for ; j+4 <= nCols; j += 4 {
+			out[j] += v * row[j]
+			out[j+1] += v * row[j+1]
+			out[j+2] += v * row[j+2]
+			out[j+3] += v * row[j+3]
+		}
+		for ; j < nCols; j++ {
+			out[j] += v * row[j]
+		}
+	}
+}

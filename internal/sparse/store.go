@@ -1,0 +1,63 @@
+package sparse
+
+// Store abstracts the read path of a document collection for the query
+// engine's Step Q3: fetch candidate i's non-zeros and compute a distance.
+// Two implementations exist so the Fig. 5 "+large pages" ablation can
+// compare memory layouts:
+//
+//   - *Matrix: one contiguous arena (the optimized layout; stands in for
+//     the paper's 2 MB large pages — few distinct pages, no pointer chase);
+//   - *ScatteredStore: every document separately allocated (the
+//     unoptimized layout — maximal page spread and per-document pointer
+//     indirection).
+type Store interface {
+	// Doc returns document i's column indexes and values. Callers must not
+	// modify the returned slices.
+	Doc(i int) ([]uint32, []float32)
+	// Rows returns the number of documents.
+	Rows() int
+	// Dimension returns the vocabulary size.
+	Dimension() int
+}
+
+// Doc implements Store for *Matrix.
+func (m *Matrix) Doc(i int) ([]uint32, []float32) {
+	lo, hi := m.offs[i], m.offs[i+1]
+	return m.cols[lo:hi], m.vals[lo:hi]
+}
+
+// Dimension implements Store for *Matrix.
+func (m *Matrix) Dimension() int { return m.Dim }
+
+// ScatteredStore stores each document in its own allocations. It exists
+// only as the "no large pages / no arena" baseline of the Fig. 5 ablation.
+type ScatteredStore struct {
+	dim  int
+	idxs [][]uint32
+	vals [][]float32
+}
+
+// NewScatteredStore builds a ScatteredStore with per-document copies of
+// every row of m.
+func NewScatteredStore(m *Matrix) *ScatteredStore {
+	s := &ScatteredStore{dim: m.Dim}
+	n := m.Rows()
+	s.idxs = make([][]uint32, n)
+	s.vals = make([][]float32, n)
+	for i := 0; i < n; i++ {
+		r := m.Row(i)
+		// Deliberately separate allocations per document.
+		s.idxs[i] = append(make([]uint32, 0, len(r.Idx)), r.Idx...)
+		s.vals[i] = append(make([]float32, 0, len(r.Val)), r.Val...)
+	}
+	return s
+}
+
+// Doc implements Store.
+func (s *ScatteredStore) Doc(i int) ([]uint32, []float32) { return s.idxs[i], s.vals[i] }
+
+// Rows implements Store.
+func (s *ScatteredStore) Rows() int { return len(s.idxs) }
+
+// Dimension implements Store.
+func (s *ScatteredStore) Dimension() int { return s.dim }

@@ -1,0 +1,85 @@
+// Package transport abstracts how the PLSH coordinator reaches its nodes.
+//
+// The paper runs 100 nodes over MPI/Infiniband (§8) and shows query
+// communication is under 1% of runtime. This package provides the same
+// dataflow behind a small interface with two implementations:
+//
+//   - Local: direct in-process calls to a *node.Node — zero-copy, used by
+//     the in-process cluster simulation and most experiments;
+//   - Client/Serve: a gob-over-TCP wire protocol (cmd/plsh-node is the
+//     server binary), exercising real serialization on localhost or a LAN.
+//
+// Both satisfy NodeClient, so cluster code is transport-agnostic.
+package transport
+
+import (
+	"errors"
+
+	"plsh/internal/core"
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+)
+
+// NodeClient is the coordinator's view of one PLSH node.
+type NodeClient interface {
+	// Insert appends documents, returning node-local IDs. Returns
+	// node.ErrFull (possibly wrapped) if capacity would be exceeded.
+	Insert(vs []sparse.Vector) ([]uint32, error)
+	// QueryBatch answers a batch of R-near-neighbor queries.
+	QueryBatch(qs []sparse.Vector) ([][]core.Neighbor, error)
+	// Delete marks a node-local ID deleted.
+	Delete(id uint32) error
+	// MergeNow forces a delta→static merge.
+	MergeNow() error
+	// Retire erases the node's contents.
+	Retire() error
+	// Stats returns the node's state snapshot.
+	Stats() (node.Stats, error)
+	// Close releases the connection (a no-op for Local).
+	Close() error
+}
+
+// Local adapts a *node.Node to NodeClient with direct calls.
+type Local struct {
+	N *node.Node
+}
+
+// NewLocal wraps n.
+func NewLocal(n *node.Node) *Local { return &Local{N: n} }
+
+// Insert implements NodeClient.
+func (l *Local) Insert(vs []sparse.Vector) ([]uint32, error) { return l.N.Insert(vs) }
+
+// QueryBatch implements NodeClient.
+func (l *Local) QueryBatch(qs []sparse.Vector) ([][]core.Neighbor, error) {
+	return l.N.QueryBatch(qs), nil
+}
+
+// Delete implements NodeClient.
+func (l *Local) Delete(id uint32) error {
+	l.N.Delete(id)
+	return nil
+}
+
+// MergeNow implements NodeClient.
+func (l *Local) MergeNow() error {
+	l.N.MergeNow()
+	return nil
+}
+
+// Retire implements NodeClient.
+func (l *Local) Retire() error {
+	l.N.Retire()
+	return nil
+}
+
+// Stats implements NodeClient.
+func (l *Local) Stats() (node.Stats, error) { return l.N.Stats(), nil }
+
+// Close implements NodeClient.
+func (l *Local) Close() error { return nil }
+
+var _ NodeClient = (*Local)(nil)
+
+// errClosed is returned by remote clients after Close.
+var errClosed = errors.New("transport: client closed")

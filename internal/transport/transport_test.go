@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"plsh/internal/core"
+	"plsh/internal/corpus"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+)
+
+func testNode(t *testing.T, capacity int) *node.Node {
+	t.Helper()
+	n, err := node.New(node.Config{
+		Params:   lshhash.Params{Dim: 2000, K: 8, M: 6, Seed: 42},
+		Capacity: capacity,
+		Build:    core.Defaults(),
+		Query:    core.QueryDefaults(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testDocs(n int, seed uint64) []sparse.Vector {
+	c := corpus.Generate(corpus.Twitter(n, 2000, seed))
+	out := make([]sparse.Vector, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.Mat.Row(i)
+	}
+	return out
+}
+
+// startServer serves n on an ephemeral port, returning its address and a
+// shutdown func.
+func startServer(t *testing.T, n *node.Node) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go Serve(l, n, done)
+	return l.Addr().String(), func() { close(done) }
+}
+
+func TestLocalRoundTrip(t *testing.T) {
+	n := testNode(t, 500)
+	var client NodeClient = NewLocal(n)
+	vs := testDocs(100, 1)
+	ids, err := client.Insert(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 100 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	res, err := client.QueryBatch(vs[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res[:5] {
+		found := false
+		for _, nb := range res[i] {
+			if nb.ID == uint32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("doc %d not found via Local client", i)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil || st.StaticLen+st.DeltaLen != 100 {
+		t.Fatalf("stats: %+v err=%v", st, err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPMatchesLocal runs the same operations against a Local client and
+// a TCP client backed by identical nodes, asserting identical answers —
+// the wire layer must be semantically invisible.
+func TestTCPMatchesLocal(t *testing.T) {
+	nLocal := testNode(t, 500)
+	nRemote := testNode(t, 500)
+	addr, shutdown := startServer(t, nRemote)
+	defer shutdown()
+
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	local := NewLocal(nLocal)
+
+	vs := testDocs(200, 3)
+	queries := testDocs(15, 9)
+
+	idsL, err := local.Insert(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsR, err := remote.Insert(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idsL) != len(idsR) {
+		t.Fatalf("id counts differ: %d vs %d", len(idsL), len(idsR))
+	}
+	for i := range idsL {
+		if idsL[i] != idsR[i] {
+			t.Fatalf("id %d differs: %d vs %d", i, idsL[i], idsR[i])
+		}
+	}
+
+	resL, _ := local.QueryBatch(queries)
+	resR, err := remote.QueryBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range queries {
+		a := append([]core.Neighbor(nil), resL[qi]...)
+		b := append([]core.Neighbor(nil), resR[qi]...)
+		core.SortNeighbors(a)
+		core.SortNeighbors(b)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("query %d result %d differs", qi, i)
+			}
+		}
+	}
+
+	// Delete + merge + retire propagate.
+	if err := remote.Delete(idsR[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.MergeNow(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := remote.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 1 || st.DeltaLen != 0 {
+		t.Fatalf("remote stats after delete+merge: %+v", st)
+	}
+	if err := remote.Retire(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = remote.Stats()
+	if st.StaticLen != 0 {
+		t.Fatalf("remote retire did not empty node: %+v", st)
+	}
+}
+
+func TestTCPErrFullSentinel(t *testing.T) {
+	n := testNode(t, 50)
+	addr, shutdown := startServer(t, n)
+	defer shutdown()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	vs := testDocs(80, 5)
+	if _, err := client.Insert(vs[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Insert(vs[50:]); !errors.Is(err, node.ErrFull) {
+		t.Fatalf("want ErrFull across the wire, got %v", err)
+	}
+}
+
+func TestClientClosedErrors(t *testing.T) {
+	n := testNode(t, 50)
+	addr, shutdown := startServer(t, n)
+	defer shutdown()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, err := client.Stats(); err == nil {
+		t.Fatal("closed client accepted a call")
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal("double Close errored")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	n := testNode(t, 1000)
+	vs := testDocs(200, 7)
+	if _, err := NewLocal(n).Insert(vs); err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown := startServer(t, n)
+	defer shutdown()
+
+	const clients = 4
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for rep := 0; rep < 10; rep++ {
+				if _, err := c.QueryBatch(vs[:3]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	for g := 0; g < clients; g++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

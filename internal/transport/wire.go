@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"plsh/internal/core"
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+)
+
+// op enumerates wire operations.
+type op uint8
+
+const (
+	opInsert op = iota + 1
+	opQueryBatch
+	opDelete
+	opMerge
+	opRetire
+	opStats
+)
+
+// request is the client→server message.
+type request struct {
+	Op      op
+	Vectors []sparse.Vector
+	ID      uint32
+}
+
+// respCode distinguishes sentinel errors across the wire.
+type respCode uint8
+
+const (
+	codeOK respCode = iota
+	codeFull
+	codeError
+)
+
+// response is the server→client message.
+type response struct {
+	Code    respCode
+	Err     string
+	IDs     []uint32
+	Results [][]core.Neighbor
+	Stats   node.Stats
+}
+
+// Serve answers requests for n on listener l until the listener is closed
+// or ctxDone is closed (pass nil for no external cancellation). Each
+// connection is served by its own goroutine; requests on one connection are
+// processed in order.
+func Serve(l net.Listener, n *node.Node, ctxDone <-chan struct{}) error {
+	if ctxDone != nil {
+		go func() {
+			<-ctxDone
+			l.Close()
+		}()
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctxDone != nil {
+				select {
+				case <-ctxDone:
+					return nil // clean shutdown
+				default:
+				}
+			}
+			return err
+		}
+		go serveConn(conn, n)
+	}
+}
+
+func serveConn(conn net.Conn, n *node.Node) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupted; drop it
+		}
+		resp := handle(n, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func handle(n *node.Node, req *request) *response {
+	resp := &response{}
+	switch req.Op {
+	case opInsert:
+		ids, err := n.Insert(req.Vectors)
+		switch {
+		case errors.Is(err, node.ErrFull):
+			resp.Code = codeFull
+		case err != nil:
+			resp.Code = codeError
+			resp.Err = err.Error()
+		default:
+			resp.IDs = ids
+		}
+	case opQueryBatch:
+		resp.Results = n.QueryBatch(req.Vectors)
+	case opDelete:
+		n.Delete(req.ID)
+	case opMerge:
+		n.MergeNow()
+	case opRetire:
+		n.Retire()
+	case opStats:
+		resp.Stats = n.Stats()
+	default:
+		resp.Code = codeError
+		resp.Err = fmt.Sprintf("transport: unknown op %d", req.Op)
+	}
+	return resp
+}
+
+// Client is a NodeClient over one TCP connection. Calls are serialized
+// (one in flight per connection), matching the coordinator's one-goroutine-
+// per-node fan-out pattern.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+}
+
+// Dial connects to a node server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (c *Client) do(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClosed
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("transport: receive: %w", err)
+	}
+	switch resp.Code {
+	case codeFull:
+		return nil, node.ErrFull
+	case codeError:
+		return nil, fmt.Errorf("transport: remote: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Insert implements NodeClient.
+func (c *Client) Insert(vs []sparse.Vector) ([]uint32, error) {
+	resp, err := c.do(&request{Op: opInsert, Vectors: vs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// QueryBatch implements NodeClient.
+func (c *Client) QueryBatch(qs []sparse.Vector) ([][]core.Neighbor, error) {
+	resp, err := c.do(&request{Op: opQueryBatch, Vectors: qs})
+	if err != nil {
+		return nil, err
+	}
+	// gob flattens empty vs nil; normalize length.
+	res := resp.Results
+	for len(res) < len(qs) {
+		res = append(res, nil)
+	}
+	return res, nil
+}
+
+// Delete implements NodeClient.
+func (c *Client) Delete(id uint32) error {
+	_, err := c.do(&request{Op: opDelete, ID: id})
+	return err
+}
+
+// MergeNow implements NodeClient.
+func (c *Client) MergeNow() error {
+	_, err := c.do(&request{Op: opMerge})
+	return err
+}
+
+// Retire implements NodeClient.
+func (c *Client) Retire() error {
+	_, err := c.do(&request{Op: opRetire})
+	return err
+}
+
+// Stats implements NodeClient.
+func (c *Client) Stats() (node.Stats, error) {
+	resp, err := c.do(&request{Op: opStats})
+	if err != nil {
+		return node.Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Close implements NodeClient.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+var _ NodeClient = (*Client)(nil)

@@ -1,0 +1,128 @@
+package vocab
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"the cat AND THE dog", []string{"cat", "dog"}},
+		{"re-tweet: crazy2023 stuff", []string{"re", "tweet", "crazy", "stuff"}},
+		{"", nil},
+		{"123 456 !!!", nil},
+		{"ünïcode stays alpha only", []string{"n", "code", "stays", "alpha", "only"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestInternLookup(t *testing.T) {
+	v := New()
+	a := v.Intern("apple")
+	b := v.Intern("banana")
+	if a == b {
+		t.Fatal("distinct words share an ID")
+	}
+	if again := v.Intern("apple"); again != a {
+		t.Fatal("Intern not idempotent")
+	}
+	if id, ok := v.Lookup("banana"); !ok || id != b {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := v.Lookup("cherry"); ok {
+		t.Fatal("Lookup invented a word")
+	}
+	if v.Word(a) != "apple" || v.Size() != 2 {
+		t.Fatal("Word/Size inconsistent")
+	}
+}
+
+func TestIDFOrdering(t *testing.T) {
+	v := New()
+	// "common" appears in all 10 docs, "rare" in 1.
+	for i := 0; i < 10; i++ {
+		doc := []string{"common"}
+		if i == 0 {
+			doc = append(doc, "rare")
+		}
+		v.ObserveDoc(doc)
+	}
+	common, _ := v.Lookup("common")
+	rare, _ := v.Lookup("rare")
+	if v.IDF(rare) <= v.IDF(common) {
+		t.Fatalf("IDF(rare)=%v should exceed IDF(common)=%v", v.IDF(rare), v.IDF(common))
+	}
+	if v.Docs() != 10 {
+		t.Fatalf("Docs = %d", v.Docs())
+	}
+}
+
+func TestObserveDocCountsDistinctOnce(t *testing.T) {
+	v := New()
+	v.ObserveDoc([]string{"x", "x", "x"})
+	v.ObserveDoc([]string{"y"})
+	x, _ := v.Lookup("x")
+	y, _ := v.Lookup("y")
+	// df(x) = 1 despite three occurrences, so IDF(x) == IDF(y).
+	if math.Abs(v.IDF(x)-v.IDF(y)) > 1e-12 {
+		t.Fatal("within-doc repeats inflated DF")
+	}
+}
+
+func TestEncodeUnitNorm(t *testing.T) {
+	v := New()
+	for i := 0; i < 5; i++ {
+		v.ObserveDoc([]string{"alpha", "beta", "gamma"})
+	}
+	vec, ok := v.Encode("alpha beta unknownword", v.Size())
+	if !ok {
+		t.Fatal("Encode failed")
+	}
+	if math.Abs(vec.Norm()-1) > 1e-6 {
+		t.Fatalf("norm = %v", vec.Norm())
+	}
+	if vec.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 (unknown word dropped)", vec.NNZ())
+	}
+}
+
+func TestEncodeEmptyFails(t *testing.T) {
+	v := New()
+	v.ObserveDoc([]string{"word"})
+	if _, ok := v.Encode("only unknown tokens here qqq", 1); ok {
+		t.Fatal("Encode of all-unknown text should fail")
+	}
+	if _, ok := v.Encode("", 1); ok {
+		t.Fatal("Encode of empty text should fail")
+	}
+}
+
+func TestEncodeIDsDropsDuplicatesAndOutOfDim(t *testing.T) {
+	v := New()
+	v.ObserveDoc([]string{"a", "b", "c"})
+	a, _ := v.Lookup("a")
+	b, _ := v.Lookup("b")
+	vec, ok := v.EncodeIDs([]uint32{a, a, b, 999}, 3)
+	if !ok {
+		t.Fatal("EncodeIDs failed")
+	}
+	if vec.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", vec.NNZ())
+	}
+}

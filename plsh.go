@@ -1,0 +1,163 @@
+package plsh
+
+import (
+	"errors"
+	"fmt"
+
+	"plsh/internal/core"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+)
+
+// Vector is a sparse unit vector: parallel slices of strictly increasing
+// column indexes and float32 values. Use NewVector to build one from
+// unordered pairs, or an Encoder for text.
+type Vector = sparse.Vector
+
+// NewVector builds a Vector from unordered (index, value) pairs, sorting
+// by index and summing duplicates.
+func NewVector(idx []uint32, val []float32) (Vector, error) { return sparse.NewVector(idx, val) }
+
+// Neighbor is one query answer: the document ID and its angular distance
+// in radians.
+type Neighbor = core.Neighbor
+
+// Stats is a snapshot of a Store's state (sizes, merge/insert overheads,
+// memory use).
+type Stats = node.Stats
+
+// ErrFull is returned by Store.Insert when the configured capacity would
+// be exceeded.
+var ErrFull = node.ErrFull
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dim is the dimensionality of the vector space (vocabulary size).
+	// Required.
+	Dim int
+	// K is the bits per hash table (even; default 16, the paper's value).
+	K int
+	// M is the number of half-width hash functions; L = M(M−1)/2 tables
+	// (default 16 → 120 tables; the paper's 10.5M-document nodes use 40).
+	// Use Tune to pick K and M from data for a target recall.
+	M int
+	// Radius is the R-near-neighbor radius in radians (default 0.9, the
+	// paper's Twitter setting).
+	Radius float64
+	// Capacity is the maximum document count (default 1<<20).
+	Capacity int
+	// DeltaFraction is η: the streaming delta table is merged into the
+	// static structure when it exceeds η·Capacity (default 0.1).
+	DeltaFraction float64
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// Seed makes hashing deterministic (default 1).
+	Seed uint64
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.Dim <= 0 {
+		return c, errors.New("plsh: Config.Dim is required")
+	}
+	if c.K == 0 {
+		c.K = 16
+	}
+	if c.M == 0 {
+		c.M = 16
+	}
+	if c.Radius == 0 {
+		c.Radius = 0.9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	p := lshhash.Params{Dim: c.Dim, K: c.K, M: c.M, Seed: c.Seed}
+	if err := p.Validate(); err != nil {
+		return c, fmt.Errorf("plsh: %w", err)
+	}
+	return c, nil
+}
+
+func (c Config) nodeConfig() node.Config {
+	build := core.Defaults()
+	build.Workers = c.Workers
+	query := core.QueryDefaults()
+	query.Radius = c.Radius
+	query.Workers = c.Workers
+	return node.Config{
+		Params:        lshhash.Params{Dim: c.Dim, K: c.K, M: c.M, Seed: c.Seed},
+		Capacity:      c.Capacity,
+		DeltaFraction: c.DeltaFraction,
+		AutoMerge:     true,
+		Build:         build,
+		Query:         query,
+	}
+}
+
+// Store is a single-node streaming similarity-search index. All methods
+// are safe for concurrent use; queries proceed concurrently with each
+// other and are buffered behind merges.
+type Store struct {
+	cfg Config
+	n   *node.Node
+}
+
+// NewStore creates an empty Store.
+func NewStore(cfg Config) (*Store, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	n, err := node.New(cfg.nodeConfig())
+	if err != nil {
+		return nil, fmt.Errorf("plsh: %w", err)
+	}
+	return &Store{cfg: cfg, n: n}, nil
+}
+
+// Insert appends documents, returning their IDs (dense, in arrival order).
+// Documents should be unit-normalized; Insert rejects empty vectors.
+// Returns ErrFull when capacity would be exceeded.
+func (s *Store) Insert(docs []Vector) ([]uint32, error) {
+	for i, d := range docs {
+		if d.NNZ() == 0 {
+			return nil, fmt.Errorf("plsh: document %d is empty", i)
+		}
+	}
+	return s.n.Insert(docs)
+}
+
+// Query returns the R-near neighbors of q: every stored document within
+// the configured angular radius is reported with probability ≥ 1−δ for the
+// tuned parameters (see Tune), and every reported document is truly within
+// the radius.
+func (s *Store) Query(q Vector) []Neighbor { return s.n.Query(q) }
+
+// QueryBatch answers many queries in one parallel batch — the high-
+// throughput path (the paper processes queries in batches of ≥30,
+// trading ~45 ms of latency for maximal throughput).
+func (s *Store) QueryBatch(qs []Vector) [][]Neighbor { return s.n.QueryBatch(qs) }
+
+// Delete marks a document ID deleted; it will no longer be returned.
+func (s *Store) Delete(id uint32) { s.n.Delete(id) }
+
+// Merge forces the streaming delta table into the static structure now.
+// Inserts trigger this automatically at the configured DeltaFraction.
+func (s *Store) Merge() { s.n.MergeNow() }
+
+// Reset erases all content, keeping configuration and hash functions.
+func (s *Store) Reset() { s.n.Retire() }
+
+// Len returns the number of stored documents (including deleted ones,
+// which still occupy capacity until Reset).
+func (s *Store) Len() int { return s.n.Len() }
+
+// Doc returns the stored vector for id (shared storage; do not modify).
+func (s *Store) Doc(id uint32) Vector { return s.n.Doc(id) }
+
+// Stats returns a state snapshot.
+func (s *Store) Stats() Stats { return s.n.Stats() }
+
+// Config returns the (normalized) configuration the Store runs with.
+func (s *Store) Config() Config { return s.cfg }

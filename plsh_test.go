@@ -1,0 +1,294 @@
+package plsh
+
+import (
+	"errors"
+	"testing"
+)
+
+func smallConfig() Config {
+	return Config{Dim: 2000, K: 8, M: 6, Capacity: 2000}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := NewStore(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := SyntheticTweets(300, 2000, 7)
+	ids, err := s.Insert(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 300 || s.Len() != 300 {
+		t.Fatalf("ids=%d Len=%d", len(ids), s.Len())
+	}
+	for i := 0; i < 300; i += 29 {
+		found := false
+		for _, nb := range s.Query(docs[i]) {
+			if nb.ID == uint32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("doc %d not found", i)
+		}
+	}
+}
+
+func TestStoreDefaults(t *testing.T) {
+	s, err := NewStore(Config{Dim: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.K != 16 || cfg.M != 16 || cfg.Radius != 0.9 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestStoreConfigValidation(t *testing.T) {
+	if _, err := NewStore(Config{}); err == nil {
+		t.Fatal("missing Dim accepted")
+	}
+	if _, err := NewStore(Config{Dim: 100, K: 7}); err == nil {
+		t.Fatal("odd K accepted")
+	}
+}
+
+func TestStoreRejectsEmptyDoc(t *testing.T) {
+	s, _ := NewStore(smallConfig())
+	if _, err := s.Insert([]Vector{{}}); err == nil {
+		t.Fatal("empty doc accepted")
+	}
+}
+
+func TestStoreCapacity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Capacity = 100
+	s, _ := NewStore(cfg)
+	docs := SyntheticTweets(150, 2000, 9)
+	if _, err := s.Insert(docs[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(docs[100:]); !errors.Is(err, ErrFull) {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+}
+
+func TestStoreDeleteMergeReset(t *testing.T) {
+	s, _ := NewStore(smallConfig())
+	docs := SyntheticTweets(200, 2000, 11)
+	ids, _ := s.Insert(docs)
+	s.Delete(ids[5])
+	for _, nb := range s.Query(docs[5]) {
+		if nb.ID == ids[5] {
+			t.Fatal("deleted doc returned")
+		}
+	}
+	s.Merge()
+	if st := s.Stats(); st.DeltaLen != 0 || st.StaticLen != 200 {
+		t.Fatalf("merge state: %+v", st)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not empty store")
+	}
+}
+
+func TestStoreQueryBatch(t *testing.T) {
+	s, _ := NewStore(smallConfig())
+	docs := SyntheticTweets(300, 2000, 13)
+	s.Insert(docs)
+	res := s.QueryBatch(docs[:10])
+	if len(res) != 10 {
+		t.Fatalf("batch size %d", len(res))
+	}
+	for i := range res {
+		found := false
+		for _, nb := range res[i] {
+			if nb.ID == uint32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("batch query %d missing self", i)
+		}
+	}
+}
+
+func TestNewVector(t *testing.T) {
+	v, err := NewVector([]uint32{5, 1}, []float32{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 2 || v.Idx[0] != 1 {
+		t.Fatalf("NewVector = %+v", v)
+	}
+}
+
+func TestClusterPublicAPI(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Capacity = 200
+	cl, err := NewCluster(4, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", cl.NumNodes())
+	}
+	docs := SyntheticTweets(500, 2000, 15)
+	ids, err := cl.Insert(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 500 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	res, err := cl.Query(docs[499])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, nb := range res {
+		if GlobalID(nb.Node, nb.ID) == ids[499] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("newest doc not found in cluster")
+	}
+	if err := cl.Delete(ids[499]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cl.Stats()
+	if err != nil || len(stats) != 4 {
+		t.Fatalf("stats: %v %v", stats, err)
+	}
+}
+
+func TestGlobalIDHelpers(t *testing.T) {
+	g := GlobalID(3, 77)
+	n, l := SplitGlobalID(g)
+	if n != 3 || l != 77 {
+		t.Fatalf("split = (%d,%d)", n, l)
+	}
+}
+
+func TestTuneSelectsFeasibleParams(t *testing.T) {
+	docs := SyntheticTweets(1500, 5000, 17)
+	tn, err := Tune(docs, TuneOptions{Radius: 0.9, Delta: 0.1, TargetN: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.K%2 != 0 || tn.K < 2 || tn.M < 2 {
+		t.Fatalf("bad tuning %+v", tn)
+	}
+	if tn.L != tn.M*(tn.M-1)/2 {
+		t.Fatalf("L inconsistent: %+v", tn)
+	}
+	if tn.PredictedQueryNS <= 0 || tn.MemoryBytes <= 0 {
+		t.Fatalf("predictions missing: %+v", tn)
+	}
+	// The tuned parameters must construct a working store.
+	cfg := Config{Dim: 5000, K: tn.K, M: tn.M, Capacity: 2000}
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(docs[:100]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneValidation(t *testing.T) {
+	if _, err := Tune(nil, TuneOptions{}); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := Tune([]Vector{{}, {}}, TuneOptions{}); err == nil {
+		t.Fatal("all-empty sample accepted")
+	}
+}
+
+func TestEncoderPipeline(t *testing.T) {
+	e := NewEncoder(1 << 16)
+	corpus := []string{
+		"breaking news earthquake hits the city",
+		"earthquake damage reported downtown",
+		"cat videos are the best videos",
+		"new cat cafe opens downtown",
+		"sports team wins the championship game",
+	}
+	for _, doc := range corpus {
+		e.Observe(doc)
+	}
+	if e.VocabSize() == 0 || e.Dim() != 1<<16 {
+		t.Fatalf("vocab=%d dim=%d", e.VocabSize(), e.Dim())
+	}
+	v, ok := e.Encode("earthquake downtown")
+	if !ok || v.NNZ() != 2 {
+		t.Fatalf("encode: ok=%v nnz=%d", ok, v.NNZ())
+	}
+	if _, ok := e.Encode("zzz qqq www"); ok {
+		t.Fatal("unknown-word doc encoded")
+	}
+	v2, ok := e.ObserveAndEncode("totally fresh words appearing")
+	if !ok || v2.NNZ() == 0 {
+		t.Fatal("ObserveAndEncode failed on new words")
+	}
+}
+
+// End-to-end: text in, neighbors out, via the full public pipeline.
+func TestTextToNeighborsEndToEnd(t *testing.T) {
+	e := NewEncoder(1 << 14)
+	docsText := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"quick brown fox jumps over a lazy dog today",
+		"stock market rallies on earnings news",
+		"earnings news pushes stock market higher",
+		"completely unrelated gardening tips for spring",
+	}
+	for _, d := range docsText {
+		e.Observe(d)
+	}
+	var vecs []Vector
+	for _, d := range docsText {
+		v, ok := e.Encode(d)
+		if !ok {
+			t.Fatalf("encode failed for %q", d)
+		}
+		vecs = append(vecs, v)
+	}
+	s, err := NewStore(Config{Dim: 1 << 14, K: 8, M: 8, Capacity: 100, Radius: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(vecs); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := e.Encode("quick brown fox and a lazy dog")
+	res := s.Query(q)
+	ids := map[uint32]bool{}
+	for _, nb := range res {
+		ids[nb.ID] = true
+	}
+	if !ids[0] && !ids[1] {
+		t.Fatalf("fox/dog documents not retrieved: %v", res)
+	}
+	if ids[4] {
+		t.Fatal("gardening doc retrieved for fox query")
+	}
+}
+
+func TestSyntheticTweetsDeterministic(t *testing.T) {
+	a := SyntheticTweets(50, 1000, 3)
+	b := SyntheticTweets(50, 1000, 3)
+	for i := range a {
+		if a[i].NNZ() != b[i].NNZ() {
+			t.Fatal("SyntheticTweets not deterministic")
+		}
+	}
+}
