@@ -261,22 +261,54 @@ func BenchmarkFig9Nodes(b *testing.B) {
 			}
 			defer cl.Close()
 			docs := docsSlice(f.col, nodes*perNode)
-			if _, err := cl.Insert(docs); err != nil {
+			if _, err := cl.Insert(bg, docs); err != nil {
 				b.Fatal(err)
 			}
-			if err := cl.Merge(); err != nil {
+			if err := cl.Merge(bg); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := cl.QueryBatch(f.queries[:32]); err != nil {
+			if _, err := cl.QueryBatch(bg, f.queries[:32]); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := cl.QueryBatch(f.queries); err != nil {
+				if _, err := cl.QueryBatch(bg, f.queries); err != nil {
 					b.Fatal(err)
 				}
 			}
 			reportPerQuery(b, len(f.queries))
+		})
+	}
+}
+
+// Top-K broadcast: per-node pruning + bounded-heap coordinator merge.
+func BenchmarkClusterQueryTopK(b *testing.B) {
+	f := benchFixture(b)
+	perNode := 4000
+	const nodes = 4
+	cl, err := NewCluster(nodes, nodes, Config{
+		Dim: benchDim, K: 12, M: 10, Capacity: perNode + 1, Seed: benchSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Insert(bg, docsSlice(f.col, nodes*perNode)); err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.Merge(bg); err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{10, 100} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range f.queries[:32] {
+					if _, err := cl.QueryTopK(bg, q, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportPerQuery(b, 32)
 		})
 	}
 }
@@ -324,10 +356,10 @@ func BenchmarkFig11DeltaFill(b *testing.B) {
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			n := benchNode(b, cfg.staticN, cfg.deltaN)
-			n.QueryBatch(f.queries[:32])
+			n.QueryBatch(bg, f.queries[:32])
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				n.QueryBatch(f.queries)
+				n.QueryBatch(bg, f.queries)
 			}
 			reportPerQuery(b, len(f.queries))
 		})
@@ -350,13 +382,15 @@ func benchNode(b *testing.B, staticN, deltaN int) *node.Node {
 	}
 	docs := docsSlice(f.col, staticN+deltaN)
 	if staticN > 0 {
-		if _, err := n.Insert(docs[:staticN]); err != nil {
+		if _, err := n.Insert(bg, docs[:staticN]); err != nil {
 			b.Fatal(err)
 		}
-		n.MergeNow()
+		if err := n.MergeNow(bg); err != nil {
+			b.Fatal(err)
+		}
 	}
 	if deltaN > 0 {
-		if _, err := n.Insert(docs[staticN:]); err != nil {
+		if _, err := n.Insert(bg, docs[staticN:]); err != nil {
 			b.Fatal(err)
 		}
 	}

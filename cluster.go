@@ -1,7 +1,9 @@
 package plsh
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"plsh/internal/cluster"
 	"plsh/internal/node"
@@ -13,6 +15,14 @@ import (
 // two into one identifier usable with Cluster.Delete.
 type ClusterNeighbor = cluster.Neighbor
 
+// BatchOptions is the failure policy for a cluster broadcast: an optional
+// per-node timeout and whether partial results are acceptable.
+type BatchOptions = cluster.BatchOptions
+
+// BatchReport describes how a broadcast went: per-node wall times and
+// errors, with Complete/Stragglers helpers.
+type BatchReport = cluster.BatchReport
+
 // GlobalID packs (node, local ID) into one opaque document identifier.
 func GlobalID(nodeIdx int, local uint32) uint64 { return cluster.GlobalID(nodeIdx, local) }
 
@@ -20,10 +30,14 @@ func GlobalID(nodeIdx int, local uint32) uint64 { return cluster.GlobalID(nodeId
 func SplitGlobalID(g uint64) (nodeIdx int, local uint32) { return cluster.SplitGlobalID(g) }
 
 // Cluster coordinates many PLSH nodes: queries broadcast to every node and
-// concatenate; inserts go round-robin to a rolling window of WindowM nodes,
-// and when the window wraps, the nodes holding the oldest data are erased —
+// merge; inserts go round-robin to a rolling window of WindowM nodes, and
+// when the window wraps, the nodes holding the oldest data are erased —
 // giving the stream well-defined expiration (the paper runs 100 nodes with
 // a window of 4 to absorb 400M tweets/day).
+//
+// Every operation takes a context.Context; deadlines and cancellation
+// abort a broadcast early instead of waiting on the slowest node, and
+// QueryBatchTimed can return partial results under a per-node timeout.
 type Cluster struct {
 	c *cluster.Cluster
 }
@@ -44,7 +58,7 @@ func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
 		}
 		clients[i] = transport.NewLocal(n)
 	}
-	c, err := cluster.New(clients, windowM)
+	c, err := cluster.New(context.Background(), clients, windowM)
 	if err != nil {
 		return nil, fmt.Errorf("plsh: %w", err)
 	}
@@ -52,21 +66,42 @@ func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
 }
 
 // DialCluster connects to remote plsh-node servers (see cmd/plsh-node) and
-// coordinates them exactly like an in-process cluster.
-func DialCluster(addrs []string, windowM int) (*Cluster, error) {
+// coordinates them exactly like an in-process cluster. All nodes are
+// dialed in parallel; ctx bounds the dials and the initial capacity
+// exchange. On any failure every established connection is closed.
+func DialCluster(ctx context.Context, addrs []string, windowM int) (*Cluster, error) {
 	clients := make([]transport.NodeClient, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
 	for i, addr := range addrs {
-		c, err := transport.Dial(addr)
-		if err != nil {
-			for _, done := range clients[:i] {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			c, err := transport.Dial(ctx, addr)
+			if err != nil {
+				errs[i] = fmt.Errorf("plsh: dial %s: %w", addr, err)
+				return
+			}
+			clients[i] = c
+		}(i, addr)
+	}
+	wg.Wait()
+	closeAll := func() {
+		for _, done := range clients {
+			if done != nil {
 				done.Close()
 			}
-			return nil, fmt.Errorf("plsh: dial %s: %w", addr, err)
 		}
-		clients[i] = c
 	}
-	c, err := cluster.New(clients, windowM)
+	for _, err := range errs {
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	c, err := cluster.New(ctx, clients, windowM)
 	if err != nil {
+		closeAll()
 		return nil, fmt.Errorf("plsh: %w", err)
 	}
 	return &Cluster{c: c}, nil
@@ -74,22 +109,44 @@ func DialCluster(addrs []string, windowM int) (*Cluster, error) {
 
 // Insert distributes documents over the insert window, expiring the oldest
 // nodes' contents as the window wraps. Returned IDs parallel docs.
-func (cl *Cluster) Insert(docs []Vector) ([]uint64, error) { return cl.c.Insert(docs) }
+func (cl *Cluster) Insert(ctx context.Context, docs []Vector) ([]uint64, error) {
+	return cl.c.Insert(ctx, docs)
+}
 
 // Query broadcasts one query to all nodes and concatenates the answers.
-func (cl *Cluster) Query(q Vector) ([]ClusterNeighbor, error) { return cl.c.Query(q) }
+func (cl *Cluster) Query(ctx context.Context, q Vector) ([]ClusterNeighbor, error) {
+	return cl.c.Query(ctx, q)
+}
 
-// QueryBatch broadcasts a batch.
-func (cl *Cluster) QueryBatch(qs []Vector) ([][]ClusterNeighbor, error) { return cl.c.QueryBatch(qs) }
+// QueryBatch broadcasts a batch, all-or-nothing: any node failure fails
+// the call (and cancels the rest of the broadcast). Use QueryBatchTimed
+// for partial results under a per-node timeout.
+func (cl *Cluster) QueryBatch(ctx context.Context, qs []Vector) ([][]ClusterNeighbor, error) {
+	return cl.c.QueryBatch(ctx, qs)
+}
+
+// QueryBatchTimed broadcasts a batch under opts' failure policy and
+// reports per-node wall times and outcomes — the production path when a
+// bounded-latency, possibly-partial answer beats waiting out a straggler.
+func (cl *Cluster) QueryBatchTimed(ctx context.Context, qs []Vector, opts BatchOptions) ([][]ClusterNeighbor, BatchReport, error) {
+	return cl.c.QueryBatchTimed(ctx, qs, opts)
+}
+
+// QueryTopK returns the k nearest of q's R-near neighbors cluster-wide:
+// each node prunes to its local top k and the coordinator merges the
+// bounded partial lists rather than concatenating full answer sets.
+func (cl *Cluster) QueryTopK(ctx context.Context, q Vector, k int) ([]ClusterNeighbor, error) {
+	return cl.c.QueryTopK(ctx, q, k)
+}
 
 // Delete removes a document by its global ID.
-func (cl *Cluster) Delete(g uint64) error { return cl.c.Delete(g) }
+func (cl *Cluster) Delete(ctx context.Context, g uint64) error { return cl.c.Delete(ctx, g) }
 
-// Merge forces every node's delta into its static structure.
-func (cl *Cluster) Merge() error { return cl.c.MergeAll() }
+// Merge forces every node's delta into its static structure, in parallel.
+func (cl *Cluster) Merge(ctx context.Context) error { return cl.c.MergeAll(ctx) }
 
-// Stats returns per-node snapshots.
-func (cl *Cluster) Stats() ([]Stats, error) { return cl.c.Stats() }
+// Stats returns per-node snapshots, gathered in parallel.
+func (cl *Cluster) Stats(ctx context.Context) ([]Stats, error) { return cl.c.Stats(ctx) }
 
 // NumNodes returns the node count.
 func (cl *Cluster) NumNodes() int { return cl.c.NumNodes() }

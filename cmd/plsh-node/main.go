@@ -7,13 +7,18 @@
 //	plsh-node -addr :7070 -dim 500000 -k 16 -m 16 -capacity 1000000
 //
 // All state is in memory; terminating the process discards it, exactly as
-// retiring the node would.
+// retiring the node would. SIGINT/SIGTERM shut the server down cleanly:
+// the listener and every open connection close, failing in-flight
+// coordinator calls promptly instead of leaving them hanging.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
+	"os/signal"
+	"syscall"
 
 	"plsh/internal/core"
 	"plsh/internal/lshhash"
@@ -54,9 +59,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("plsh-node: %v", err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	log.Printf("plsh-node: serving on %s (dim=%d k=%d m=%d L=%d capacity=%d)",
 		l.Addr(), *dim, *k, *m, (*m)*(*m-1)/2, *capacity)
-	if err := transport.Serve(l, n, nil); err != nil {
+	onError := func(err error) { log.Printf("plsh-node: %v", err) }
+	if err := transport.Serve(ctx, l, transport.NewLocal(n), onError); err != nil {
 		log.Fatalf("plsh-node: %v", err)
 	}
+	log.Printf("plsh-node: shut down")
 }

@@ -19,14 +19,21 @@
 //   - an analytical performance model that selects the (k, m) parameters
 //     for a target recall and memory budget;
 //   - a multi-node coordinator (in-process or TCP) with a rolling insert
-//     window for cluster-scale corpora.
+//     window for cluster-scale corpora, a request-ID-multiplexed wire
+//     protocol, and per-node timeout / partial-results broadcast policies.
+//
+// Every operation takes a context.Context end to end — public API,
+// coordinator, transport, node — so deadlines and cancellation abort a
+// broadcast early instead of waiting on the slowest node.
 //
 // # Quick start
 //
 //	store, err := plsh.NewStore(plsh.Config{Dim: 1 << 18})
 //	if err != nil { ... }
-//	ids, err := store.Insert(docs)      // docs are unit plsh.Vectors
-//	hits := store.Query(q)              // R-near neighbors of q
+//	ctx := context.Background()
+//	ids, err := store.Insert(ctx, docs)        // docs are unit plsh.Vectors
+//	hits, err := store.Query(ctx, q)           // R-near neighbors of q
+//	best, err := store.QueryTopK(ctx, q, 10)   // 10 nearest of them
 //
 // See the examples directory for streaming, first-story detection, and
 // multi-node usage, and DESIGN.md for the paper-to-package map.

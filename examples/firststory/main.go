@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	enc := plsh.NewEncoder(1 << 16)
 	stream := []string{
 		"massive power outage hits the northern grid tonight",
@@ -50,19 +52,19 @@ func main() {
 		if !ok {
 			continue // 0-length tweet: ignore, as the paper does
 		}
-		neighbors := store.Query(v)
+		// Top-1 is exactly the first-story question: is there any earlier
+		// tweet within the radius, and which one is closest?
+		neighbors, err := store.QueryTopK(ctx, v, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if len(neighbors) == 0 {
 			fmt.Printf("  FIRST STORY: %q\n", text)
 		} else {
 			best := neighbors[0]
-			for _, nb := range neighbors {
-				if nb.Dist < best.Dist {
-					best = nb
-				}
-			}
 			fmt.Printf("  follow-up (%.2f rad from doc %d): %q\n", best.Dist, best.ID, text)
 		}
-		if _, err := store.Insert([]plsh.Vector{v}); err != nil {
+		if _, err := store.Insert(ctx, []plsh.Vector{v}); err != nil {
 			log.Fatal(err)
 		}
 	}

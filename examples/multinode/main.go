@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"plsh"
 )
@@ -22,6 +24,8 @@ const (
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 	cluster, err := plsh.NewCluster(numNodes, windowM, plsh.Config{
 		Dim:      vocabSize,
 		K:        10,
@@ -34,14 +38,14 @@ func main() {
 	defer cluster.Close()
 
 	docs := plsh.SyntheticTweets(streamTotal, vocabSize, 11)
-	ids, err := cluster.Insert(docs)
+	ids, err := cluster.Insert(ctx, docs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("streamed %d docs through %d nodes (capacity %d each, window %d)\n",
 		len(ids), numNodes, nodeCap, windowM)
 
-	stats, err := cluster.Stats()
+	stats, err := cluster.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +60,7 @@ func main() {
 
 	// The most recent documents are always findable...
 	recent := docs[streamTotal-1]
-	res, err := cluster.Query(recent)
+	res, err := cluster.Query(ctx, recent)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +71,7 @@ func main() {
 		}
 	}
 	// ...while the oldest have been expired.
-	oldRes, err := cluster.Query(docs[0])
+	oldRes, err := cluster.Query(ctx, docs[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,4 +82,27 @@ func main() {
 		}
 	}
 	fmt.Printf("newest doc findable: %v; oldest doc expired: %v\n", foundRecent, !foundOld)
+
+	// Top-K across the cluster: each node prunes to its k best and the
+	// coordinator merges the bounded partial lists — no full concatenation.
+	top, err := cluster.QueryTopK(ctx, recent, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3 nearest neighbors of the newest doc:")
+	for _, nb := range top {
+		fmt.Printf("  node %d doc %d at %.3f rad\n", nb.Node, nb.ID, nb.Dist)
+	}
+
+	// Production broadcasts can trade completeness for bounded latency:
+	// each node gets a timeout and stragglers are reported, not fatal.
+	_, report, err := cluster.QueryBatchTimed(ctx, docs[:8], plsh.BatchOptions{
+		PerNodeTimeout: 250 * time.Millisecond,
+		Partial:        true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("timed broadcast: complete=%v stragglers=%v\n",
+		report.Complete(), report.Stragglers())
 }

@@ -3,13 +3,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"plsh"
 )
 
 func main() {
+	// Every plsh operation takes a context; a deadline bounds how long a
+	// call may run and cancellation aborts it early.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// Encode a small text corpus as IDF-weighted unit vectors. For real
 	// data you would Observe a large sample first; the encoder mirrors
 	// the paper's pipeline (lowercase, strip non-alphabet, drop stop
@@ -51,7 +58,7 @@ func main() {
 		}
 		docs = append(docs, v)
 	}
-	ids, err := store.Insert(docs)
+	ids, err := store.Insert(ctx, docs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,8 +75,22 @@ func main() {
 			log.Fatalf("query %q has no known words", qText)
 		}
 		fmt.Printf("\nquery: %q\n", qText)
-		for _, nb := range store.Query(q) {
+		hits, err := store.Query(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, nb := range hits {
 			fmt.Printf("  %.3f rad  %q\n", nb.Dist, corpus[nb.ID])
+		}
+
+		// Top-K: the bounded production query shape — just the best
+		// answer(s) within the radius, nearest first.
+		best, err := store.QueryTopK(ctx, q, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(best) > 0 {
+			fmt.Printf("  best: %q (%.3f rad)\n", corpus[best[0].ID], best[0].Dist)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -21,6 +22,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	store, err := plsh.NewStore(plsh.Config{
 		Dim:           vocabSize,
 		K:             12,
@@ -52,7 +54,9 @@ func main() {
 			default:
 			}
 			t0 := time.Now()
-			store.QueryBatch(queries)
+			if _, err := store.QueryBatch(ctx, queries); err != nil {
+				log.Fatal(err)
+			}
 			latMu.Lock()
 			latencies = append(latencies, time.Since(t0))
 			latMu.Unlock()
@@ -63,7 +67,7 @@ func main() {
 	// Ingest the stream in batches.
 	ingestStart := time.Now()
 	for off := 0; off+batchSize <= len(stream); off += batchSize {
-		if _, err := store.Insert(stream[off : off+batchSize]); err != nil {
+		if _, err := store.Insert(ctx, stream[off:off+batchSize]); err != nil {
 			log.Fatalf("insert at %d: %v", off, err)
 		}
 	}

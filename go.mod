@@ -1,0 +1,3 @@
+module plsh
+
+go 1.24

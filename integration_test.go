@@ -1,14 +1,31 @@
 package plsh
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"plsh/internal/core"
 	"plsh/internal/lshhash"
 	"plsh/internal/node"
+	"plsh/internal/sparse"
 	"plsh/internal/transport"
 )
+
+// serveBackend serves any NodeClient over TCP on an ephemeral port.
+func serveBackend(t *testing.T, backend transport.NodeClient) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go transport.Serve(ctx, l, backend, nil)
+	return l.Addr().String()
+}
 
 // startTestNode serves a fresh node over TCP on an ephemeral port.
 func startTestNode(t *testing.T, capacity int) string {
@@ -22,14 +39,7 @@ func startTestNode(t *testing.T, capacity int) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	done := make(chan struct{})
-	t.Cleanup(func() { close(done) })
-	go transport.Serve(l, n, done)
-	return l.Addr().String()
+	return serveBackend(t, transport.NewLocal(n))
 }
 
 // TestTCPClusterEndToEnd drives the full public pipeline — encode, insert,
@@ -41,7 +51,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		startTestNode(t, 150),
 		startTestNode(t, 150),
 	}
-	remote, err := DialCluster(addrs, 2)
+	remote, err := DialCluster(bg, addrs, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +66,11 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	defer local.Close()
 
 	docs := SyntheticTweets(400, 2000, 7) // 400 > 3×150·(2/3): forces a wrap
-	idsR, err := remote.Insert(docs)
+	idsR, err := remote.Insert(bg, docs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	idsL, err := local.Insert(docs)
+	idsL, err := local.Insert(bg, docs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +80,11 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 
 	// Identical seeds and routing → identical answers.
 	queries := docs[len(docs)-20:]
-	resR, err := remote.QueryBatch(queries)
+	resR, err := remote.QueryBatch(bg, queries)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resL, err := local.QueryBatch(queries)
+	resL, err := local.QueryBatch(bg, queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,10 +94,30 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 		}
 	}
 
+	// Top-K answers agree across transports too (identical merge input).
+	for qi, q := range queries[:5] {
+		topR, err := remote.QueryTopK(bg, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topL, err := local.QueryTopK(bg, q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(topR) != len(topL) {
+			t.Fatalf("top-k query %d: TCP %d results, local %d", qi, len(topR), len(topL))
+		}
+		for i := range topR {
+			if topR[i] != topL[i] {
+				t.Fatalf("top-k query %d entry %d: TCP %+v, local %+v", qi, i, topR[i], topL[i])
+			}
+		}
+	}
+
 	// Newest doc findable over TCP; delete removes it.
 	last := len(docs) - 1
 	found := func() bool {
-		res, err := remote.Query(docs[last])
+		res, err := remote.Query(bg, docs[last])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +131,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	if !found() {
 		t.Fatal("newest doc not found over TCP")
 	}
-	if err := remote.Delete(idsR[last]); err != nil {
+	if err := remote.Delete(bg, idsR[last]); err != nil {
 		t.Fatal(err)
 	}
 	if found() {
@@ -109,7 +139,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	}
 
 	// Stats reach across the wire.
-	stats, err := remote.Stats()
+	stats, err := remote.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +152,86 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	}
 }
 
+// slowBackend is a NodeClient whose query path never answers (it blocks
+// until the server shuts down), standing in for a stalled node.
+type slowBackend struct{}
+
+func (slowBackend) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error) {
+	return make([]uint32, len(vs)), nil
+}
+func (slowBackend) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+func (slowBackend) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+func (slowBackend) Delete(ctx context.Context, id uint32) error { return nil }
+func (slowBackend) MergeNow(ctx context.Context) error          { return nil }
+func (slowBackend) Retire(ctx context.Context) error            { return nil }
+func (slowBackend) Stats(ctx context.Context) (node.Stats, error) {
+	return node.Stats{Capacity: 1000}, nil
+}
+func (slowBackend) Close() error { return nil }
+
+// TestDialClusterBroadcastHonorsCancellation: over real TCP, a canceled
+// context aborts a DialCluster broadcast with ctx.Err() even while one
+// node never answers — the coordinator must not wait out the straggler.
+func TestDialClusterBroadcastHonorsCancellation(t *testing.T) {
+	addrs := []string{
+		startTestNode(t, 1000),
+		serveBackend(t, slowBackend{}), // this node will never answer a query
+	}
+	cl, err := DialCluster(bg, addrs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	docs := SyntheticTweets(50, 2000, 21)
+	if _, err := cl.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err = cl.QueryBatch(ctx, docs[:5])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("broadcast took %v despite cancellation", elapsed)
+	}
+
+	// A deadline works the same way.
+	dctx, dcancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer dcancel()
+	if _, err := cl.QueryBatch(dctx, docs[:5]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+
+	// The same cluster answers fine when given room — but only partially,
+	// since the slow node still never replies: the partial-results policy
+	// returns the healthy node's answers and reports the straggler.
+	res, report, err := cl.QueryBatchTimed(bg, docs[:5], BatchOptions{
+		PerNodeTimeout: 100 * time.Millisecond,
+		Partial:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("partial results: %d answer lists", len(res))
+	}
+	if s := report.Stragglers(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("stragglers = %v, want [1]", s)
+	}
+}
+
 // TestStoreStreamsPastDeltaThreshold verifies the public Store merges
 // automatically and stays correct across the static/delta boundary.
 func TestStoreStreamsPastDeltaThreshold(t *testing.T) {
@@ -131,7 +241,7 @@ func TestStoreStreamsPastDeltaThreshold(t *testing.T) {
 	}
 	docs := SyntheticTweets(1200, 2000, 9)
 	for off := 0; off < len(docs); off += 100 {
-		if _, err := s.Insert(docs[off : off+100]); err != nil {
+		if _, err := s.Insert(bg, docs[off:off+100]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -140,8 +250,12 @@ func TestStoreStreamsPastDeltaThreshold(t *testing.T) {
 		t.Fatal("no automatic merges despite exceeding η·C repeatedly")
 	}
 	for i := 0; i < len(docs); i += 113 {
+		res, err := s.Query(bg, docs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
 		found := false
-		for _, nb := range s.Query(docs[i]) {
+		for _, nb := range res {
 			if nb.ID == uint32(i) {
 				found = true
 			}

@@ -1,5 +1,5 @@
 // Package cluster implements the multi-node PLSH system of §4 and §5.3:
-// a coordinator that broadcasts queries to every node and concatenates the
+// a coordinator that broadcasts queries to every node and merges the
 // partial answers, and a rolling window of M insert nodes that gives the
 // system well-defined expiration of the oldest data.
 //
@@ -10,14 +10,23 @@
 // reach capacity the window advances, and on wrap-around the nodes it
 // advances onto — necessarily holding the oldest data — are retired
 // (erased) before accepting new inserts (§6, Fig. 1).
+//
+// Unlike the paper's MPI coordinator, every operation takes a
+// context.Context: a deadline or cancellation aborts a broadcast early
+// instead of waiting on the slowest node, and QueryBatchTimed can trade
+// completeness for latency with a per-node timeout and a partial-results
+// policy.
 package cluster
 
 import (
+	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"plsh/internal/core"
 	"plsh/internal/node"
 	"plsh/internal/sparse"
 	"plsh/internal/transport"
@@ -41,6 +50,48 @@ func SplitGlobalID(g uint64) (nodeIdx int, local uint32) {
 	return int(g >> 32), uint32(g)
 }
 
+// BatchOptions is the failure policy for a broadcast.
+type BatchOptions struct {
+	// PerNodeTimeout bounds each node's RPC in addition to the call's
+	// context deadline; zero means no extra per-node bound.
+	PerNodeTimeout time.Duration
+	// Partial, when set, returns the merged answers from the nodes that
+	// responded instead of failing the whole batch when some did not;
+	// failed or timed-out nodes are reported in the BatchReport. When
+	// unset, the first node error cancels the rest of the broadcast and
+	// fails the call (all-or-nothing).
+	Partial bool
+}
+
+// BatchReport describes how a broadcast went: per-node wall time (the
+// load-balance measure of Fig. 9; max/avg ≤ 1.3 in the paper) and
+// per-node errors (nil for nodes that answered).
+type BatchReport struct {
+	Times []time.Duration
+	Errs  []error
+}
+
+// Complete reports whether every node answered.
+func (r BatchReport) Complete() bool {
+	for _, err := range r.Errs {
+		if err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Stragglers lists the nodes that failed or timed out.
+func (r BatchReport) Stragglers() []int {
+	var out []int
+	for i, err := range r.Errs {
+		if err != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Cluster is the coordinator. Query methods may run concurrently with each
 // other; Insert/Delete/Retire serialize behind an internal mutex (the
 // paper's coordinator is likewise a single insertion sequencer).
@@ -54,8 +105,9 @@ type Cluster struct {
 }
 
 // New builds a coordinator over the given nodes with an insert window of
-// windowM nodes (paper: M=4 of 100). Node capacities are read from Stats.
-func New(nodes []transport.NodeClient, windowM int) (*Cluster, error) {
+// windowM nodes (paper: M=4 of 100). Node capacities are read from Stats,
+// in parallel, under ctx.
+func New(ctx context.Context, nodes []transport.NodeClient, windowM int) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster: no nodes")
 	}
@@ -68,15 +120,64 @@ func New(nodes []transport.NodeClient, windowM int) (*Cluster, error) {
 		used:  make([]int, len(nodes)),
 		m:     windowM,
 	}
-	for i, n := range nodes {
-		st, err := n.Stats()
+	err := c.fanOut(ctx, "stats", func(ctx context.Context, i int) error {
+		st, err := c.nodes[i].Stats(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: stats from node %d: %w", i, err)
+			return err
 		}
 		c.caps[i] = st.Capacity
 		c.used[i] = st.StaticLen + st.DeltaLen
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+// fanOut runs f for every node concurrently, canceling the remaining
+// calls on the first failure and reporting that failure (attributed to
+// its node) rather than the cancellations it induced.
+func (c *Cluster) fanOut(ctx context.Context, what string, f func(ctx context.Context, i int) error) error {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i := range c.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if errs[i] = f(fctx, i); errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err // the caller's deadline/cancellation, not a node failure
+	}
+	return firstNodeError(errs, what)
+}
+
+// firstNodeError classifies a per-node error slice from a broadcast whose
+// siblings get canceled on the first failure: the first real failure wins
+// over the cancellations it induced. Shared by fanOut and QueryBatchTimed
+// so error blame stays consistent across all broadcast shapes.
+func firstNodeError(errs []error, what string) error {
+	var firstCancel error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if firstCancel == nil {
+				firstCancel = fmt.Errorf("cluster: %s on node %d: %w", what, i, err)
+			}
+			continue
+		}
+		return fmt.Errorf("cluster: %s on node %d: %w", what, i, err)
+	}
+	return firstCancel
 }
 
 // NumNodes returns the node count.
@@ -92,8 +193,11 @@ func (c *Cluster) WindowStart() int {
 
 // Insert distributes the batch round-robin over the insert window,
 // advancing the window — and retiring the oldest nodes on wrap-around —
-// as nodes fill (§6). The returned IDs parallel vs.
-func (c *Cluster) Insert(vs []sparse.Vector) ([]uint64, error) {
+// as nodes fill (§6). The returned IDs parallel vs. Cancellation is
+// checked between per-node RPCs; an aborted insert leaves the documents
+// placed so far in the cluster (IDs for them are lost, as with a failed
+// node).
+func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, error) {
 	if len(vs) == 0 {
 		return nil, nil
 	}
@@ -110,13 +214,16 @@ func (c *Cluster) Insert(vs []sparse.Vector) ([]uint64, error) {
 	// retires old data, freeing capacity). A round that does neither means
 	// the cluster has no usable capacity at all.
 	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		window := c.windowNodes()
 		free := 0
 		for _, w := range window {
 			free += c.caps[w] - c.used[w]
 		}
 		if free == 0 {
-			if err := c.advanceWindow(); err != nil {
+			if err := c.advanceWindow(ctx); err != nil {
 				return nil, err
 			}
 			window = c.windowNodes()
@@ -162,11 +269,11 @@ func (c *Cluster) Insert(vs []sparse.Vector) ([]uint64, error) {
 			for _, pos := range part {
 				scratch = append(scratch, vs[pos])
 			}
-			local, err := c.nodes[w].Insert(scratch)
+			local, err := c.nodes[w].Insert(ctx, scratch)
 			if errors.Is(err, node.ErrFull) {
 				// Bookkeeping drift (shouldn't happen): resync and retry
 				// this part in a later round.
-				c.resyncUsed(w)
+				c.resyncUsed(ctx, w)
 				requeue = append(requeue, part...)
 				continue
 			}
@@ -201,12 +308,12 @@ func (c *Cluster) windowNodes() []int {
 
 // advanceWindow moves the insert window forward by M nodes, retiring any
 // node in the new window that still holds (old) data.
-func (c *Cluster) advanceWindow() error {
+func (c *Cluster) advanceWindow(ctx context.Context) error {
 	c.start = (c.start + c.m) % len(c.nodes)
 	for i := 0; i < c.m; i++ {
 		w := (c.start + i) % len(c.nodes)
 		if c.used[w] > 0 {
-			if err := c.nodes[w].Retire(); err != nil {
+			if err := c.nodes[w].Retire(ctx); err != nil {
 				return fmt.Errorf("cluster: retire node %d: %w", w, err)
 			}
 			c.used[w] = 0
@@ -215,15 +322,15 @@ func (c *Cluster) advanceWindow() error {
 	return nil
 }
 
-func (c *Cluster) resyncUsed(w int) {
-	if st, err := c.nodes[w].Stats(); err == nil {
+func (c *Cluster) resyncUsed(ctx context.Context, w int) {
+	if st, err := c.nodes[w].Stats(ctx); err == nil {
 		c.used[w] = st.StaticLen + st.DeltaLen
 	}
 }
 
 // Query answers one query by broadcast.
-func (c *Cluster) Query(q sparse.Vector) ([]Neighbor, error) {
-	res, _, err := c.QueryBatchTimed([]sparse.Vector{q})
+func (c *Cluster) Query(ctx context.Context, q sparse.Vector) ([]Neighbor, error) {
+	res, _, err := c.QueryBatchTimed(ctx, []sparse.Vector{q}, BatchOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -232,28 +339,48 @@ func (c *Cluster) Query(q sparse.Vector) ([]Neighbor, error) {
 
 // QueryBatch broadcasts the batch to every node in parallel and
 // concatenates the per-node answers (§4: "individual query responses from
-// each structure are concatenated by the coordinator").
-func (c *Cluster) QueryBatch(qs []sparse.Vector) ([][]Neighbor, error) {
-	res, _, err := c.QueryBatchTimed(qs)
+// each structure are concatenated by the coordinator"), all-or-nothing.
+func (c *Cluster) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]Neighbor, error) {
+	res, _, err := c.QueryBatchTimed(ctx, qs, BatchOptions{})
 	return res, err
 }
 
-// QueryBatchTimed additionally reports each node's wall time for the batch
-// — the load-balance measure of Fig. 9 (max/avg ≤ 1.3 in the paper).
-func (c *Cluster) QueryBatchTimed(qs []sparse.Vector) ([][]Neighbor, []time.Duration, error) {
+// QueryBatchTimed broadcasts the batch under opts' failure policy and
+// reports each node's wall time and outcome.
+//
+// Cancellation of ctx aborts the whole broadcast early with ctx.Err().
+// Under the default all-or-nothing policy the first node failure cancels
+// the remaining in-flight RPCs; with opts.Partial the broadcast runs to
+// completion (each node bounded by opts.PerNodeTimeout, if set), answers
+// from responding nodes are merged, and stragglers show up only in the
+// report — the production trade of a complete answer for bounded latency.
+func (c *Cluster) QueryBatchTimed(ctx context.Context, qs []sparse.Vector, opts BatchOptions) ([][]Neighbor, BatchReport, error) {
+	report := BatchReport{
+		Times: make([]time.Duration, len(c.nodes)),
+		Errs:  make([]error, len(c.nodes)),
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	perNode := make([][][]Neighbor, len(c.nodes))
-	times := make([]time.Duration, len(c.nodes))
-	errs := make([]error, len(c.nodes))
 	var wg sync.WaitGroup
 	for i := range c.nodes {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			nctx := bctx
+			if opts.PerNodeTimeout > 0 {
+				var ncancel context.CancelFunc
+				nctx, ncancel = context.WithTimeout(bctx, opts.PerNodeTimeout)
+				defer ncancel()
+			}
 			t0 := time.Now()
-			res, err := c.nodes[i].QueryBatch(qs)
-			times[i] = time.Since(t0)
+			res, err := c.nodes[i].QueryBatch(nctx, qs)
+			report.Times[i] = time.Since(t0)
 			if err != nil {
-				errs[i] = err
+				report.Errs[i] = err
+				if !opts.Partial {
+					cancel() // abort the rest of the broadcast
+				}
 				return
 			}
 			conv := make([][]Neighbor, len(res))
@@ -268,51 +395,152 @@ func (c *Cluster) QueryBatchTimed(qs []sparse.Vector) ([][]Neighbor, []time.Dura
 		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, times, fmt.Errorf("cluster: query on node %d: %w", i, err)
+	if err := ctx.Err(); err != nil {
+		return nil, report, err
+	}
+	firstErr := firstNodeError(report.Errs, "query")
+	answered := 0
+	realFailure := false
+	for _, err := range report.Errs {
+		if err == nil {
+			answered++
+		} else if !errors.Is(err, context.Canceled) {
+			realFailure = true
 		}
+	}
+	// In all-or-nothing mode the first failure cancels its siblings; those
+	// induced cancellations are casualties, not stragglers — drop them so
+	// the report blames only the node that actually failed.
+	if !opts.Partial && realFailure {
+		for i, err := range report.Errs {
+			if err != nil && errors.Is(err, context.Canceled) {
+				report.Errs[i] = nil
+			}
+		}
+	}
+	if firstErr != nil && (!opts.Partial || answered == 0) {
+		return nil, report, firstErr
 	}
 	out := make([][]Neighbor, len(qs))
 	for qi := range qs {
 		var merged []Neighbor
 		for i := range c.nodes {
+			if perNode[i] == nil {
+				continue
+			}
 			merged = append(merged, perNode[i][qi]...)
 		}
 		out[qi] = merged
 	}
-	return out, times, nil
+	return out, report, nil
+}
+
+// QueryTopK answers one query with the k nearest of its R-near neighbors
+// cluster-wide. Each node prunes to its local top k, and the coordinator
+// merges the per-node sorted partial lists with a bounded heap — O(n·k)
+// memory and O(k log n) merge for n nodes, instead of materializing the
+// full concatenated R-near answer.
+func (c *Cluster) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	perNode := make([][]core.Neighbor, len(c.nodes))
+	err := c.fanOut(ctx, "top-k query", func(ctx context.Context, i int) error {
+		res, err := c.nodes[i].QueryTopK(ctx, q, k)
+		if err != nil {
+			return err
+		}
+		perNode[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeTopK(perNode, k), nil
+}
+
+// topkCursor walks one node's sorted partial list during the merge.
+type topkCursor struct {
+	node int
+	list []core.Neighbor
+	pos  int
+}
+
+func (c *topkCursor) head() core.Neighbor { return c.list[c.pos] }
+
+// topkHeap is a min-heap of cursors ordered by their heads' (Dist, Node,
+// ID) — the cluster-wide presentation order.
+type topkHeap []*topkCursor
+
+func (h topkHeap) Len() int { return len(h) }
+func (h topkHeap) Less(i, j int) bool {
+	a, b := h[i].head(), h[j].head()
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if h[i].node != h[j].node {
+		return h[i].node < h[j].node
+	}
+	return a.ID < b.ID
+}
+func (h topkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x any)   { *h = append(*h, x.(*topkCursor)) }
+func (h *topkHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// mergeTopK k-way-merges per-node ascending lists into the global top k.
+func mergeTopK(perNode [][]core.Neighbor, k int) []Neighbor {
+	h := make(topkHeap, 0, len(perNode))
+	for i, list := range perNode {
+		if len(list) > 0 {
+			h = append(h, &topkCursor{node: i, list: list})
+		}
+	}
+	heap.Init(&h)
+	out := make([]Neighbor, 0, k)
+	for len(h) > 0 && len(out) < k {
+		cur := h[0]
+		nb := cur.head()
+		out = append(out, Neighbor{Node: cur.node, ID: nb.ID, Dist: nb.Dist})
+		cur.pos++
+		if cur.pos == len(cur.list) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
 }
 
 // Delete removes a document by global ID.
-func (c *Cluster) Delete(g uint64) error {
+func (c *Cluster) Delete(ctx context.Context, g uint64) error {
 	nodeIdx, local := SplitGlobalID(g)
 	if nodeIdx < 0 || nodeIdx >= len(c.nodes) {
 		return fmt.Errorf("cluster: no node %d", nodeIdx)
 	}
-	return c.nodes[nodeIdx].Delete(local)
+	return c.nodes[nodeIdx].Delete(ctx, local)
 }
 
-// MergeAll forces a merge on every node (used by experiments to reach a
-// fully static state).
-func (c *Cluster) MergeAll() error {
-	for i, n := range c.nodes {
-		if err := n.MergeNow(); err != nil {
-			return fmt.Errorf("cluster: merge node %d: %w", i, err)
-		}
-	}
-	return nil
+// MergeAll forces a merge on every node in parallel (used by experiments
+// to reach a fully static state).
+func (c *Cluster) MergeAll(ctx context.Context) error {
+	return c.fanOut(ctx, "merge", func(ctx context.Context, i int) error {
+		return c.nodes[i].MergeNow(ctx)
+	})
 }
 
-// Stats gathers per-node snapshots.
-func (c *Cluster) Stats() ([]node.Stats, error) {
+// Stats gathers per-node snapshots in parallel.
+func (c *Cluster) Stats(ctx context.Context) ([]node.Stats, error) {
 	out := make([]node.Stats, len(c.nodes))
-	for i, n := range c.nodes {
-		st, err := n.Stats()
+	err := c.fanOut(ctx, "stats", func(ctx context.Context, i int) error {
+		st, err := c.nodes[i].Stats(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: stats node %d: %w", i, err)
+			return err
 		}
 		out[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"plsh/internal/core"
 	"plsh/internal/corpus"
@@ -10,6 +13,8 @@ import (
 	"plsh/internal/sparse"
 	"plsh/internal/transport"
 )
+
+var bg = context.Background()
 
 func testNodes(t *testing.T, count, capacity int) []transport.NodeClient {
 	t.Helper()
@@ -47,6 +52,57 @@ func findGlobal(ns []Neighbor, g uint64) bool {
 	return false
 }
 
+// fakeNode is a controllable NodeClient for failure-policy tests. Its
+// query path blocks for `delay` (honoring ctx) and then returns `err` or
+// an empty answer.
+type fakeNode struct {
+	capacity int
+	delay    time.Duration
+	err      error
+}
+
+func (f *fakeNode) wait(ctx context.Context) error {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	} else if err := ctx.Err(); err != nil {
+		return err
+	}
+	return f.err
+}
+
+func (f *fakeNode) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	return make([]uint32, len(vs)), nil
+}
+
+func (f *fakeNode) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	return make([][]core.Neighbor, len(qs)), nil
+}
+
+func (f *fakeNode) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (f *fakeNode) Delete(ctx context.Context, id uint32) error { return f.wait(ctx) }
+func (f *fakeNode) MergeNow(ctx context.Context) error          { return f.wait(ctx) }
+func (f *fakeNode) Retire(ctx context.Context) error            { return f.wait(ctx) }
+func (f *fakeNode) Stats(ctx context.Context) (node.Stats, error) {
+	return node.Stats{Capacity: f.capacity}, nil
+}
+func (f *fakeNode) Close() error { return nil }
+
 func TestGlobalIDRoundTrip(t *testing.T) {
 	for _, tc := range []struct {
 		node  int
@@ -62,12 +118,12 @@ func TestGlobalIDRoundTrip(t *testing.T) {
 
 func TestInsertDistributesOverWindow(t *testing.T) {
 	nodes := testNodes(t, 6, 1000)
-	c, err := New(nodes, 3)
+	c, err := New(bg, nodes, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	vs := testDocs(300, 1)
-	ids, err := c.Insert(vs)
+	ids, err := c.Insert(bg, vs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +131,7 @@ func TestInsertDistributesOverWindow(t *testing.T) {
 		t.Fatalf("ids = %d", len(ids))
 	}
 	// All inserts must land on window nodes 0..2, roughly evenly.
-	stats, _ := c.Stats()
+	stats, _ := c.Stats(bg)
 	for i := 0; i < 3; i++ {
 		n := stats[i].StaticLen + stats[i].DeltaLen
 		if n < 80 || n > 120 {
@@ -95,21 +151,21 @@ func TestClusterEquivalentToSingleNode(t *testing.T) {
 	queries := testDocs(25, 9)
 
 	single := testNodes(t, 1, 1000)[0]
-	if _, err := single.Insert(vs); err != nil {
+	if _, err := single.Insert(bg, vs); err != nil {
 		t.Fatal(err)
 	}
 
 	nodes := testNodes(t, 4, 200)
-	c, err := New(nodes, 2)
+	c, err := New(bg, nodes, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Insert(vs); err != nil {
+	if _, err := c.Insert(bg, vs); err != nil {
 		t.Fatal(err)
 	}
 
-	singleRes, _ := single.QueryBatch(queries)
-	clusterRes, err := c.QueryBatch(queries)
+	singleRes, _ := single.QueryBatch(bg, queries)
+	clusterRes, err := c.QueryBatch(bg, queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,14 +179,14 @@ func TestClusterEquivalentToSingleNode(t *testing.T) {
 
 func TestEveryInsertedDocFindable(t *testing.T) {
 	nodes := testNodes(t, 4, 150)
-	c, _ := New(nodes, 2)
+	c, _ := New(bg, nodes, 2)
 	vs := testDocs(300, 5)
-	ids, err := c.Insert(vs)
+	ids, err := c.Insert(bg, vs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < len(vs); i += 23 {
-		res, err := c.Query(vs[i])
+		res, err := c.Query(bg, vs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,15 +201,15 @@ func TestWindowAdvancesAndRetires(t *testing.T) {
 	// 0-1 (200), advances to 2-3 (150). Inserting 250 more fills 2-3 and
 	// wraps: nodes 0-1 retire and receive the rest.
 	nodes := testNodes(t, 4, 100)
-	c, _ := New(nodes, 2)
+	c, _ := New(bg, nodes, 2)
 	vs := testDocs(600, 7)
-	if _, err := c.Insert(vs[:350]); err != nil {
+	if _, err := c.Insert(bg, vs[:350]); err != nil {
 		t.Fatal(err)
 	}
 	if c.WindowStart() != 2 {
 		t.Fatalf("window start = %d, want 2", c.WindowStart())
 	}
-	firstBatchRes, err := c.Query(vs[0])
+	firstBatchRes, err := c.Query(bg, vs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,13 +217,13 @@ func TestWindowAdvancesAndRetires(t *testing.T) {
 		t.Fatal("doc 0 missing before wrap")
 	}
 
-	if _, err := c.Insert(vs[350:]); err != nil {
+	if _, err := c.Insert(bg, vs[350:]); err != nil {
 		t.Fatal(err)
 	}
 	if c.WindowStart() != 0 {
 		t.Fatalf("window start after wrap = %d, want 0", c.WindowStart())
 	}
-	stats, _ := c.Stats()
+	stats, _ := c.Stats(bg)
 	total := 0
 	for _, st := range stats {
 		total += st.StaticLen + st.DeltaLen
@@ -180,15 +236,15 @@ func TestWindowAdvancesAndRetires(t *testing.T) {
 
 func TestOldestDataExpires(t *testing.T) {
 	nodes := testNodes(t, 4, 100)
-	c, _ := New(nodes, 2)
+	c, _ := New(bg, nodes, 2)
 	vs := testDocs(600, 11)
-	ids, err := c.Insert(vs)
+	ids, err := c.Insert(bg, vs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The first 200 docs lived on nodes 0-1, which were retired during the
 	// wrap; they must no longer be findable at their original identity.
-	res, err := c.Query(vs[0])
+	res, err := c.Query(bg, vs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +253,7 @@ func TestOldestDataExpires(t *testing.T) {
 	}
 	// The last docs must be findable.
 	last := len(vs) - 1
-	res, _ = c.Query(vs[last])
+	res, _ = c.Query(bg, vs[last])
 	if !findGlobal(res, ids[last]) {
 		t.Fatal("most recent doc not found")
 	}
@@ -205,49 +261,224 @@ func TestOldestDataExpires(t *testing.T) {
 
 func TestDeleteByGlobalID(t *testing.T) {
 	nodes := testNodes(t, 3, 200)
-	c, _ := New(nodes, 3)
+	c, _ := New(bg, nodes, 3)
 	vs := testDocs(150, 13)
-	ids, _ := c.Insert(vs)
-	if err := c.Delete(ids[42]); err != nil {
+	ids, _ := c.Insert(bg, vs)
+	if err := c.Delete(bg, ids[42]); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := c.Query(vs[42])
+	res, _ := c.Query(bg, vs[42])
 	if findGlobal(res, ids[42]) {
 		t.Fatal("deleted doc returned")
 	}
-	if err := c.Delete(GlobalID(99, 0)); err == nil {
+	if err := c.Delete(bg, GlobalID(99, 0)); err == nil {
 		t.Fatal("delete on unknown node accepted")
 	}
 }
 
 func TestQueryBatchTimedReportsAllNodes(t *testing.T) {
 	nodes := testNodes(t, 5, 200)
-	c, _ := New(nodes, 5)
+	c, _ := New(bg, nodes, 5)
 	vs := testDocs(250, 15)
-	c.Insert(vs)
-	_, times, err := c.QueryBatchTimed(vs[:10])
+	c.Insert(bg, vs)
+	_, report, err := c.QueryBatchTimed(bg, vs[:10], BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(times) != 5 {
-		t.Fatalf("times for %d nodes", len(times))
+	if len(report.Times) != 5 {
+		t.Fatalf("times for %d nodes", len(report.Times))
 	}
-	for i, d := range times {
+	for i, d := range report.Times {
 		if d <= 0 {
 			t.Fatalf("node %d reported no time", i)
 		}
 	}
+	if !report.Complete() || len(report.Stragglers()) != 0 {
+		t.Fatalf("healthy broadcast reported incomplete: %+v", report)
+	}
+}
+
+// A canceled context must abort a broadcast early with ctx.Err() instead
+// of waiting out the slowest node.
+func TestCanceledContextAbortsBroadcast(t *testing.T) {
+	nodes := []transport.NodeClient{
+		&fakeNode{capacity: 100},
+		&fakeNode{capacity: 100, delay: time.Hour}, // would stall forever
+	}
+	c, err := New(bg, nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, _, err = c.QueryBatchTimed(ctx, testDocs(3, 17), BatchOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("broadcast waited on slow node for %v despite cancellation", elapsed)
+	}
+}
+
+// A context deadline likewise aborts the broadcast with DeadlineExceeded.
+func TestDeadlineAbortsBroadcast(t *testing.T) {
+	nodes := []transport.NodeClient{
+		&fakeNode{capacity: 100, delay: time.Hour},
+	}
+	c, err := New(bg, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg, 30*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.QueryBatchTimed(ctx, testDocs(3, 17), BatchOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+// Partial policy: answers from healthy nodes come back; the failed node is
+// reported as a straggler instead of failing the batch.
+func TestPartialResultsPolicy(t *testing.T) {
+	real := testNodes(t, 2, 1000)
+	bad := &fakeNode{capacity: 100, err: errors.New("node down")}
+	nodes := []transport.NodeClient{real[0], bad, real[1]}
+	c, err := New(bg, nodes, 1) // window node 0 only → inserts land on real[0]
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(100, 19)
+	ids, err := c.Insert(bg, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All-or-nothing: the dead node fails the whole batch.
+	if _, _, err := c.QueryBatchTimed(bg, vs[:5], BatchOptions{}); err == nil {
+		t.Fatal("all-or-nothing broadcast succeeded with a dead node")
+	}
+
+	// Partial: healthy answers arrive, the dead node is reported.
+	res, report, err := c.QueryBatchTimed(bg, vs[:5], BatchOptions{Partial: true})
+	if err != nil {
+		t.Fatalf("partial broadcast failed: %v", err)
+	}
+	if report.Complete() {
+		t.Fatal("report claims completeness with a dead node")
+	}
+	if s := report.Stragglers(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("stragglers = %v, want [1]", s)
+	}
+	if !findGlobal(res[0], ids[0]) {
+		t.Fatal("healthy node's answer missing from partial results")
+	}
+}
+
+// Per-node timeout: a slow node is cut off and reported while the rest of
+// the broadcast completes.
+func TestPerNodeTimeoutReportsStraggler(t *testing.T) {
+	real := testNodes(t, 1, 1000)
+	slow := &fakeNode{capacity: 100, delay: time.Hour}
+	nodes := []transport.NodeClient{real[0], slow}
+	c, err := New(bg, nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(50, 21)
+	if _, err := c.Insert(bg, vs); err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := c.QueryBatchTimed(bg, vs[:3], BatchOptions{
+		PerNodeTimeout: 50 * time.Millisecond,
+		Partial:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := report.Stragglers(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("stragglers = %v, want [1]", s)
+	}
+	if !errors.Is(report.Errs[1], context.DeadlineExceeded) {
+		t.Fatalf("straggler error = %v, want DeadlineExceeded", report.Errs[1])
+	}
+	if len(res) != 3 {
+		t.Fatalf("partial results missing: %d answer lists", len(res))
+	}
+}
+
+// QueryTopK must agree with sorting the full broadcast answer and keeping
+// the k best.
+func TestQueryTopKMatchesBroadcast(t *testing.T) {
+	nodes := testNodes(t, 4, 200)
+	c, _ := New(bg, nodes, 2)
+	vs := testDocs(400, 23)
+	if _, err := c.Insert(bg, vs); err != nil {
+		t.Fatal(err)
+	}
+	queries := testDocs(15, 25)
+	for _, k := range []int{1, 5, 20} {
+		for qi, q := range queries {
+			full, err := c.Query(bg, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]Neighbor(nil), full...)
+			sortClusterNeighbors(want)
+			if k < len(want) {
+				want = want[:k]
+			}
+			got, err := c.QueryTopK(bg, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d query %d: %d results, want %d", k, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d query %d entry %d: %+v, want %+v", k, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// k ≤ 0 yields nothing.
+	if res, err := c.QueryTopK(bg, queries[0], 0); err != nil || len(res) != 0 {
+		t.Fatalf("k=0: %v %v", res, err)
+	}
+}
+
+// sortClusterNeighbors mirrors the coordinator's merge order: ascending
+// (Dist, Node, ID).
+func sortClusterNeighbors(ns []Neighbor) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && clusterLess(ns[j], ns[j-1]); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func clusterLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.ID < b.ID
 }
 
 func TestMergeAll(t *testing.T) {
 	nodes := testNodes(t, 3, 500)
-	c, _ := New(nodes, 3)
+	c, _ := New(bg, nodes, 3)
 	vs := testDocs(90, 17)
-	c.Insert(vs)
-	if err := c.MergeAll(); err != nil {
+	c.Insert(bg, vs)
+	if err := c.MergeAll(bg); err != nil {
 		t.Fatal(err)
 	}
-	stats, _ := c.Stats()
+	stats, _ := c.Stats(bg)
 	for i, st := range stats {
 		if st.DeltaLen != 0 {
 			t.Fatalf("node %d delta not merged: %+v", i, st)
@@ -256,12 +487,12 @@ func TestMergeAll(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(nil, 2); err == nil {
+	if _, err := New(bg, nil, 2); err == nil {
 		t.Fatal("empty cluster accepted")
 	}
 	// Window clamped when out of range.
 	nodes := testNodes(t, 2, 100)
-	c, err := New(nodes, 99)
+	c, err := New(bg, nodes, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,16 +505,16 @@ func TestInsertLargerThanClusterWraps(t *testing.T) {
 	// Total capacity 200; inserting 250 must succeed by expiring the
 	// oldest — the cluster is a sliding window over the stream.
 	nodes := testNodes(t, 2, 100)
-	c, _ := New(nodes, 1)
+	c, _ := New(bg, nodes, 1)
 	vs := testDocs(250, 19)
-	ids, err := c.Insert(vs)
+	ids, err := c.Insert(bg, vs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 250 {
 		t.Fatalf("ids = %d", len(ids))
 	}
-	res, _ := c.Query(vs[249])
+	res, _ := c.Query(bg, vs[249])
 	if !findGlobal(res, ids[249]) {
 		t.Fatal("newest doc missing after wrap")
 	}
@@ -291,9 +522,19 @@ func TestInsertLargerThanClusterWraps(t *testing.T) {
 
 func TestEmptyInsert(t *testing.T) {
 	nodes := testNodes(t, 2, 100)
-	c, _ := New(nodes, 1)
-	ids, err := c.Insert(nil)
+	c, _ := New(bg, nodes, 1)
+	ids, err := c.Insert(bg, nil)
 	if err != nil || ids != nil {
 		t.Fatalf("empty insert: %v %v", ids, err)
+	}
+}
+
+func TestCanceledInsertRejected(t *testing.T) {
+	nodes := testNodes(t, 2, 100)
+	c, _ := New(bg, nodes, 1)
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := c.Insert(ctx, testDocs(10, 27)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled insert: %v", err)
 	}
 }

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randNeighbors(n int, seed int64) []Neighbor {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Neighbor, n)
+	for i := range out {
+		out[i] = Neighbor{ID: uint32(rng.Intn(n)), Dist: float64(rng.Intn(20)) / 10}
+	}
+	return out
+}
+
+func TestTopKMatchesSortTruncate(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 1000} {
+		for _, k := range []int{0, 1, 3, n / 2, n, n + 7} {
+			ns := randNeighbors(n, int64(n*1000+k))
+			want := append([]Neighbor(nil), ns...)
+			SortNeighbors(want)
+			if k < len(want) && k >= 0 {
+				want = want[:k]
+			}
+			if k <= 0 {
+				want = nil
+			}
+			got := TopK(ns, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: len %d, want %d", n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: entry %d = %+v, want %+v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSortedOutput(t *testing.T) {
+	ns := randNeighbors(500, 99)
+	got := TopK(ns, 50)
+	for i := 1; i < len(got); i++ {
+		if neighborLess(got[i], got[i-1]) {
+			t.Fatalf("output not sorted at %d: %+v > %+v", i, got[i-1], got[i])
+		}
+	}
+}

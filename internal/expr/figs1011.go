@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -113,26 +114,29 @@ func fig11Run(o Options, staticN, deltaN int, queries []sparse.Vector) (time.Dur
 	if err != nil {
 		return 0, err
 	}
+	ctx := context.Background()
 	data := Options{N: staticN + deltaN + 1, Dim: o.Dim, Seed: o.Seed + 33}.twitterCorpus()
 	vs := docsOf(data)
 	if staticN > 0 {
-		if _, err := n.Insert(vs[:staticN]); err != nil {
+		if _, err := n.Insert(ctx, vs[:staticN]); err != nil {
 			return 0, err
 		}
-		n.MergeNow()
+		if err := n.MergeNow(ctx); err != nil {
+			return 0, err
+		}
 	}
 	if deltaN > 0 {
-		if _, err := n.Insert(vs[staticN : staticN+deltaN]); err != nil {
+		if _, err := n.Insert(ctx, vs[staticN:staticN+deltaN]); err != nil {
 			return 0, err
 		}
 	}
-	n.QueryBatch(queries[:min(32, len(queries))]) // warm up
+	n.QueryBatch(ctx, queries[:min(32, len(queries))]) // warm up
 	// Best of three: GC from the node builds otherwise lands in arbitrary
 	// points of the sweep.
 	best := time.Duration(1<<62 - 1)
 	for r := 0; r < 3; r++ {
 		t0 := time.Now()
-		n.QueryBatch(queries)
+		n.QueryBatch(ctx, queries)
 		if d := time.Since(t0); d < best {
 			best = d
 		}

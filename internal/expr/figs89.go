@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -92,25 +93,30 @@ func Fig9(o Options, w io.Writer) error {
 			docs := shard.twitterCorpus()
 			vs := docsOf(docs)
 			t0 := time.Now()
-			if _, err := n.Insert(vs); err != nil {
+			ctx := context.Background()
+			if _, err := n.Insert(ctx, vs); err != nil {
 				return err
 			}
-			n.MergeNow()
+			if err := n.MergeNow(ctx); err != nil {
+				return err
+			}
 			initTimes[i] = time.Since(t0)
 			clients[i] = transport.NewLocal(n)
 		}
-		cl, err := cluster.New(clients, nn)
+		ctx := context.Background()
+		cl, err := cluster.New(ctx, clients, nn)
 		if err != nil {
 			return err
 		}
 		queries := o.queries(o.twitterCorpus())
-		if _, _, err := cl.QueryBatchTimed(queries[:min(32, len(queries))]); err != nil {
+		if _, _, err := cl.QueryBatchTimed(ctx, queries[:min(32, len(queries))], cluster.BatchOptions{}); err != nil {
 			return err
 		}
-		_, times, err := cl.QueryBatchTimed(queries)
+		_, report, err := cl.QueryBatchTimed(ctx, queries, cluster.BatchOptions{})
 		if err != nil {
 			return err
 		}
+		times := report.Times
 		iMn, iMx, iAvg := minMaxAvg(initTimes)
 		qMn, qMx, qAvg := minMaxAvg(times)
 		imb := float64(qMx) / float64(qAvg)

@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -38,13 +39,16 @@ func Streaming(o Options, w io.Writer) error {
 	}
 
 	// Fill static to 90% (the worst case of §6.3).
+	ctx := context.Background()
 	stream := corpus.NewStream(corpus.Twitter(0, o.Dim, o.Seed+77))
 	fill := capacity * 9 / 10
 	static := collectVecs(stream, fill)
-	if _, err := n.Insert(static); err != nil {
+	if _, err := n.Insert(ctx, static); err != nil {
 		return err
 	}
-	n.MergeNow()
+	if err := n.MergeNow(ctx); err != nil {
+		return err
+	}
 
 	// Measure chunk inserts into the delta until it reaches η·C.
 	var insertTotal time.Duration
@@ -52,7 +56,7 @@ func Streaming(o Options, w io.Writer) error {
 	for n.DeltaLen()+chunk <= deltaCap {
 		vs := collectVecs(stream, chunk)
 		t0 := time.Now()
-		if _, err := n.Insert(vs); err != nil {
+		if _, err := n.Insert(ctx, vs); err != nil {
 			return err
 		}
 		insertTotal += time.Since(t0)
@@ -62,7 +66,9 @@ func Streaming(o Options, w io.Writer) error {
 
 	// Worst-case merge: static ~90%, delta full.
 	t0 := time.Now()
-	n.MergeNow()
+	if err := n.MergeNow(ctx); err != nil {
+		return err
+	}
 	mergeDur := time.Since(t0)
 
 	tb := newTable(w)

@@ -18,6 +18,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -197,9 +198,16 @@ func (n *Node) Family() *lshhash.Family { return n.fam }
 // Insert appends a batch of documents, returning their node-local IDs.
 // The batch must fit the remaining capacity, else ErrFull and nothing is
 // inserted. An automatic merge runs if the delta exceeds η·C.
-func (n *Node) Insert(vs []sparse.Vector) ([]uint32, error) {
+//
+// Cancellation is checked before any state changes; once the batch starts
+// it runs to completion (including a triggered merge) so the index never
+// holds a partially applied batch.
+func (n *Node) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error) {
 	if len(vs) == 0 {
 		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -220,10 +228,15 @@ func (n *Node) Insert(vs []sparse.Vector) ([]uint32, error) {
 }
 
 // MergeNow forces a merge of the delta into the static structure.
-func (n *Node) MergeNow() {
+// Cancellation is checked before the (non-abortable) rebuild starts.
+func (n *Node) MergeNow(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.mergeLocked()
+	return nil
 }
 
 func (n *Node) mergeLocked() {
@@ -280,22 +293,50 @@ func (n *Node) Stats() Stats {
 }
 
 // Query answers one R-near-neighbor query over static + delta contents.
-func (n *Node) Query(q sparse.Vector) []core.Neighbor {
+func (n *Node) Query(ctx context.Context, q sparse.Vector) ([]core.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return n.queryLocked(q)
+	return n.queryLocked(q), nil
 }
 
 // QueryBatch answers a batch in parallel (work stealing over queries, as in
 // §5.2), each worker consulting both the static and delta structures.
-func (n *Node) QueryBatch(qs []sparse.Vector) [][]core.Neighbor {
+// Cancellation is cooperative: workers check ctx between queries, so an
+// expired deadline abandons the remainder of the batch promptly and the
+// whole call reports ctx.Err().
+func (n *Node) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	out := make([][]core.Neighbor, len(qs))
 	n.eng.Pool().Run(len(qs), func(task, _ int) {
+		if ctx.Err() != nil {
+			return
+		}
 		out[task] = n.queryLocked(qs[task])
 	})
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QueryTopK answers one query with at most k answers: the k nearest of the
+// R-near neighbors, sorted ascending by distance. This is the node half of
+// the cluster's Top-K path — each node prunes to k locally so the
+// coordinator merges bounded partial lists instead of full answer sets.
+func (n *Node) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return core.TopK(n.queryLocked(q), k), nil
 }
 
 // queryLocked runs the combined static+delta query. Callers hold at least

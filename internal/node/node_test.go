@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -10,6 +11,8 @@ import (
 	"plsh/internal/lshhash"
 	"plsh/internal/sparse"
 )
+
+var bg = context.Background()
 
 func testConfig(capacity int) Config {
 	return Config{
@@ -31,6 +34,22 @@ func testDocs(n int, seed uint64) []sparse.Vector {
 	return out
 }
 
+func mustQuery(t *testing.T, n *Node, q sparse.Vector) []core.Neighbor {
+	t.Helper()
+	res, err := n.Query(bg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustMerge(t *testing.T, n *Node) {
+	t.Helper()
+	if err := n.MergeNow(bg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func neighborIDs(ns []core.Neighbor) map[uint32]bool {
 	m := map[uint32]bool{}
 	for _, nb := range ns {
@@ -45,7 +64,7 @@ func TestInsertQueryRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	vs := testDocs(200, 1)
-	ids, err := n.Insert(vs)
+	ids, err := n.Insert(bg, vs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +73,7 @@ func TestInsertQueryRoundTrip(t *testing.T) {
 	}
 	// Every inserted doc must find itself.
 	for i := 0; i < 200; i += 11 {
-		got := neighborIDs(n.Query(vs[i]))
+		got := neighborIDs(mustQuery(t, n, vs[i]))
 		if !got[uint32(i)] {
 			t.Fatalf("doc %d not found after insert", i)
 		}
@@ -69,10 +88,10 @@ func TestStaticDeltaSplitEquivalence(t *testing.T) {
 
 	// Reference: everything static.
 	ref, _ := New(testConfig(1000))
-	if _, err := ref.Insert(vs); err != nil {
+	if _, err := ref.Insert(bg, vs); err != nil {
 		t.Fatal(err)
 	}
-	ref.MergeNow()
+	mustMerge(t, ref)
 	if ref.DeltaLen() != 0 || ref.StaticLen() != 400 {
 		t.Fatalf("reference not fully static: %d/%d", ref.StaticLen(), ref.DeltaLen())
 	}
@@ -81,11 +100,11 @@ func TestStaticDeltaSplitEquivalence(t *testing.T) {
 	cfg := testConfig(1000)
 	cfg.AutoMerge = false
 	sub, _ := New(cfg)
-	if _, err := sub.Insert(vs[:200]); err != nil {
+	if _, err := sub.Insert(bg, vs[:200]); err != nil {
 		t.Fatal(err)
 	}
-	sub.MergeNow()
-	if _, err := sub.Insert(vs[200:]); err != nil {
+	mustMerge(t, sub)
+	if _, err := sub.Insert(bg, vs[200:]); err != nil {
 		t.Fatal(err)
 	}
 	if sub.StaticLen() != 200 || sub.DeltaLen() != 200 {
@@ -93,8 +112,8 @@ func TestStaticDeltaSplitEquivalence(t *testing.T) {
 	}
 
 	for qi, q := range queries {
-		a := ref.Query(q)
-		b := sub.Query(q)
+		a := mustQuery(t, ref, q)
+		b := mustQuery(t, sub, q)
 		core.SortNeighbors(a)
 		core.SortNeighbors(b)
 		if len(a) != len(b) {
@@ -112,13 +131,13 @@ func TestAutoMergeTriggers(t *testing.T) {
 	cfg := testConfig(1000) // η·C = 100
 	n, _ := New(cfg)
 	vs := testDocs(250, 5)
-	if _, err := n.Insert(vs[:90]); err != nil {
+	if _, err := n.Insert(bg, vs[:90]); err != nil {
 		t.Fatal(err)
 	}
 	if n.Stats().Merges != 0 {
 		t.Fatal("merge before threshold")
 	}
-	if _, err := n.Insert(vs[90:150]); err != nil { // delta 150 > 100 → merge
+	if _, err := n.Insert(bg, vs[90:150]); err != nil { // delta 150 > 100 → merge
 		t.Fatal(err)
 	}
 	st := n.Stats()
@@ -129,7 +148,7 @@ func TestAutoMergeTriggers(t *testing.T) {
 		t.Fatalf("post-merge state: %d/%d", st.StaticLen, st.DeltaLen)
 	}
 	// Data still queryable after merge.
-	got := neighborIDs(n.Query(vs[120]))
+	got := neighborIDs(mustQuery(t, n, vs[120]))
 	if !got[120] {
 		t.Fatal("doc lost in merge")
 	}
@@ -138,14 +157,42 @@ func TestAutoMergeTriggers(t *testing.T) {
 func TestCapacityEnforced(t *testing.T) {
 	n, _ := New(testConfig(100))
 	vs := testDocs(150, 7)
-	if _, err := n.Insert(vs[:100]); err != nil {
+	if _, err := n.Insert(bg, vs[:100]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Insert(vs[100:]); !errors.Is(err, ErrFull) {
+	if _, err := n.Insert(bg, vs[100:]); !errors.Is(err, ErrFull) {
 		t.Fatalf("expected ErrFull, got %v", err)
 	}
 	if n.Len() != 100 {
 		t.Fatalf("failed insert mutated node: Len = %d", n.Len())
+	}
+}
+
+func TestCanceledContextRejected(t *testing.T) {
+	n, _ := New(testConfig(100))
+	vs := testDocs(10, 7)
+	if _, err := n.Insert(bg, vs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := n.Insert(ctx, vs[5:]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Insert on canceled ctx: %v", err)
+	}
+	if n.Len() != 5 {
+		t.Fatalf("canceled insert mutated node: Len = %d", n.Len())
+	}
+	if _, err := n.Query(ctx, vs[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Query on canceled ctx: %v", err)
+	}
+	if _, err := n.QueryBatch(ctx, vs[:3]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryBatch on canceled ctx: %v", err)
+	}
+	if _, err := n.QueryTopK(ctx, vs[0], 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryTopK on canceled ctx: %v", err)
+	}
+	if err := n.MergeNow(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MergeNow on canceled ctx: %v", err)
 	}
 }
 
@@ -154,16 +201,16 @@ func TestDeleteExcludesFromBothStructures(t *testing.T) {
 	cfg.AutoMerge = false
 	n, _ := New(cfg)
 	vs := testDocs(100, 11)
-	n.Insert(vs[:50])
-	n.MergeNow() // ids 0..49 static
-	n.Insert(vs[50:])
+	n.Insert(bg, vs[:50])
+	mustMerge(t, n) // ids 0..49 static
+	n.Insert(bg, vs[50:])
 	// Delete one static and one delta doc.
 	n.Delete(10)
 	n.Delete(75)
-	if got := neighborIDs(n.Query(vs[10])); got[10] {
+	if got := neighborIDs(mustQuery(t, n, vs[10])); got[10] {
 		t.Fatal("deleted static doc returned")
 	}
-	if got := neighborIDs(n.Query(vs[75])); got[75] {
+	if got := neighborIDs(mustQuery(t, n, vs[75])); got[75] {
 		t.Fatal("deleted delta doc returned")
 	}
 	if n.Stats().Deleted != 2 {
@@ -171,8 +218,8 @@ func TestDeleteExcludesFromBothStructures(t *testing.T) {
 	}
 	// Deletion survives a merge (the bitvector is positional and rows are
 	// preserved in order).
-	n.MergeNow()
-	if got := neighborIDs(n.Query(vs[75])); got[75] {
+	mustMerge(t, n)
+	if got := neighborIDs(mustQuery(t, n, vs[75])); got[75] {
 		t.Fatal("deleted doc resurfaced after merge")
 	}
 }
@@ -180,21 +227,21 @@ func TestDeleteExcludesFromBothStructures(t *testing.T) {
 func TestRetire(t *testing.T) {
 	n, _ := New(testConfig(500))
 	vs := testDocs(200, 13)
-	n.Insert(vs)
+	n.Insert(bg, vs)
 	n.Delete(5)
 	n.Retire()
 	st := n.Stats()
 	if st.StaticLen != 0 || st.DeltaLen != 0 || st.Deleted != 0 || st.Merges != 0 {
 		t.Fatalf("retire left state: %+v", st)
 	}
-	if res := n.Query(vs[0]); len(res) != 0 {
+	if res := mustQuery(t, n, vs[0]); len(res) != 0 {
 		t.Fatal("retired node still answers")
 	}
 	// Node is reusable after retirement.
-	if _, err := n.Insert(vs[:50]); err != nil {
+	if _, err := n.Insert(bg, vs[:50]); err != nil {
 		t.Fatal(err)
 	}
-	if got := neighborIDs(n.Query(vs[20])); !got[20] {
+	if got := neighborIDs(mustQuery(t, n, vs[20])); !got[20] {
 		t.Fatal("node unusable after retire")
 	}
 }
@@ -204,13 +251,16 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 	cfg.AutoMerge = false
 	n, _ := New(cfg)
 	vs := testDocs(300, 15)
-	n.Insert(vs[:150])
-	n.MergeNow()
-	n.Insert(vs[150:])
+	n.Insert(bg, vs[:150])
+	mustMerge(t, n)
+	n.Insert(bg, vs[150:])
 	queries := testDocs(25, 17)
-	batch := n.QueryBatch(queries)
+	batch, err := n.QueryBatch(bg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, q := range queries {
-		single := n.Query(q)
+		single := mustQuery(t, n, q)
 		core.SortNeighbors(single)
 		got := append([]core.Neighbor(nil), batch[i]...)
 		core.SortNeighbors(got)
@@ -225,11 +275,44 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 	}
 }
 
+// QueryTopK must equal the full R-near answer sorted by distance and
+// truncated to k — same candidates, bounded selection.
+func TestQueryTopKMatchesTruncatedQuery(t *testing.T) {
+	n, _ := New(testConfig(1000))
+	vs := testDocs(400, 27)
+	if _, err := n.Insert(bg, vs); err != nil {
+		t.Fatal(err)
+	}
+	queries := testDocs(20, 29)
+	for _, k := range []int{1, 3, 10} {
+		for qi, q := range queries {
+			full := mustQuery(t, n, q)
+			core.SortNeighbors(full)
+			want := full
+			if k < len(want) {
+				want = want[:k]
+			}
+			got, err := n.QueryTopK(bg, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d query %d: %d results, want %d", k, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d query %d entry %d: %+v, want %+v", k, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestConcurrentQueriesAndInserts(t *testing.T) {
 	cfg := testConfig(5000)
 	n, _ := New(cfg)
 	vs := testDocs(2000, 19)
-	n.Insert(vs[:500])
+	n.Insert(bg, vs[:500])
 	queries := testDocs(20, 21)
 
 	var wg sync.WaitGroup
@@ -239,7 +322,7 @@ func TestConcurrentQueriesAndInserts(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 20; rep++ {
 				q := queries[(g*20+rep)%len(queries)]
-				n.Query(q)
+				n.Query(bg, q)
 			}
 		}(g)
 	}
@@ -247,7 +330,7 @@ func TestConcurrentQueriesAndInserts(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 500; i+50 <= 2000; i += 50 {
-			if _, err := n.Insert(vs[i : i+50]); err != nil {
+			if _, err := n.Insert(bg, vs[i:i+50]); err != nil {
 				t.Errorf("insert: %v", err)
 				return
 			}
@@ -259,7 +342,7 @@ func TestConcurrentQueriesAndInserts(t *testing.T) {
 	}
 	// All docs findable afterwards.
 	for i := 0; i < 2000; i += 199 {
-		if got := neighborIDs(n.Query(vs[i])); !got[uint32(i)] {
+		if got := neighborIDs(mustQuery(t, n, vs[i])); !got[uint32(i)] {
 			t.Fatalf("doc %d lost", i)
 		}
 	}
@@ -268,7 +351,7 @@ func TestConcurrentQueriesAndInserts(t *testing.T) {
 func TestStatsTrackMaintenance(t *testing.T) {
 	n, _ := New(testConfig(1000))
 	vs := testDocs(300, 23)
-	n.Insert(vs) // triggers ≥1 auto-merge (η·C = 100)
+	n.Insert(bg, vs) // triggers ≥1 auto-merge (η·C = 100)
 	st := n.Stats()
 	if st.Merges < 1 {
 		t.Fatalf("Merges = %d", st.Merges)
@@ -284,7 +367,7 @@ func TestStatsTrackMaintenance(t *testing.T) {
 func TestDocReturnsStoredVector(t *testing.T) {
 	n, _ := New(testConfig(100))
 	vs := testDocs(10, 25)
-	ids, _ := n.Insert(vs)
+	ids, _ := n.Insert(bg, vs)
 	for i, id := range ids {
 		got := n.Doc(id)
 		if got.NNZ() != vs[i].NNZ() {
@@ -308,7 +391,7 @@ func TestInvalidConfigRejected(t *testing.T) {
 
 func TestEmptyInsertNoop(t *testing.T) {
 	n, _ := New(testConfig(100))
-	ids, err := n.Insert(nil)
+	ids, err := n.Insert(bg, nil)
 	if err != nil || ids != nil {
 		t.Fatalf("empty insert: ids=%v err=%v", ids, err)
 	}

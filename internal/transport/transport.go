@@ -6,13 +6,23 @@
 //
 //   - Local: direct in-process calls to a *node.Node — zero-copy, used by
 //     the in-process cluster simulation and most experiments;
-//   - Client/Serve: a gob-over-TCP wire protocol (cmd/plsh-node is the
-//     server binary), exercising real serialization on localhost or a LAN.
+//   - Client/Serve: a request-ID-multiplexed gob-over-TCP wire protocol
+//     (cmd/plsh-node is the server binary) that sustains many concurrent
+//     RPCs per connection, exercising real serialization on localhost or
+//     a LAN.
 //
-// Both satisfy NodeClient, so cluster code is transport-agnostic.
+// Every RPC takes a context.Context: deadlines and cancellation are
+// enforced at the caller (a canceled call stops waiting immediately; its
+// response, if one later arrives, is discarded), so a slow or dead node
+// never stalls the coordinator longer than the caller allows.
+//
+// Both implementations satisfy NodeClient, so cluster code is
+// transport-agnostic — and Serve accepts any NodeClient as its backend,
+// which also makes proxying and test fakes trivial.
 package transport
 
 import (
+	"context"
 	"errors"
 
 	"plsh/internal/core"
@@ -20,26 +30,34 @@ import (
 	"plsh/internal/sparse"
 )
 
-// NodeClient is the coordinator's view of one PLSH node.
+// NodeClient is the coordinator's view of one PLSH node. Implementations
+// must be safe for concurrent use; every call honors ctx cancellation and
+// deadlines.
 type NodeClient interface {
 	// Insert appends documents, returning node-local IDs. Returns
 	// node.ErrFull (possibly wrapped) if capacity would be exceeded.
-	Insert(vs []sparse.Vector) ([]uint32, error)
-	// QueryBatch answers a batch of R-near-neighbor queries.
-	QueryBatch(qs []sparse.Vector) ([][]core.Neighbor, error)
+	Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error)
+	// QueryBatch answers a batch of R-near-neighbor queries. A successful
+	// reply always has exactly len(qs) entries.
+	QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error)
+	// QueryTopK answers one query with the node's k nearest R-near
+	// neighbors, sorted ascending by distance.
+	QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error)
 	// Delete marks a node-local ID deleted.
-	Delete(id uint32) error
+	Delete(ctx context.Context, id uint32) error
 	// MergeNow forces a delta→static merge.
-	MergeNow() error
+	MergeNow(ctx context.Context) error
 	// Retire erases the node's contents.
-	Retire() error
+	Retire(ctx context.Context) error
 	// Stats returns the node's state snapshot.
-	Stats() (node.Stats, error)
+	Stats(ctx context.Context) (node.Stats, error)
 	// Close releases the connection (a no-op for Local).
 	Close() error
 }
 
-// Local adapts a *node.Node to NodeClient with direct calls.
+// Local adapts a *node.Node to NodeClient with direct calls. Context is
+// checked on entry even for the constant-time operations so a canceled
+// coordinator sees uniform behavior across transports.
 type Local struct {
 	N *node.Node
 }
@@ -48,33 +66,50 @@ type Local struct {
 func NewLocal(n *node.Node) *Local { return &Local{N: n} }
 
 // Insert implements NodeClient.
-func (l *Local) Insert(vs []sparse.Vector) ([]uint32, error) { return l.N.Insert(vs) }
+func (l *Local) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error) {
+	return l.N.Insert(ctx, vs)
+}
 
 // QueryBatch implements NodeClient.
-func (l *Local) QueryBatch(qs []sparse.Vector) ([][]core.Neighbor, error) {
-	return l.N.QueryBatch(qs), nil
+func (l *Local) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
+	return l.N.QueryBatch(ctx, qs)
+}
+
+// QueryTopK implements NodeClient.
+func (l *Local) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error) {
+	return l.N.QueryTopK(ctx, q, k)
 }
 
 // Delete implements NodeClient.
-func (l *Local) Delete(id uint32) error {
+func (l *Local) Delete(ctx context.Context, id uint32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	l.N.Delete(id)
 	return nil
 }
 
 // MergeNow implements NodeClient.
-func (l *Local) MergeNow() error {
-	l.N.MergeNow()
-	return nil
+func (l *Local) MergeNow(ctx context.Context) error {
+	return l.N.MergeNow(ctx)
 }
 
 // Retire implements NodeClient.
-func (l *Local) Retire() error {
+func (l *Local) Retire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	l.N.Retire()
 	return nil
 }
 
 // Stats implements NodeClient.
-func (l *Local) Stats() (node.Stats, error) { return l.N.Stats(), nil }
+func (l *Local) Stats(ctx context.Context) (node.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return node.Stats{}, err
+	}
+	return l.N.Stats(), nil
+}
 
 // Close implements NodeClient.
 func (l *Local) Close() error { return nil }

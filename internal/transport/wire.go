@@ -1,16 +1,30 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"plsh/internal/core"
 	"plsh/internal/node"
 	"plsh/internal/sparse"
 )
+
+// The wire protocol is a sequence of gob frames in each direction over one
+// TCP connection. Every request carries a client-assigned sequence number;
+// the server handles each request in its own goroutine and writes the
+// response — tagged with the same sequence number — as soon as it is
+// ready, so responses may arrive out of order and many RPCs are in flight
+// per connection at once (the net/rpc design: a writer goroutine
+// serializing frames, a reader goroutine dispatching on a pending map).
+// Cancellation crosses the wire two ways: each request carries its
+// context deadline, and an abandoned call sends a best-effort opCancel
+// frame, so the server stops spending CPU on answers nobody will read.
 
 // op enumerates wire operations.
 type op uint8
@@ -18,17 +32,29 @@ type op uint8
 const (
 	opInsert op = iota + 1
 	opQueryBatch
+	opQueryTopK
 	opDelete
 	opMerge
 	opRetire
 	opStats
+	// opCancel aborts the in-flight request whose Seq it carries; it has
+	// no response frame.
+	opCancel
 )
 
-// request is the client→server message.
+// request is the client→server frame.
 type request struct {
+	Seq     uint64
 	Op      op
 	Vectors []sparse.Vector
-	ID      uint32
+	ID      uint32 // Delete target
+	K       int    // QueryTopK bound
+	// Deadline is the caller's context deadline as Unix nanoseconds (0 =
+	// none). The server bounds the backend call with it, so an expired
+	// client deadline stops costing server CPU even if the cancel frame
+	// never arrives. Assumes loosely synchronized clocks; skew only moves
+	// when the server gives up, never the client-side outcome.
+	Deadline int64
 }
 
 // respCode distinguishes sentinel errors across the wire.
@@ -40,134 +66,379 @@ const (
 	codeError
 )
 
-// response is the server→client message.
+// response is the server→client frame.
 type response struct {
+	Seq     uint64
 	Code    respCode
 	Err     string
 	IDs     []uint32
 	Results [][]core.Neighbor
+	TopK    []core.Neighbor
 	Stats   node.Stats
 }
 
-// Serve answers requests for n on listener l until the listener is closed
-// or ctxDone is closed (pass nil for no external cancellation). Each
-// connection is served by its own goroutine; requests on one connection are
-// processed in order.
-func Serve(l net.Listener, n *node.Node, ctxDone <-chan struct{}) error {
-	if ctxDone != nil {
-		go func() {
-			<-ctxDone
-			l.Close()
-		}()
+// Serve answers requests for backend on l until ctx is canceled (clean
+// shutdown: returns nil) or the listener fails. Each connection decodes
+// requests sequentially but handles every request in its own goroutine,
+// so one connection sustains many concurrent RPCs. Cancellation closes
+// the listener and every open connection, failing in-flight client calls
+// promptly instead of leaving them hanging; Serve returns only after
+// every connection's handlers have finished, so the backend is quiescent
+// when it does.
+//
+// onError, if non-nil, receives connection-level failures (frame decode
+// errors, response encode errors) that would otherwise be silent; it may
+// be called from multiple goroutines.
+func Serve(ctx context.Context, l net.Listener, backend NodeClient, onError func(error)) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	stop := context.AfterFunc(ctx, func() { l.Close() })
+	defer stop()
+	var conns sync.WaitGroup
+	defer conns.Wait()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if ctxDone != nil {
-				select {
-				case <-ctxDone:
-					return nil // clean shutdown
-				default:
-				}
+			if ctx.Err() != nil {
+				return nil // clean shutdown
 			}
 			return err
 		}
-		go serveConn(conn, n)
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			serveConn(ctx, conn, backend, onError)
+		}()
 	}
 }
 
-func serveConn(conn net.Conn, n *node.Node) {
+func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError func(error)) {
 	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var writeMu sync.Mutex // gob encoders are stateful: one frame at a time
+	// inflight maps request Seq → cancel func, so an opCancel frame from
+	// the client aborts the matching backend call.
+	var inflightMu sync.Mutex
+	inflight := map[uint64]context.CancelFunc{}
+	var wg sync.WaitGroup
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return // connection closed or corrupted; drop it
+			// EOF is a clean client close and shutdown races are expected;
+			// anything else is a protocol/peer failure worth surfacing.
+			if err != io.EOF && ctx.Err() == nil && !errors.Is(err, net.ErrClosed) && onError != nil {
+				onError(fmt.Errorf("transport: decode from %v: %w", conn.RemoteAddr(), err))
+			}
+			break
 		}
-		resp := handle(n, &req)
-		if err := enc.Encode(resp); err != nil {
+		if req.Op == opCancel {
+			inflightMu.Lock()
+			cancel := inflight[req.Seq]
+			inflightMu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+			continue
+		}
+		var rctx context.Context
+		var rcancel context.CancelFunc
+		if req.Deadline > 0 {
+			rctx, rcancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+		} else {
+			rctx, rcancel = context.WithCancel(ctx)
+		}
+		inflightMu.Lock()
+		inflight[req.Seq] = rcancel
+		inflightMu.Unlock()
+		wg.Add(1)
+		go func(req request, rctx context.Context) {
+			defer wg.Done()
+			defer func() {
+				inflightMu.Lock()
+				delete(inflight, req.Seq)
+				inflightMu.Unlock()
+				rcancel()
+			}()
+			resp := handle(rctx, backend, &req)
+			writeMu.Lock()
+			err := enc.Encode(resp)
+			writeMu.Unlock()
+			if err != nil && ctx.Err() == nil && !errors.Is(err, net.ErrClosed) && onError != nil {
+				onError(fmt.Errorf("transport: encode to %v: %w", conn.RemoteAddr(), err))
+			}
+		}(req, rctx)
+	}
+	// The connection is gone: nobody will read the remaining answers, so
+	// abort their backend work instead of letting it run to completion.
+	inflightMu.Lock()
+	for _, cancel := range inflight {
+		cancel()
+	}
+	inflightMu.Unlock()
+	wg.Wait()
+}
+
+func handle(ctx context.Context, backend NodeClient, req *request) *response {
+	resp := &response{Seq: req.Seq}
+	fail := func(err error) {
+		if errors.Is(err, node.ErrFull) {
+			resp.Code = codeFull
+			return
+		}
+		resp.Code = codeError
+		resp.Err = err.Error()
+	}
+	switch req.Op {
+	case opInsert:
+		ids, err := backend.Insert(ctx, req.Vectors)
+		if err != nil {
+			fail(err)
+			break
+		}
+		resp.IDs = ids
+	case opQueryBatch:
+		res, err := backend.QueryBatch(ctx, req.Vectors)
+		if err != nil {
+			fail(err)
+			break
+		}
+		// The decoded frame's vector count is the contract: a conforming
+		// backend answers every query exactly once, so a length mismatch
+		// is a backend bug to surface, not to paper over.
+		if len(res) != len(req.Vectors) {
+			fail(fmt.Errorf("transport: backend returned %d answer lists for %d queries",
+				len(res), len(req.Vectors)))
+			break
+		}
+		resp.Results = res
+	case opQueryTopK:
+		if len(req.Vectors) != 1 {
+			fail(fmt.Errorf("transport: top-k frame carries %d vectors, want 1", len(req.Vectors)))
+			break
+		}
+		res, err := backend.QueryTopK(ctx, req.Vectors[0], req.K)
+		if err != nil {
+			fail(err)
+			break
+		}
+		resp.TopK = res
+	case opDelete:
+		if err := backend.Delete(ctx, req.ID); err != nil {
+			fail(err)
+		}
+	case opMerge:
+		if err := backend.MergeNow(ctx); err != nil {
+			fail(err)
+		}
+	case opRetire:
+		if err := backend.Retire(ctx); err != nil {
+			fail(err)
+		}
+	case opStats:
+		st, err := backend.Stats(ctx)
+		if err != nil {
+			fail(err)
+			break
+		}
+		resp.Stats = st
+	default:
+		fail(fmt.Errorf("transport: unknown op %d", req.Op))
+	}
+	return resp
+}
+
+// Client is a NodeClient over one TCP connection. Any number of calls may
+// be in flight concurrently: each is assigned a sequence number, a writer
+// goroutine serializes frames onto the wire, and a reader goroutine
+// dispatches responses to waiting calls by sequence number. A canceled
+// call returns ctx.Err() immediately — even while its frame is still
+// queued behind a stalled send — and tells the server to abandon the
+// request (best-effort cancel frame, plus the deadline carried in the
+// request itself); its late response, if any, is discarded on arrival.
+type Client struct {
+	conn net.Conn
+
+	writeCh chan *request // consumed by writeLoop in FIFO order
+	dead    chan struct{} // closed when the connection is torn down
+
+	mu      sync.Mutex // guards seq, pending, err, closed, down
+	seq     uint64
+	pending map[uint64]chan *response
+	err     error // first terminal connection error
+	closed  bool
+	down    bool // dead already closed
+}
+
+// Dial connects to a node server at addr, honoring ctx for the dial
+// itself.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		writeCh: make(chan *request, 16),
+		dead:    make(chan struct{}),
+		pending: map[uint64]chan *response{},
+	}
+	go c.writeLoop(gob.NewEncoder(conn))
+	go c.readLoop(gob.NewDecoder(conn))
+	return c, nil
+}
+
+// writeLoop is the single writer: it drains queued frames onto the gob
+// encoder until the connection dies. Callers never block on a slow send —
+// they wait on their response channel (or their context) instead.
+func (c *Client) writeLoop(enc *gob.Encoder) {
+	for {
+		select {
+		case req := <-c.writeCh:
+			if err := enc.Encode(req); err != nil {
+				c.fail(fmt.Errorf("transport: send: %w", err))
+				return
+			}
+		case <-c.dead:
 			return
 		}
 	}
 }
 
-func handle(n *node.Node, req *request) *response {
-	resp := &response{}
-	switch req.Op {
-	case opInsert:
-		ids, err := n.Insert(req.Vectors)
-		switch {
-		case errors.Is(err, node.ErrFull):
-			resp.Code = codeFull
-		case err != nil:
-			resp.Code = codeError
-			resp.Err = err.Error()
-		default:
-			resp.IDs = ids
+// readLoop dispatches response frames to pending calls until the
+// connection dies, then fails whatever is still waiting.
+func (c *Client) readLoop(dec *gob.Decoder) {
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			c.fail(fmt.Errorf("transport: receive: %w", err))
+			return
 		}
-	case opQueryBatch:
-		resp.Results = n.QueryBatch(req.Vectors)
-	case opDelete:
-		n.Delete(req.ID)
-	case opMerge:
-		n.MergeNow()
-	case opRetire:
-		n.Retire()
-	case opStats:
-		resp.Stats = n.Stats()
-	default:
-		resp.Code = codeError
-		resp.Err = fmt.Sprintf("transport: unknown op %d", req.Op)
+		c.mu.Lock()
+		ch := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &resp // buffered; never blocks
+		}
+		// else: the call was canceled or the frame is stray — drop it.
 	}
-	return resp
 }
 
-// Client is a NodeClient over one TCP connection. Calls are serialized
-// (one in flight per connection), matching the coordinator's one-goroutine-
-// per-node fan-out pattern.
-type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	closed bool
-}
-
-// Dial connects to a node server at addr.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// fail records the connection's terminal error once, tears the
+// connection down, and wakes every pending call. Idempotent; returns the
+// underlying close error for Close's benefit.
+func (c *Client) fail(err error) error {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	down := c.down
+	c.down = true
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		close(ch)
+	}
+	c.mu.Unlock()
+	if !down {
+		close(c.dead)
+	}
+	return c.conn.Close()
 }
 
-func (c *Client) do(req *request) (*response, error) {
+// terminalErr returns the error pending calls should report after their
+// channel was closed without a response.
+func (c *Client) terminalErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errClosed
+}
+
+func (c *Client) do(ctx context.Context, req *request) (*response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, errClosed
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("transport: send: %w", err)
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("transport: receive: %w", err)
+	c.seq++
+	req.Seq = c.seq
+	ch := make(chan *response, 1)
+	c.pending[req.Seq] = ch
+	c.mu.Unlock()
+
+	// Carry the caller's deadline to the server so abandoned work is
+	// bounded there too.
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = dl.UnixNano()
 	}
-	switch resp.Code {
-	case codeFull:
-		return nil, node.ErrFull
-	case codeError:
-		return nil, fmt.Errorf("transport: remote: %s", resp.Err)
+
+	select {
+	case c.writeCh <- req:
+	case <-ctx.Done():
+		c.forget(req.Seq)
+		return nil, ctx.Err()
+	case <-c.dead:
+		c.forget(req.Seq)
+		return nil, c.terminalErr()
 	}
-	return &resp, nil
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, c.terminalErr()
+		}
+		switch resp.Code {
+		case codeFull:
+			return nil, node.ErrFull
+		case codeError:
+			return nil, fmt.Errorf("transport: remote: %s", resp.Err)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.forget(req.Seq)
+		c.sendCancel(req.Seq)
+		return nil, ctx.Err()
+	}
+}
+
+// forget abandons a pending call (cancellation or send failure); a late
+// response for it will be discarded by readLoop.
+func (c *Client) forget(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// sendCancel tells the server to abandon seq. Best-effort: if the write
+// queue is saturated or the connection is down the frame is dropped —
+// the deadline carried in the original request still bounds the
+// server-side work.
+func (c *Client) sendCancel(seq uint64) {
+	select {
+	case c.writeCh <- &request{Op: opCancel, Seq: seq}:
+	case <-c.dead:
+	default:
+	}
 }
 
 // Insert implements NodeClient.
-func (c *Client) Insert(vs []sparse.Vector) ([]uint32, error) {
-	resp, err := c.do(&request{Op: opInsert, Vectors: vs})
+func (c *Client) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error) {
+	resp, err := c.do(ctx, &request{Op: opInsert, Vectors: vs})
 	if err != nil {
 		return nil, err
 	}
@@ -175,55 +446,67 @@ func (c *Client) Insert(vs []sparse.Vector) ([]uint32, error) {
 }
 
 // QueryBatch implements NodeClient.
-func (c *Client) QueryBatch(qs []sparse.Vector) ([][]core.Neighbor, error) {
-	resp, err := c.do(&request{Op: opQueryBatch, Vectors: qs})
+func (c *Client) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
+	resp, err := c.do(ctx, &request{Op: opQueryBatch, Vectors: qs})
 	if err != nil {
 		return nil, err
 	}
-	// gob flattens empty vs nil; normalize length.
-	res := resp.Results
-	for len(res) < len(qs) {
-		res = append(res, nil)
+	// The server guarantees one answer list per query; a mismatch means a
+	// corrupt or non-conforming peer, not something to paper over.
+	if len(resp.Results) != len(qs) {
+		return nil, fmt.Errorf("transport: reply carries %d answer lists for %d queries",
+			len(resp.Results), len(qs))
 	}
-	return res, nil
+	return resp.Results, nil
+}
+
+// QueryTopK implements NodeClient.
+func (c *Client) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error) {
+	resp, err := c.do(ctx, &request{Op: opQueryTopK, Vectors: []sparse.Vector{q}, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.TopK, nil
 }
 
 // Delete implements NodeClient.
-func (c *Client) Delete(id uint32) error {
-	_, err := c.do(&request{Op: opDelete, ID: id})
+func (c *Client) Delete(ctx context.Context, id uint32) error {
+	_, err := c.do(ctx, &request{Op: opDelete, ID: id})
 	return err
 }
 
 // MergeNow implements NodeClient.
-func (c *Client) MergeNow() error {
-	_, err := c.do(&request{Op: opMerge})
+func (c *Client) MergeNow(ctx context.Context) error {
+	_, err := c.do(ctx, &request{Op: opMerge})
 	return err
 }
 
 // Retire implements NodeClient.
-func (c *Client) Retire() error {
-	_, err := c.do(&request{Op: opRetire})
+func (c *Client) Retire(ctx context.Context) error {
+	_, err := c.do(ctx, &request{Op: opRetire})
 	return err
 }
 
 // Stats implements NodeClient.
-func (c *Client) Stats() (node.Stats, error) {
-	resp, err := c.do(&request{Op: opStats})
+func (c *Client) Stats(ctx context.Context) (node.Stats, error) {
+	resp, err := c.do(ctx, &request{Op: opStats})
 	if err != nil {
 		return node.Stats{}, err
 	}
 	return resp.Stats, nil
 }
 
-// Close implements NodeClient.
+// Close implements NodeClient. In-flight calls fail with a closed-client
+// error; Close is idempotent.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	c.mu.Unlock()
+	return c.fail(errClosed)
 }
 
 var _ NodeClient = (*Client)(nil)

@@ -1,6 +1,7 @@
 package plsh
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -98,6 +99,11 @@ func (c Config) nodeConfig() node.Config {
 // Store is a single-node streaming similarity-search index. All methods
 // are safe for concurrent use; queries proceed concurrently with each
 // other and are buffered behind merges.
+//
+// Every operation takes a context.Context, mirroring the cluster API: a
+// canceled or expired context makes the call return ctx.Err() (batch
+// queries abandon their remaining work cooperatively; writes are checked
+// before any state changes).
 type Store struct {
 	cfg Config
 	n   *node.Node
@@ -119,32 +125,50 @@ func NewStore(cfg Config) (*Store, error) {
 // Insert appends documents, returning their IDs (dense, in arrival order).
 // Documents should be unit-normalized; Insert rejects empty vectors.
 // Returns ErrFull when capacity would be exceeded.
-func (s *Store) Insert(docs []Vector) ([]uint32, error) {
+func (s *Store) Insert(ctx context.Context, docs []Vector) ([]uint32, error) {
 	for i, d := range docs {
 		if d.NNZ() == 0 {
 			return nil, fmt.Errorf("plsh: document %d is empty", i)
 		}
 	}
-	return s.n.Insert(docs)
+	return s.n.Insert(ctx, docs)
 }
 
 // Query returns the R-near neighbors of q: every stored document within
 // the configured angular radius is reported with probability ≥ 1−δ for the
 // tuned parameters (see Tune), and every reported document is truly within
 // the radius.
-func (s *Store) Query(q Vector) []Neighbor { return s.n.Query(q) }
+func (s *Store) Query(ctx context.Context, q Vector) ([]Neighbor, error) {
+	return s.n.Query(ctx, q)
+}
 
 // QueryBatch answers many queries in one parallel batch — the high-
 // throughput path (the paper processes queries in batches of ≥30,
 // trading ~45 ms of latency for maximal throughput).
-func (s *Store) QueryBatch(qs []Vector) [][]Neighbor { return s.n.QueryBatch(qs) }
+func (s *Store) QueryBatch(ctx context.Context, qs []Vector) ([][]Neighbor, error) {
+	return s.n.QueryBatch(ctx, qs)
+}
+
+// QueryTopK returns the k nearest of q's R-near neighbors, sorted
+// ascending by distance — the bounded production query shape next to the
+// raw R-near broadcast. The radius still applies: fewer than k answers
+// come back when fewer than k documents are within it.
+func (s *Store) QueryTopK(ctx context.Context, q Vector, k int) ([]Neighbor, error) {
+	return s.n.QueryTopK(ctx, q, k)
+}
 
 // Delete marks a document ID deleted; it will no longer be returned.
-func (s *Store) Delete(id uint32) { s.n.Delete(id) }
+func (s *Store) Delete(ctx context.Context, id uint32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.n.Delete(id)
+	return nil
+}
 
 // Merge forces the streaming delta table into the static structure now.
 // Inserts trigger this automatically at the configured DeltaFraction.
-func (s *Store) Merge() { s.n.MergeNow() }
+func (s *Store) Merge(ctx context.Context) error { return s.n.MergeNow(ctx) }
 
 // Reset erases all content, keeping configuration and hash functions.
 func (s *Store) Reset() { s.n.Retire() }

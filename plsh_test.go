@@ -1,9 +1,14 @@
 package plsh
 
 import (
+	"context"
 	"errors"
 	"testing"
+
+	"plsh/internal/sparse"
 )
+
+var bg = context.Background()
 
 func smallConfig() Config {
 	return Config{Dim: 2000, K: 8, M: 6, Capacity: 2000}
@@ -15,7 +20,7 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	docs := SyntheticTweets(300, 2000, 7)
-	ids, err := s.Insert(docs)
+	ids, err := s.Insert(bg, docs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,8 +28,12 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatalf("ids=%d Len=%d", len(ids), s.Len())
 	}
 	for i := 0; i < 300; i += 29 {
+		res, err := s.Query(bg, docs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
 		found := false
-		for _, nb := range s.Query(docs[i]) {
+		for _, nb := range res {
 			if nb.ID == uint32(i) {
 				found = true
 			}
@@ -57,7 +66,7 @@ func TestStoreConfigValidation(t *testing.T) {
 
 func TestStoreRejectsEmptyDoc(t *testing.T) {
 	s, _ := NewStore(smallConfig())
-	if _, err := s.Insert([]Vector{{}}); err == nil {
+	if _, err := s.Insert(bg, []Vector{{}}); err == nil {
 		t.Fatal("empty doc accepted")
 	}
 }
@@ -67,25 +76,64 @@ func TestStoreCapacity(t *testing.T) {
 	cfg.Capacity = 100
 	s, _ := NewStore(cfg)
 	docs := SyntheticTweets(150, 2000, 9)
-	if _, err := s.Insert(docs[:100]); err != nil {
+	if _, err := s.Insert(bg, docs[:100]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Insert(docs[100:]); !errors.Is(err, ErrFull) {
+	if _, err := s.Insert(bg, docs[100:]); !errors.Is(err, ErrFull) {
 		t.Fatalf("want ErrFull, got %v", err)
+	}
+}
+
+func TestStoreHonorsContext(t *testing.T) {
+	s, _ := NewStore(smallConfig())
+	docs := SyntheticTweets(50, 2000, 9)
+	if _, err := s.Insert(bg, docs[:25]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := s.Insert(ctx, docs[25:]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := s.Query(ctx, docs[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Query: %v", err)
+	}
+	if _, err := s.QueryBatch(ctx, docs[:5]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	if _, err := s.QueryTopK(ctx, docs[0], 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryTopK: %v", err)
+	}
+	if err := s.Delete(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Merge(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Merge: %v", err)
+	}
+	if s.Len() != 25 {
+		t.Fatalf("canceled calls mutated the store: Len = %d", s.Len())
 	}
 }
 
 func TestStoreDeleteMergeReset(t *testing.T) {
 	s, _ := NewStore(smallConfig())
 	docs := SyntheticTweets(200, 2000, 11)
-	ids, _ := s.Insert(docs)
-	s.Delete(ids[5])
-	for _, nb := range s.Query(docs[5]) {
+	ids, _ := s.Insert(bg, docs)
+	if err := s.Delete(bg, ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(bg, docs[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range res {
 		if nb.ID == ids[5] {
 			t.Fatal("deleted doc returned")
 		}
 	}
-	s.Merge()
+	if err := s.Merge(bg); err != nil {
+		t.Fatal(err)
+	}
 	if st := s.Stats(); st.DeltaLen != 0 || st.StaticLen != 200 {
 		t.Fatalf("merge state: %+v", st)
 	}
@@ -98,8 +146,11 @@ func TestStoreDeleteMergeReset(t *testing.T) {
 func TestStoreQueryBatch(t *testing.T) {
 	s, _ := NewStore(smallConfig())
 	docs := SyntheticTweets(300, 2000, 13)
-	s.Insert(docs)
-	res := s.QueryBatch(docs[:10])
+	s.Insert(bg, docs)
+	res, err := s.QueryBatch(bg, docs[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 10 {
 		t.Fatalf("batch size %d", len(res))
 	}
@@ -112,6 +163,144 @@ func TestStoreQueryBatch(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("batch query %d missing self", i)
+		}
+	}
+}
+
+// oracleTopK is the exhaustive-scan reference: the exact k nearest among
+// the documents within radius, ordered ascending by (distance, ID).
+func oracleTopK(docs []Vector, q Vector, radius float64, k int) []Neighbor {
+	thr := sparse.CosThreshold(radius)
+	var in []Neighbor
+	for i, d := range docs {
+		if dot := sparse.Dot(q, d); dot >= thr {
+			in = append(in, Neighbor{ID: uint32(i), Dist: sparse.AngularDistance(dot)})
+		}
+	}
+	sortByDistThenID(in)
+	if k < len(in) {
+		in = in[:k]
+	}
+	return in
+}
+
+func sortByDistThenID(ns []Neighbor) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ns[j], ns[j-1]
+			if a.Dist < b.Dist || (a.Dist == b.Dist && a.ID < b.ID) {
+				ns[j], ns[j-1] = ns[j-1], ns[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Store.QueryTopK must equal the exhaustive-scan oracle: the exact top-k
+// among in-radius documents. K=4 bits over M=16 → L=120 tables drives
+// per-neighbor retrieval probability to ~1 even at the radius boundary,
+// and hashing is seeded, so the comparison is deterministic.
+func TestStoreQueryTopKMatchesOracle(t *testing.T) {
+	s, err := NewStore(Config{Dim: 2000, K: 4, M: 16, Radius: 1.1, Capacity: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := SyntheticTweets(250, 2000, 31)
+	if _, err := s.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 5, 25} {
+		for qi := 0; qi < len(docs); qi += 17 {
+			q := docs[qi]
+			want := oracleTopK(docs, q, 1.1, k)
+			got, err := s.QueryTopK(bg, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d query %d: %d results, oracle has %d", k, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("k=%d query %d entry %d: doc %d, oracle says %d",
+						k, qi, i, got[i].ID, want[i].ID)
+				}
+				if d := got[i].Dist - want[i].Dist; d > 1e-6 || d < -1e-6 {
+					t.Fatalf("k=%d query %d entry %d: dist %v, oracle %v",
+						k, qi, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+// Cluster.QueryTopK must equal the same oracle computed over the global
+// ID space — the coordinator's bounded-heap merge of per-node partial
+// lists must reconstruct the exact cluster-wide top k.
+func TestClusterQueryTopKMatchesOracle(t *testing.T) {
+	cl, err := NewCluster(4, 2, Config{Dim: 2000, K: 4, M: 16, Radius: 1.1, Capacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	docs := SyntheticTweets(250, 2000, 33)
+	ids, err := cl.Insert(bg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle over (global ID, distance), ordered by (dist, gid) — gid order
+	// coincides with the coordinator's (dist, node, local ID) merge order.
+	thr := sparse.CosThreshold(1.1)
+	oracle := func(q Vector, k int) []uint64 {
+		type cand struct {
+			gid  uint64
+			dist float64
+		}
+		var in []cand
+		for i, d := range docs {
+			if dot := sparse.Dot(q, d); dot >= thr {
+				in = append(in, cand{ids[i], sparse.AngularDistance(dot)})
+			}
+		}
+		for i := 1; i < len(in); i++ {
+			for j := i; j > 0; j-- {
+				a, b := in[j], in[j-1]
+				if a.dist < b.dist || (a.dist == b.dist && a.gid < b.gid) {
+					in[j], in[j-1] = in[j-1], in[j]
+				} else {
+					break
+				}
+			}
+		}
+		if k < len(in) {
+			in = in[:k]
+		}
+		out := make([]uint64, len(in))
+		for i, c := range in {
+			out[i] = c.gid
+		}
+		return out
+	}
+
+	for _, k := range []int{1, 7, 30} {
+		for qi := 0; qi < len(docs); qi += 19 {
+			q := docs[qi]
+			want := oracle(q, k)
+			got, err := cl.QueryTopK(bg, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d query %d: %d results, oracle has %d", k, qi, len(got), len(want))
+			}
+			for i, nb := range got {
+				if GlobalID(nb.Node, nb.ID) != want[i] {
+					t.Fatalf("k=%d query %d entry %d: gid %d, oracle says %d",
+						k, qi, i, GlobalID(nb.Node, nb.ID), want[i])
+				}
+			}
 		}
 	}
 }
@@ -138,14 +327,14 @@ func TestClusterPublicAPI(t *testing.T) {
 		t.Fatalf("NumNodes = %d", cl.NumNodes())
 	}
 	docs := SyntheticTweets(500, 2000, 15)
-	ids, err := cl.Insert(docs)
+	ids, err := cl.Insert(bg, docs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 500 {
 		t.Fatalf("ids = %d", len(ids))
 	}
-	res, err := cl.Query(docs[499])
+	res, err := cl.Query(bg, docs[499])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,13 +347,13 @@ func TestClusterPublicAPI(t *testing.T) {
 	if !found {
 		t.Fatal("newest doc not found in cluster")
 	}
-	if err := cl.Delete(ids[499]); err != nil {
+	if err := cl.Delete(bg, ids[499]); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Merge(); err != nil {
+	if err := cl.Merge(bg); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := cl.Stats()
+	stats, err := cl.Stats(bg)
 	if err != nil || len(stats) != 4 {
 		t.Fatalf("stats: %v %v", stats, err)
 	}
@@ -199,7 +388,7 @@ func TestTuneSelectsFeasibleParams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Insert(docs[:100]); err != nil {
+	if _, err := s.Insert(bg, docs[:100]); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -266,11 +455,14 @@ func TestTextToNeighborsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Insert(vecs); err != nil {
+	if _, err := s.Insert(bg, vecs); err != nil {
 		t.Fatal(err)
 	}
 	q, _ := e.Encode("quick brown fox and a lazy dog")
-	res := s.Query(q)
+	res, err := s.Query(bg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ids := map[uint32]bool{}
 	for _, nb := range res {
 		ids[nb.ID] = true

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and snapshot the results for regression
+# tracking. The latest run always lands in benchmarks/latest.txt; pass a
+# benchmark regex to narrow the run, e.g.:
+#
+#   scripts/bench.sh                  # everything
+#   scripts/bench.sh 'Fig9|TopK'      # just the cluster benchmarks
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+mkdir -p benchmarks
+{
+  echo "# go test -bench '${pattern}' -benchmem ./..."
+  echo "# $(go version)"
+  go test -run '^$' -bench "${pattern}" -benchmem ./...
+} | tee benchmarks/latest.txt
