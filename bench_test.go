@@ -397,6 +397,77 @@ func benchNode(b *testing.B, staticN, deltaN int) *node.Node {
 	return n
 }
 
+// --- Non-blocking merges: query latency while rebuilds run ---------------
+
+// BenchmarkQueryDuringMerge measures single-query latency with static
+// rebuilds continuously in flight: a churn goroutine cycles delta fills
+// and forced merges for the whole measurement, so most samples land while
+// a background merge is running. Under the paper's buffer-queries-during-
+// merge design this number would approach the merge duration; under the
+// snapshot model it should stay near the no-merge query time (compare
+// BenchmarkFig10BatchSize/b1).
+func BenchmarkQueryDuringMerge(b *testing.B) {
+	f := benchFixture(b)
+	cfg := node.Config{
+		Params:    lshhash.Params{Dim: benchDim, K: 12, M: 10, Seed: benchSeed},
+		Capacity:  benchN * 4,
+		AutoMerge: false,
+		Build:     core.Defaults(),
+		Query:     core.QueryDefaults(),
+	}
+	n, err := node.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := docsSlice(f.col, benchN)
+	if _, err := n.Insert(bg, base); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.MergeNow(bg); err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		chunk := docsSlice(f.col, benchN/10)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n.Len()+len(chunk) > cfg.Capacity {
+				n.Retire(bg)
+				if _, err := n.Insert(bg, base); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if _, err := n.Insert(bg, chunk); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := n.MergeNow(bg); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Query(bg, f.queries[i%len(f.queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed()
+	b.StopTimer()
+	close(stop)
+	<-churnDone
+	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N), "ns/query-during-merge")
+}
+
 // --- §8.6: streaming insert and merge costs ------------------------------
 
 func BenchmarkStreamingInsertChunk(b *testing.B) {

@@ -142,8 +142,15 @@ func (cl *Cluster) QueryTopK(ctx context.Context, q Vector, k int) ([]ClusterNei
 // Delete removes a document by its global ID.
 func (cl *Cluster) Delete(ctx context.Context, g uint64) error { return cl.c.Delete(ctx, g) }
 
-// Merge forces every node's delta into its static structure, in parallel.
+// Merge drives every node to a fully static state, in parallel. Each
+// node's rebuild runs in the background on that node, so queries broadcast
+// while Merge is in flight keep being answered from pre-merge snapshots;
+// only the Merge caller waits for quiescence.
 func (cl *Cluster) Merge(ctx context.Context) error { return cl.c.MergeAll(ctx) }
+
+// Flush waits for every node's in-flight background merge (if any) to
+// finish without forcing new ones.
+func (cl *Cluster) Flush(ctx context.Context) error { return cl.c.FlushAll(ctx) }
 
 // Stats returns per-node snapshots, gathered in parallel.
 func (cl *Cluster) Stats(ctx context.Context) ([]Stats, error) { return cl.c.Stats(ctx) }

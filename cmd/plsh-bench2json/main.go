@@ -1,0 +1,106 @@
+// plsh-bench2json converts `go test -bench` output on stdin into the
+// machine-readable benchmarks/latest.json snapshot written by
+// scripts/bench.sh, so benchmark trajectories can be diffed and plotted
+// instead of eyeballed.
+//
+// Every benchmark line becomes one entry with all its metrics (standard
+// ns/op, B/op, allocs/op plus any b.ReportMetric custom units). The
+// query-latency-during-merge number — the headline metric of the
+// non-blocking merge pipeline, reported by BenchmarkQueryDuringMerge — is
+// also surfaced as a top-level field.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type snapshot struct {
+	GeneratedAt time.Time   `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	Benchmarks  []benchmark `json:"benchmarks"`
+	// QueryDuringMergeNS is BenchmarkQueryDuringMerge's
+	// ns/query-during-merge metric, or 0 when that benchmark was not in
+	// the run's pattern.
+	QueryDuringMergeNS float64 `json:"query_latency_during_merge_ns"`
+}
+
+func main() {
+	snap := snapshot{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		Benchmarks:  []benchmark{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name-N  iterations  value unit  [value unit ...]
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := benchmark{
+			Name:       strings.TrimPrefix(trimProcs(fields[0]), "Benchmark"),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) == 0 {
+			continue
+		}
+		if v, ok := b.Metrics["ns/query-during-merge"]; ok {
+			snap.QueryDuringMergeNS = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "plsh-bench2json: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "plsh-bench2json: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcs drops the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo-8" → "BenchmarkFoo"), keeping sub-
+// benchmark paths intact.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -14,8 +14,12 @@
 //   - a batched query engine with bitvector duplicate elimination, sorted
 //     candidate extraction, and masked sparse dot products;
 //   - streaming inserts through an insert-optimized delta table that is
-//     periodically merged into the static structure, with deletion support
-//     and well-defined expiration;
+//     periodically merged into the static structure by a background merge
+//     pipeline: queries run lock-free against immutable copy-on-write
+//     snapshots and are never buffered behind a rebuild (Merge waits for a
+//     quiesced merge; Flush awaits an in-flight one; Stats surfaces
+//     MergeInFlight), with atomic-tombstone deletions that are compacted
+//     out of rebuilds, and well-defined expiration;
 //   - an analytical performance model that selects the (k, m) parameters
 //     for a target recall and memory budget;
 //   - a multi-node coordinator (in-process or TCP) with a rolling insert

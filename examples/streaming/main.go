@@ -1,8 +1,12 @@
 // Streaming: a scaled-down version of the paper's headline workload —
 // continuous tweet arrival with concurrent similarity queries. Inserts are
-// batched into the delta table, merges fire automatically at the η
-// threshold, and query latency is sampled throughout to show the ≤1.5×
-// streaming bound (§6.3) in action.
+// batched into the delta table and background merges fire automatically at
+// the η threshold; unlike the paper, which buffers queries until a merge
+// completes, queries here run lock-free against copy-on-write snapshots,
+// so the latency samples taken throughout stay flat even while rebuilds
+// are in flight. Store.Flush is the barrier that settles the last
+// background merge before final stats are read; MergeInFlight can be
+// observed mid-run via Stats.
 package main
 
 import (
@@ -75,6 +79,12 @@ func main() {
 	close(stop)
 	wg.Wait()
 
+	// Merges run in the background; wait out any still in flight so the
+	// stats below are settled. (Queries never needed this barrier — they
+	// read consistent snapshots throughout.)
+	if err := store.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
 	st := store.Stats()
 	fmt.Printf("ingested %d docs in %v (%.0f docs/s)\n",
 		store.Len(), ingestDur.Round(time.Millisecond),
@@ -109,6 +119,8 @@ func main() {
 		fmt.Printf("query-batch latency under streaming: min %v avg %v max %v (%d samples)\n",
 			mn.Round(time.Microsecond), (sum / time.Duration(len(latencies))).Round(time.Microsecond),
 			mx.Round(time.Microsecond), len(latencies))
-		fmt.Println("(max/min stays small: the paper bounds streaming query slowdown at 1.5x)")
+		fmt.Println("(max/min stays small: merges rebuild in the background, so no sample")
+		fmt.Println(" pays a merge-length stall — the paper instead buffers queries during")
+		fmt.Println(" merges and bounds steady-state streaming slowdown at 1.5x)")
 	}
 }

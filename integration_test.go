@@ -169,6 +169,7 @@ func (slowBackend) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]cor
 }
 func (slowBackend) Delete(ctx context.Context, id uint32) error { return nil }
 func (slowBackend) MergeNow(ctx context.Context) error          { return nil }
+func (slowBackend) Flush(ctx context.Context) error             { return nil }
 func (slowBackend) Retire(ctx context.Context) error            { return nil }
 func (slowBackend) Stats(ctx context.Context) (node.Stats, error) {
 	return node.Stats{Capacity: 1000}, nil
@@ -244,6 +245,11 @@ func TestStoreStreamsPastDeltaThreshold(t *testing.T) {
 		if _, err := s.Insert(bg, docs[off:off+100]); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// Merges are asynchronous now: wait for any in-flight one before
+	// reading settled stats.
+	if err := s.Flush(bg); err != nil {
+		t.Fatal(err)
 	}
 	st := s.Stats()
 	if st.Merges == 0 {

@@ -11,7 +11,10 @@
 // mask used for O(1) membership checks in the sparse dot product (§5.2.3).
 package bitvec
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Vector is a fixed-capacity dense bitvector over [0, Len()).
 type Vector struct {
@@ -47,6 +50,34 @@ func (v *Vector) TestAndSet(i int) bool {
 	old := v.words[w]
 	v.words[w] = old | mask
 	return old&mask == 0
+}
+
+// SetAtomic sets bit i with a release-ordered atomic OR, so it is safe to
+// call concurrently with TestAtomic on any bit — including bits in the same
+// word. This is the deletion-tombstone write path under the node's snapshot
+// concurrency model: queries read tombstones lock-free while deletions land.
+//
+// A vector must be accessed either entirely atomically or entirely plainly;
+// mixing Set with TestAtomic on the same vector is a data race.
+func (v *Vector) SetAtomic(i int) {
+	atomic.OrUint64(&v.words[i>>6], 1<<(uint(i)&63))
+}
+
+// TestAtomic reports whether bit i is set, using an atomic load so it can
+// run concurrently with SetAtomic.
+func (v *Vector) TestAtomic(i int) bool {
+	return atomic.LoadUint64(&v.words[i>>6])&(1<<(uint(i)&63)) != 0
+}
+
+// CountAtomic returns the number of set bits using atomic word loads. With
+// concurrent SetAtomic calls in flight the result is a lower bound on the
+// final population (bits are only ever set, never cleared, between resets).
+func (v *Vector) CountAtomic() int {
+	c := 0
+	for i := range v.words {
+		c += bits.OnesCount64(atomic.LoadUint64(&v.words[i]))
+	}
+	return c
 }
 
 // Reset zeroes the whole vector. For vectors sized to N this is the paper's

@@ -2,6 +2,7 @@ package bitvec
 
 import (
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -215,5 +216,49 @@ func TestQuickTestAndSetOnce(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Atomic accessors must agree with the plain ones and survive concurrent
+// setters — the deletion-tombstone contract of the node's snapshot model.
+func TestAtomicOps(t *testing.T) {
+	v := New(256)
+	v.SetAtomic(0)
+	v.SetAtomic(63)
+	v.SetAtomic(64)
+	v.SetAtomic(255)
+	for _, i := range []int{0, 63, 64, 255} {
+		if !v.TestAtomic(i) || !v.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if v.TestAtomic(1) || v.TestAtomic(128) {
+		t.Fatal("unset bit reads set")
+	}
+	if v.CountAtomic() != 4 || v.Count() != 4 {
+		t.Fatalf("count = %d/%d, want 4", v.CountAtomic(), v.Count())
+	}
+}
+
+func TestAtomicConcurrentSetters(t *testing.T) {
+	const n = 1 << 12
+	v := New(n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				v.SetAtomic(i)
+				if !v.TestAtomic(i) {
+					t.Errorf("bit %d lost", i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := v.CountAtomic(); got != n {
+		t.Fatalf("count = %d, want %d (concurrent ORs dropped bits)", got, n)
 	}
 }

@@ -520,11 +520,23 @@ func (c *Cluster) Delete(ctx context.Context, g uint64) error {
 	return c.nodes[nodeIdx].Delete(ctx, local)
 }
 
-// MergeAll forces a merge on every node in parallel (used by experiments
-// to reach a fully static state).
+// MergeAll drives every node to a fully static state in parallel. Under
+// the nodes' snapshot concurrency model each per-node merge runs as a
+// background rebuild — MergeNow only waits for quiescence — so broadcasts
+// issued while MergeAll is in flight keep being answered from the nodes'
+// pre-merge snapshots instead of buffering behind the rebuilds.
 func (c *Cluster) MergeAll(ctx context.Context) error {
 	return c.fanOut(ctx, "merge", func(ctx context.Context, i int) error {
 		return c.nodes[i].MergeNow(ctx)
+	})
+}
+
+// FlushAll waits, in parallel, for every node's in-flight background merge
+// (if any) to finish without forcing new ones — the barrier callers use to
+// read settled Stats after streaming inserts.
+func (c *Cluster) FlushAll(ctx context.Context) error {
+	return c.fanOut(ctx, "flush", func(ctx context.Context, i int) error {
+		return c.nodes[i].Flush(ctx)
 	})
 }
 

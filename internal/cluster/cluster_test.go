@@ -97,6 +97,7 @@ func (f *fakeNode) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]cor
 
 func (f *fakeNode) Delete(ctx context.Context, id uint32) error { return f.wait(ctx) }
 func (f *fakeNode) MergeNow(ctx context.Context) error          { return f.wait(ctx) }
+func (f *fakeNode) Flush(ctx context.Context) error             { return f.wait(ctx) }
 func (f *fakeNode) Retire(ctx context.Context) error            { return f.wait(ctx) }
 func (f *fakeNode) Stats(ctx context.Context) (node.Stats, error) {
 	return node.Stats{Capacity: f.capacity}, nil
@@ -536,5 +537,47 @@ func TestCanceledInsertRejected(t *testing.T) {
 	cancel()
 	if _, err := c.Insert(ctx, testDocs(10, 27)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled insert: %v", err)
+	}
+}
+
+// MergeAll drives every node static while broadcasts keep answering;
+// FlushAll is the no-force barrier and reports clean merge state after.
+func TestMergeAllNonBlockingAndFlushAll(t *testing.T) {
+	c, err := New(bg, testNodes(t, 3, 1000), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(600, 29)
+	ids, err := c.Insert(bg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeErr := make(chan error, 1)
+	go func() { mergeErr <- c.MergeAll(bg) }()
+	// Broadcasts issued while the cluster-wide merge runs must answer from
+	// the nodes' snapshots, not buffer behind the rebuilds.
+	for i := 0; i < len(docs); i += 67 {
+		res, err := c.Query(bg, docs[i])
+		if err != nil {
+			t.Fatalf("query during MergeAll: %v", err)
+		}
+		if !findGlobal(res, ids[i]) {
+			t.Fatalf("doc %d missing during MergeAll", i)
+		}
+	}
+	if err := <-mergeErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushAll(bg); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stats {
+		if st.DeltaLen != 0 || st.MergeInFlight {
+			t.Fatalf("node %d not quiesced after MergeAll+FlushAll: %+v", i, st)
+		}
 	}
 }

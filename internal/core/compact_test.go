@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"plsh/internal/corpus"
+	"plsh/internal/lshhash"
+)
+
+// Compact must drop exactly the requested rows from every bucket of every
+// table, preserve intra-bucket order of the survivors, and leave Offsets
+// consistent.
+func TestStaticCompact(t *testing.T) {
+	const n, dim = 500, 2000
+	col := corpus.Generate(corpus.Twitter(n, dim, 7))
+	fam, err := lshhash.NewFamily(lshhash.Params{Dim: dim, K: 8, M: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(fam, col.Mat, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := func(id uint32) bool { return id%3 == 0 }
+
+	// Expected bucket contents: the pre-compact buckets with dropped rows
+	// filtered out.
+	want := make([][][]uint32, st.NumTables())
+	for l := range want {
+		tab := st.Table(l)
+		want[l] = make([][]uint32, len(tab.Offsets)-1)
+		for b := 0; b < len(tab.Offsets)-1; b++ {
+			for _, id := range tab.Items[tab.Offsets[b]:tab.Offsets[b+1]] {
+				if !drop(id) {
+					want[l][b] = append(want[l][b], id)
+				}
+			}
+		}
+	}
+
+	st.Compact(drop, 4)
+
+	if st.Len() != n {
+		t.Fatalf("Compact changed Len: %d", st.Len())
+	}
+	for l := 0; l < st.NumTables(); l++ {
+		tab := st.Table(l)
+		if int(tab.Offsets[len(tab.Offsets)-1]) != len(tab.Items) {
+			t.Fatalf("table %d: final offset %d != items %d",
+				l, tab.Offsets[len(tab.Offsets)-1], len(tab.Items))
+		}
+		for b := 0; b < len(tab.Offsets)-1; b++ {
+			if tab.Offsets[b] > tab.Offsets[b+1] {
+				t.Fatalf("table %d bucket %d: offsets decreasing", l, b)
+			}
+			got := tab.Bucket(uint32(b))
+			if len(got) != len(want[l][b]) {
+				t.Fatalf("table %d bucket %d: %d items, want %d", l, b, len(got), len(want[l][b]))
+			}
+			for i := range got {
+				if got[i] != want[l][b][i] {
+					t.Fatalf("table %d bucket %d item %d: %d, want %d", l, b, i, got[i], want[l][b][i])
+				}
+			}
+		}
+	}
+}
+
+// A compacted index queried through an engine must behave exactly like
+// filtering the dropped rows from the uncompacted answers.
+func TestCompactMatchesFiltering(t *testing.T) {
+	const n, dim = 400, 2000
+	col := corpus.Generate(corpus.Twitter(n, dim, 11))
+	fam, err := lshhash.NewFamily(lshhash.Params{Dim: dim, K: 8, M: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Static {
+		st, err := Build(fam, col.Mat, Defaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	drop := func(id uint32) bool { return id%7 == 2 }
+
+	plain := NewEngine(build(), col.Mat, QueryDefaults())
+	compacted := build()
+	compacted.Compact(drop, 0)
+	ceng := NewEngine(compacted, col.Mat, QueryDefaults())
+
+	for qi := 0; qi < n; qi += 29 {
+		q := col.Mat.Row(qi)
+		var want []Neighbor
+		for _, nb := range plain.Query(q) {
+			if !drop(nb.ID) {
+				want = append(want, nb)
+			}
+		}
+		got := ceng.Query(q)
+		SortNeighbors(want)
+		SortNeighbors(got)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d answers, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("query %d answer %d: %d, want %d", qi, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}

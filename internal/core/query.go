@@ -147,8 +147,11 @@ func (e *Engine) Pool() *sched.Pool { return e.pool }
 func (e *Engine) Options() QueryOptions { return e.opts }
 
 // SetDeleted installs the deletion bitvector consulted before distance
-// computation (§6.2). Pass nil to clear. The vector is read, not copied;
-// callers must not mutate it concurrently with queries.
+// computation (§6.2). Pass nil to clear. The vector is read, not copied,
+// and is consulted with atomic loads, so callers may keep setting bits
+// (via SetAtomic) concurrently with queries — the tombstone contract of
+// the node's snapshot concurrency model. SetDeleted itself must still be
+// called before the engine is shared with readers.
 func (e *Engine) SetDeleted(del *bitvec.Vector) { e.deleted = del }
 
 // Phases returns accumulated per-phase times.
@@ -277,7 +280,7 @@ func (e *Engine) queryOn(q sparse.Vector, ws *workspace) ([]Neighbor, QueryStats
 		ws.mask.Scatter(q)
 	}
 	for _, id := range ws.cand {
-		if e.deleted != nil && e.deleted.Test(int(id)) {
+		if e.deleted != nil && e.deleted.TestAtomic(int(id)) {
 			continue
 		}
 		idx, val := e.store.Doc(int(id))

@@ -16,6 +16,7 @@ import (
 	"errors"
 
 	"plsh/internal/lshhash"
+	"plsh/internal/sched"
 	"plsh/internal/sparse"
 )
 
@@ -49,6 +50,37 @@ func (s *Static) NumTables() int { return len(s.tables) }
 
 // Table returns table l.
 func (s *Static) Table(l int) *Table { return &s.tables[l] }
+
+// Compact removes every item for which drop reports true from every
+// bucket, in place, rewriting Offsets to stay consistent — the tombstone
+// compaction step of a streaming merge: rows deleted before the rebuild
+// never become candidates again, instead of being filtered on every query
+// for the rest of the index's life. Len is unchanged (item IDs keep their
+// meaning); only bucket membership shrinks.
+//
+// Compact must run before the index is published to readers; it mutates
+// Items and Offsets. drop may be called concurrently from multiple
+// goroutines (tables compact in parallel).
+func (s *Static) Compact(drop func(id uint32) bool, workers int) {
+	pool := sched.NewPool(workers)
+	pool.Run(len(s.tables), func(l, _ int) {
+		t := &s.tables[l]
+		var w uint32
+		for b := 0; b < len(t.Offsets)-1; b++ {
+			lo, hi := t.Offsets[b], t.Offsets[b+1]
+			t.Offsets[b] = w
+			// w never exceeds the read cursor, so the in-place copy is safe.
+			for _, id := range t.Items[lo:hi] {
+				if !drop(id) {
+					t.Items[w] = id
+					w++
+				}
+			}
+		}
+		t.Offsets[len(t.Offsets)-1] = w
+		t.Items = t.Items[:w]
+	})
+}
 
 // MemoryBytes reports the index footprint: the L·N·4 item bytes that
 // dominate Eq. 7.4's memory constraint plus the offset arrays' 2^k·L·4.

@@ -28,13 +28,17 @@ import (
 
 // Table is a streaming LSH structure. Inserted documents get delta-local
 // IDs 0..Len()-1 in arrival order. Table is not internally synchronized;
-// the owning node serializes inserts against queries.
+// the owning node serializes inserts. Once Freeze is called the table is
+// immutable and every read-side method (Candidates, Buckets, Sketches,
+// MemoryBytes) is safe for arbitrary concurrent use — frozen tables are
+// the building blocks of the node's copy-on-write query snapshots.
 type Table struct {
 	fam     *lshhash.Family
 	pool    *sched.Pool
 	buckets []map[uint32][]uint32 // per table l: key → item IDs
 	sk      *lshhash.Sketches     // retained so merges reuse hashing work
 	n       int
+	frozen  bool
 }
 
 // New returns an empty delta table over the family.
@@ -59,21 +63,30 @@ func (d *Table) Len() int { return d.n }
 // document) for the merge path.
 func (d *Table) Sketches() *lshhash.Sketches { return d.sk }
 
+// Freeze marks the table immutable. Further Insert calls panic; reads need
+// no synchronization. Freezing is idempotent.
+func (d *Table) Freeze() { d.frozen = true }
+
+// IsFrozen reports whether Freeze has been called.
+func (d *Table) IsFrozen() bool { return d.frozen }
+
 // Insert hashes the batch once and appends every document to its bucket in
 // all L tables, parallelized over tables (each worker owns a disjoint set
 // of tables, so no locks are needed). It returns the delta-local ID of the
-// first inserted document.
+// first inserted document. Insert panics on a frozen table.
 func (d *Table) Insert(vs []sparse.Vector) int {
+	if d.frozen {
+		panic("delta: Insert on frozen table")
+	}
 	first := d.n
 	d.sk = d.fam.AppendSketches(d.sk, vs)
 	p := d.fam.Params()
-	half := uint(p.K / 2)
 	d.pool.Run(p.L(), func(l, _ int) {
 		a, b := lshhash.PairForTable(l, p.M)
 		m := d.buckets[l]
 		for i := range vs {
 			id := first + i
-			key := d.sk.At(id, a)<<half | d.sk.At(id, b)
+			key := d.sk.TableKey(id, a, b, p.K)
 			m[key] = append(m[key], uint32(id))
 		}
 	})
@@ -104,13 +117,70 @@ func (d *Table) Candidates(sketch []uint32, seen *bitvec.Vector, cand []uint32) 
 	return cand, collisions
 }
 
-// Reset empties the table (after a merge), retaining the allocated maps.
+// FromSketches builds a frozen table over precomputed sketches: row i of sk
+// becomes delta-local ID i. Rows for which skip reports true are omitted
+// from every bucket (tombstone compaction) but still count toward Len, so
+// local IDs stay aligned with sketch rows and with the owning arena. The
+// caller transfers ownership of sk; it must not be mutated afterwards.
+//
+// This is the segment-coalescing path: rebucketing reuses the hashing work
+// retained in the source tables' sketches instead of rehashing documents.
+func FromSketches(fam *lshhash.Family, sk *lshhash.Sketches, workers int, skip func(localID int) bool) *Table {
+	d := New(fam, workers)
+	d.sk = sk
+	d.n = sk.N()
+	p := fam.Params()
+	d.pool.Run(p.L(), func(l, _ int) {
+		a, b := lshhash.PairForTable(l, p.M)
+		m := d.buckets[l]
+		for i := 0; i < d.n; i++ {
+			if skip != nil && skip(i) {
+				continue
+			}
+			key := sk.TableKey(i, a, b, p.K)
+			m[key] = append(m[key], uint32(i))
+		}
+	})
+	d.Freeze()
+	return d
+}
+
+// Coalesce builds one frozen table spanning a's rows followed by b's rows
+// (local IDs 0..a.Len()-1 then a.Len()..a.Len()+b.Len()-1), dropping rows
+// for which skip reports true. Both inputs must be frozen; they are read,
+// never mutated, so in-flight snapshot readers of a and b are unaffected.
+func Coalesce(fam *lshhash.Family, a, b *Table, workers int, skip func(localID int) bool) *Table {
+	if !a.frozen || !b.frozen {
+		panic("delta: Coalesce of unfrozen table")
+	}
+	m := fam.Params().M
+	data := make([]uint32, 0, len(a.sk.Data)+len(b.sk.Data))
+	data = append(data, a.sk.Data...)
+	data = append(data, b.sk.Data...)
+	return FromSketches(fam, &lshhash.Sketches{M: m, Data: data}, workers, skip)
+}
+
+// Buckets iterates table l's buckets (key, delta-local IDs) in unspecified
+// order, stopping early if fn returns false — the read-only walk used by
+// tests and diagnostics over frozen tables. The callback must not retain or
+// modify ids.
+func (d *Table) Buckets(l int, fn func(key uint32, ids []uint32) bool) {
+	for key, ids := range d.buckets[l] {
+		if !fn(key, ids) {
+			return
+		}
+	}
+}
+
+// Reset empties the table (after a merge), retaining the allocated maps and
+// clearing any freeze.
 func (d *Table) Reset() {
 	for l := range d.buckets {
 		clear(d.buckets[l])
 	}
 	d.sk = &lshhash.Sketches{M: d.fam.Params().M}
 	d.n = 0
+	d.frozen = false
 }
 
 // MemoryBytes approximates the structure's footprint: bucket contents plus

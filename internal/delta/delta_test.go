@@ -193,3 +193,116 @@ func TestEmptyInsert(t *testing.T) {
 		t.Fatal("empty insert changed Len")
 	}
 }
+
+func TestFreezeMakesTableImmutable(t *testing.T) {
+	fam := testFamily(t)
+	d := New(fam, 2)
+	vs := docs(60, 2000, 21)
+	d.Insert(vs[:40])
+	d.Freeze()
+	if !d.IsFrozen() {
+		t.Fatal("IsFrozen false after Freeze")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Insert on frozen table did not panic")
+			}
+		}()
+		d.Insert(vs[40:])
+	}()
+	// Reads still work on a frozen table.
+	seen := bitvec.New(d.Len())
+	cand, _ := d.Candidates(fam.Sketch(vs[3]), seen, nil)
+	found := false
+	for _, id := range cand {
+		if id == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("frozen table lost a document")
+	}
+	// Reset clears the freeze.
+	d.Reset()
+	if d.IsFrozen() {
+		t.Fatal("Reset kept the freeze")
+	}
+	d.Insert(vs[:5])
+}
+
+// Coalesce(a, b) must answer candidate queries exactly like a table built
+// by inserting a's rows then b's rows, minus skipped rows.
+func TestCoalesceMatchesSequentialInsert(t *testing.T) {
+	fam := testFamily(t)
+	vs := docs(300, 2000, 23)
+	a := New(fam, 2)
+	a.Insert(vs[:100])
+	a.Freeze()
+	b := New(fam, 2)
+	b.Insert(vs[100:])
+	b.Freeze()
+
+	ref := New(fam, 2)
+	ref.Insert(vs)
+
+	skip := func(i int) bool { return i%11 == 4 }
+	merged := Coalesce(fam, a, b, 2, skip)
+	if !merged.IsFrozen() {
+		t.Fatal("Coalesce returned unfrozen table")
+	}
+	if merged.Len() != 300 {
+		t.Fatalf("merged Len = %d, want 300 (skipped rows still count)", merged.Len())
+	}
+
+	seenM := bitvec.New(300)
+	seenR := bitvec.New(300)
+	for qi, q := range docs(25, 2000, 25) {
+		qsk := fam.Sketch(q)
+		cm, _ := merged.Candidates(qsk, seenM, nil)
+		cr, _ := ref.Candidates(qsk, seenR, nil)
+		seenM.ResetList(cm)
+		seenR.ResetList(cr)
+		want := map[uint32]bool{}
+		for _, id := range cr {
+			if !skip(int(id)) {
+				want[id] = true
+			}
+		}
+		if len(cm) != len(want) {
+			t.Fatalf("query %d: %d candidates, want %d", qi, len(cm), len(want))
+		}
+		for _, id := range cm {
+			if !want[id] {
+				t.Fatalf("query %d: unexpected candidate %d", qi, id)
+			}
+		}
+	}
+}
+
+func TestFromSketchesReusesHashes(t *testing.T) {
+	fam := testFamily(t)
+	vs := docs(80, 2000, 27)
+	src := New(fam, 2)
+	src.Insert(vs)
+	src.Freeze()
+	rebuilt := FromSketches(fam, src.Sketches(), 2, nil)
+	if rebuilt.Len() != 80 {
+		t.Fatalf("Len = %d", rebuilt.Len())
+	}
+	// Buckets iteration sees every (frozen) bucket; total bucket entries
+	// across tables must match the source exactly.
+	count := func(d *Table) int {
+		total := 0
+		for l := 0; l < fam.Params().L(); l++ {
+			d.Buckets(l, func(_ uint32, ids []uint32) bool {
+				total += len(ids)
+				return true
+			})
+		}
+		return total
+	}
+	if got, want := count(rebuilt), count(src); got != want {
+		t.Fatalf("bucket entries %d, want %d", got, want)
+	}
+}

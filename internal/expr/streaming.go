@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"plsh/internal/core"
@@ -64,18 +65,50 @@ func Streaming(o Options, w io.Writer) error {
 	}
 	insertPerChunk := insertTotal / time.Duration(max(1, chunks))
 
-	// Worst-case merge: static ~90%, delta full.
+	// Worst-case merge: static ~90%, delta full. The merge runs in the
+	// background (MergeNow only waits for quiescence), so we sample query
+	// latency *while it is in flight* — the number the snapshot-based
+	// concurrency model exists to bound. The paper buffers queries for the
+	// whole merge, so its during-merge p99 equals the merge duration; here
+	// it should stay near the steady-state query time.
+	queries := collectVecs(stream, 16)
+	mergeErr := make(chan error, 1)
 	t0 := time.Now()
-	if err := n.MergeNow(ctx); err != nil {
-		return err
+	go func() { mergeErr <- n.MergeNow(ctx) }()
+	var during []time.Duration
+	for done := false; !done; {
+		select {
+		case err := <-mergeErr:
+			if err != nil {
+				return err
+			}
+			done = true
+		default:
+			q0 := time.Now()
+			if _, err := n.Query(ctx, queries[len(during)%len(queries)]); err != nil {
+				return err
+			}
+			during = append(during, time.Since(q0))
+		}
 	}
 	mergeDur := time.Since(t0)
+	sort.Slice(during, func(i, j int) bool { return during[i] < during[j] })
+	pct := func(p float64) time.Duration {
+		if len(during) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(during)-1))
+		return during[i]
+	}
 
 	tb := newTable(w)
 	tb.row("measurement", "value")
 	tb.row(fmt.Sprintf("insert per %d-doc chunk (ms)", chunk), ms(insertPerChunk))
 	tb.row("chunks absorbed before merge", chunks)
 	tb.row("worst-case merge (ms)", ms(mergeDur))
+	tb.row("queries answered during merge", len(during))
+	tb.row("query p50 during merge (ms)", ms(pct(0.50)))
+	tb.row("query p99 during merge (ms)", ms(pct(0.99)))
 	tb.flush()
 
 	// Overhead accounting at Twitter rates, scaled: the paper processes

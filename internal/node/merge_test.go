@@ -1,0 +1,406 @@
+package node
+
+import (
+	"context"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+)
+
+// holdMerge installs test hooks that block n's background merge at the
+// given phase until the returned release func is called. entered is closed
+// once the merge reaches the phase. Cleanup releases the hold, drains the
+// node, and only then clears the hook — the hooks are plain globals, so no
+// merge goroutine may be left running when they are written.
+func holdMerge(t *testing.T, n *Node, phase *func()) (entered chan struct{}, release func()) {
+	t.Helper()
+	entered = make(chan struct{})
+	releaseCh := make(chan struct{})
+	*phase = func() {
+		close(entered)
+		<-releaseCh
+	}
+	var once sync.Once
+	release = func() { once.Do(func() { close(releaseCh) }) }
+	t.Cleanup(func() {
+		release()
+		if err := n.Flush(bg); err != nil {
+			t.Error(err)
+		}
+		*phase = nil
+	})
+	return entered, release
+}
+
+// The acceptance property of the snapshot refactor: with a merge provably
+// in flight (held open by a test hook), queries, inserts, and deletes all
+// complete and stay correct instead of buffering behind the rebuild.
+func TestQueriesCompleteDuringMerge(t *testing.T) {
+	cfg := testConfig(2000)
+	cfg.AutoMerge = false
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(600, 31)
+	if _, err := n.Insert(bg, vs[:300]); err != nil {
+		t.Fatal(err)
+	}
+	mustMerge(t, n)
+	if _, err := n.Insert(bg, vs[300:500]); err != nil {
+		t.Fatal(err)
+	}
+
+	entered, release := holdMerge(t, n, &testHookMergeStart)
+	defer release()
+	mergeErr := make(chan error, 1)
+	go func() { mergeErr <- n.MergeNow(bg) }()
+	<-entered
+
+	st := n.Stats()
+	if !st.MergeInFlight || st.MergePendingRows != 200 {
+		t.Fatalf("merge state not surfaced: %+v", st)
+	}
+	// Queries over both static and delta rows answer while the rebuild is
+	// blocked. Under the old lock-everything model these would hang.
+	for i := 0; i < 500; i += 37 {
+		if got := neighborIDs(mustQuery(t, n, vs[i])); !got[uint32(i)] {
+			t.Fatalf("doc %d unavailable during merge", i)
+		}
+	}
+	// Inserts land in the active delta and are immediately visible.
+	if _, err := n.Insert(bg, vs[500:550]); err != nil {
+		t.Fatal(err)
+	}
+	if got := neighborIDs(mustQuery(t, n, vs[520])); !got[520] {
+		t.Fatal("doc inserted during merge not found")
+	}
+	// Deletes take effect immediately, without the write lock.
+	n.Delete(10)
+	if got := neighborIDs(mustQuery(t, n, vs[10])); got[10] {
+		t.Fatal("doc deleted during merge still returned")
+	}
+
+	release()
+	if err := <-mergeErr; err != nil {
+		t.Fatal(err)
+	}
+	// MergeNow's target was the 500 rows present at the call; the 50 rows
+	// inserted mid-merge stay in the delta.
+	if n.StaticLen() != 500 || n.DeltaLen() != 50 {
+		t.Fatalf("post-merge split: %d/%d", n.StaticLen(), n.DeltaLen())
+	}
+	for i := 0; i < 550; i += 41 {
+		want := i != 10
+		if got := neighborIDs(mustQuery(t, n, vs[i])); got[uint32(i)] != want {
+			t.Fatalf("doc %d visibility after merge: got %v want %v", i, got[uint32(i)], want)
+		}
+	}
+}
+
+// Tombstones set while a merge is running must stick, whichever side of
+// the rebuild they land on: before it → compacted out of the new buckets;
+// after it (but before publication) → filtered on every query.
+func TestDeleteMidMergeNotResurrected(t *testing.T) {
+	cfg := testConfig(2000)
+	cfg.AutoMerge = false
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(400, 33)
+	if _, err := n.Insert(bg, vs); err != nil {
+		t.Fatal(err)
+	}
+
+	started, releaseStart := holdMerge(t, n, &testHookMergeStart)
+	built, releaseBuilt := holdMerge(t, n, &testHookMergeBuilt)
+	defer releaseStart()
+	defer releaseBuilt()
+	done := make(chan error, 1)
+	go func() { done <- n.MergeNow(bg) }()
+
+	<-started
+	n.Delete(7) // lands before the rebuild reads tombstones
+	releaseStart()
+	<-built
+	n.Delete(11) // lands after the rebuild, before the snapshot swap
+	releaseBuilt()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []uint32{7, 11} {
+		if got := neighborIDs(mustQuery(t, n, vs[id])); got[id] {
+			t.Fatalf("deleted doc %d resurrected by merge", id)
+		}
+	}
+	// White-box: the pre-rebuild tombstone was compacted out of every
+	// static bucket, not merely filtered.
+	for l := 0; l < n.static.NumTables(); l++ {
+		if slices.Contains(n.static.Table(l).Items, 7) {
+			t.Fatal("compaction left tombstoned row in a static bucket")
+		}
+	}
+	if n.Stats().Deleted != 2 {
+		t.Fatalf("Deleted = %d", n.Stats().Deleted)
+	}
+}
+
+// Retire must drain an in-flight merge before erasing state, and the node
+// must come back empty and usable.
+func TestRetireDrainsInFlightMerge(t *testing.T) {
+	cfg := testConfig(2000)
+	cfg.AutoMerge = false
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(300, 35)
+	if _, err := n.Insert(bg, vs); err != nil {
+		t.Fatal(err)
+	}
+
+	entered, release := holdMerge(t, n, &testHookMergeStart)
+	defer release()
+	mergeRet := make(chan error, 1)
+	go func() { mergeRet <- n.MergeNow(bg) }()
+	<-entered
+
+	retired := make(chan struct{})
+	go func() { n.Retire(bg); close(retired) }()
+	// The merge is held open, so Retire cannot have finished; it must be
+	// parked draining the merge, while queries still answer.
+	select {
+	case <-retired:
+		t.Fatal("Retire completed while a merge was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := neighborIDs(mustQuery(t, n, vs[3])); !got[3] {
+		t.Fatal("query failed while Retire drained the merge")
+	}
+	// A deadline-bound Retire must give up instead of waiting out the held
+	// merge, leaving the node unretired.
+	dctx, cancel := context.WithTimeout(bg, 30*time.Millisecond)
+	defer cancel()
+	if err := n.Retire(dctx); err != context.DeadlineExceeded {
+		t.Fatalf("deadline-bound Retire during merge: %v", err)
+	}
+	if n.Len() != 300 {
+		t.Fatalf("canceled Retire erased state: Len = %d", n.Len())
+	}
+	release()
+	<-retired
+	// Join the forced-merge waiter before touching the node further: once
+	// Retire erases its target rows it returns promptly (clamped target),
+	// but left unjoined it could restart a merge over post-retire inserts
+	// and race the test cleanup.
+	if err := <-mergeRet; err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.StaticLen != 0 || st.DeltaLen != 0 || st.Deleted != 0 || st.MergeInFlight {
+		t.Fatalf("retire left state: %+v", st)
+	}
+	if _, err := n.Insert(bg, vs[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if got := neighborIDs(mustQuery(t, n, vs[20])); !got[20] {
+		t.Fatal("node unusable after draining retire")
+	}
+}
+
+// Retire concurrent with a storm of snapshot queries: in-flight queries
+// keep reading the retired (immutable) structures, nothing races, and the
+// node is empty afterwards.
+func TestRetireRacesInFlightQueries(t *testing.T) {
+	cfg := testConfig(3000) // η·C = 300: inserts below also trigger merges
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(900, 37)
+	queries := testDocs(16, 39)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := n.Query(bg, queries[(g+i)%len(queries)]); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := n.Insert(bg, vs); err != nil {
+			t.Fatalf("round %d insert: %v", round, err)
+		}
+		n.Retire(bg)
+	}
+	close(stop)
+	wg.Wait()
+	if n.Len() != 0 {
+		t.Fatalf("Len = %d after final retire", n.Len())
+	}
+}
+
+// A MergeNow waiter whose target rows get erased by a concurrent Retire
+// must still return (its quiescence target clamps to the shrunken row
+// count) rather than spinning on a stale merge generation.
+func TestMergeNowReturnsDespiteConcurrentRetire(t *testing.T) {
+	cfg := testConfig(2000)
+	cfg.AutoMerge = false
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(200, 47)
+	for round := 0; round < 10; round++ {
+		if _, err := n.Insert(bg, vs); err != nil {
+			t.Fatalf("round %d insert: %v", round, err)
+		}
+		mergeRet := make(chan error, 1)
+		go func() { mergeRet <- n.MergeNow(bg) }()
+		n.Retire(bg)
+		select {
+		case err := <-mergeRet:
+			if err != nil {
+				t.Fatalf("round %d merge: %v", round, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: MergeNow hung after concurrent Retire", round)
+		}
+		if n.Len() != 0 {
+			// MergeNow may finish before or after the retire erases the
+			// rows; either way the node must settle empty here.
+			t.Fatalf("round %d: Len = %d after retire", round, n.Len())
+		}
+	}
+}
+
+// Single-document inserts must not degrade queries to a per-batch segment
+// walk: trailing segments coalesce so the chain stays logarithmic, and the
+// segments tile the delta rows exactly.
+func TestSegmentCoalescing(t *testing.T) {
+	cfg := testConfig(5000)
+	cfg.AutoMerge = false
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(256, 41)
+	for i := range vs {
+		if _, err := n.Insert(bg, vs[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := n.snap.Load()
+	if len(s.segs) > 10 {
+		t.Fatalf("%d segments after 256 single-doc inserts; coalescing not logarithmic", len(s.segs))
+	}
+	next := s.nStatic
+	for _, sg := range s.segs {
+		if sg.base != next {
+			t.Fatalf("segment base %d, want %d (segments must tile the delta)", sg.base, next)
+		}
+		if !sg.t.IsFrozen() {
+			t.Fatal("published segment not frozen")
+		}
+		next += sg.t.Len()
+	}
+	if next != s.rows {
+		t.Fatalf("segments cover up to row %d, want %d", next, s.rows)
+	}
+	for i := 0; i < len(vs); i += 17 {
+		if got := neighborIDs(mustQuery(t, n, vs[i])); !got[uint32(i)] {
+			t.Fatalf("doc %d lost in coalescing", i)
+		}
+	}
+}
+
+// A sustained mixed workload — concurrent inserts, queries, deletes,
+// forced merges, flushes — exercised for the race detector, with a full
+// consistency sweep at the end.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	cfg := testConfig(4000) // η·C = 400 → background merges fire mid-run
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(2000, 43)
+	if _, err := n.Insert(bg, vs[:200]); err != nil {
+		t.Fatal(err)
+	}
+	queries := testDocs(12, 45)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := n.Query(bg, queries[(g+i)%len(queries)]); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // deleter: tombstones racing queries and the merge
+		defer wg.Done()
+		for id := uint32(0); id < 100; id += 5 {
+			n.Delete(id)
+		}
+	}()
+	wg.Add(1)
+	go func() { // merger/flusher racing the inserter's auto-merges
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := n.MergeNow(bg); err != nil {
+				t.Errorf("merge: %v", err)
+				return
+			}
+			if err := n.Flush(bg); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+		}
+	}()
+	for off := 200; off+100 <= 2000; off += 100 {
+		if _, err := n.Insert(bg, vs[off:off+100]); err != nil {
+			t.Fatalf("insert at %d: %v", off, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := n.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 2000 {
+		t.Fatalf("Len = %d", n.Len())
+	}
+	for i := 0; i < 2000; i += 101 {
+		deleted := i < 100 && i%5 == 0
+		if got := neighborIDs(mustQuery(t, n, vs[i])); got[uint32(i)] == deleted {
+			t.Fatalf("doc %d: deleted=%v but found=%v", i, deleted, got[uint32(i)])
+		}
+	}
+}

@@ -1,27 +1,43 @@
 // Package node combines a static PLSH index with a streaming delta table
-// into one single-node store — the per-node architecture of §4 and §6.
+// into one single-node store — the per-node architecture of §4 and §6,
+// reworked around copy-on-write snapshots so maintenance never blocks
+// reads.
 //
 // A node owns one contiguous document arena. Rows [0, staticLen) are
-// covered by the optimized static index; rows [staticLen, total) live in
-// the insert-optimized delta table. Queries consult both and concatenate
-// the answers (the two structures hold disjoint documents, so no cross-
-// structure deduplication is needed). When the delta reaches η·C the node
-// merges: the static structure is rebuilt over all rows — the paper shows
-// rebuild is within 2.67× of any possible merge scheme (§6.2) — and the
-// delta is emptied. Queries arriving during a merge block until it
-// completes ("queries received during the merge are buffered until the
-// merge completes").
+// covered by the optimized static index; rows [staticLen, total) live in a
+// chain of frozen, insert-optimized delta segments. The paper buffers
+// queries during a merge ("queries received during the merge are buffered
+// until the merge completes", §6.2–§6.3); this implementation does not.
+// Instead:
 //
-// Deletions set a bit in a capacity-sized bitvector consulted before the
-// final distance filter (§6.2); retirement erases the node wholesale when
-// the cluster's rolling insert window moves past it.
+//   - Queries atomically load an immutable snapshot{static engine, delta
+//     segments, arena prefix, tombstones} and run entirely lock-free
+//     against it — they never wait on inserts, merges, or each other.
+//   - Inserts append rows to the arena and publish a new snapshot under a
+//     short mutex; each batch becomes a frozen delta segment, and trailing
+//     segments are coalesced (Bentley–Saxe style) so the segment count
+//     stays logarithmic even under single-document inserts.
+//   - When the delta exceeds η·C, the segments are rotated out and a single
+//     background goroutine rebuilds the static structure over static+frozen
+//     rows — rebuild is within 2.67× of any possible merge scheme (§6.2) —
+//     then publishes the new snapshot with an atomic pointer swap. A fresh
+//     active delta accepts inserts for the whole duration.
+//
+// Deletions set a tombstone bit with an atomic OR — safe concurrently with
+// lock-free readers — and merges compact tombstoned rows out of the rebuilt
+// buckets so they are dropped, not resurrected. Retirement (the rolling
+// window of §6) drains any in-flight merge, then replaces the arena and
+// tombstones wholesale; in-flight snapshot queries keep reading the old,
+// now-immutable structures.
 package node
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"plsh/internal/bitvec"
@@ -36,15 +52,22 @@ import (
 // the next node.
 var ErrFull = errors.New("node: capacity reached")
 
+// testHookMergeStart and testHookMergeBuilt, when non-nil, run inside the
+// background merge goroutine: Start before the rebuild begins, Built after
+// the rebuild completes but before the new snapshot is published. Tests use
+// them to hold a merge open deterministically; they must be set while the
+// node is quiescent.
+var testHookMergeStart, testHookMergeBuilt func()
+
 // Config parameterizes a node.
 type Config struct {
 	// Params is the LSH family configuration shared by static and delta.
 	Params lshhash.Params
 	// Capacity is C, the maximum number of documents the node holds.
 	Capacity int
-	// DeltaFraction is η: the delta is merged into the static structure
-	// once it exceeds η·C (paper: 0.1, chosen so worst-case query time
-	// stays within 1.5× of static, §6.3).
+	// DeltaFraction is η: a background merge of the delta into the static
+	// structure starts once the delta exceeds η·C (paper: 0.1, chosen so
+	// worst-case query time stays within 1.5× of static, §6.3).
 	DeltaFraction float64
 	// AutoMerge, when false, disables the η trigger so experiments can
 	// hold a chosen static/delta split (Fig. 11). MergeNow still works.
@@ -77,41 +100,75 @@ func (cfg Config) withDefaults() Config {
 
 // Stats summarizes a node's state and accumulated maintenance costs.
 type Stats struct {
-	StaticLen    int
-	DeltaLen     int
-	Capacity     int
-	Deleted      int
-	Merges       int
-	LastMergeDur time.Duration
-	TotalMergeNS int64
-	InsertNS     int64
-	MemoryBytes  int64
+	StaticLen int
+	// DeltaLen counts every row not yet covered by the static index,
+	// including rows an in-flight background merge is currently absorbing.
+	DeltaLen int
+	Capacity int
+	Deleted  int
+	Merges   int
+	// MergeInFlight reports whether a background merge is running right
+	// now; MergePendingRows is how many delta rows it will absorb.
+	MergeInFlight    bool
+	MergePendingRows int
+	LastMergeDur     time.Duration
+	TotalMergeNS     int64
+	InsertNS         int64
+	MemoryBytes      int64
+}
+
+// segment is one frozen delta table covering arena rows
+// [base, base+t.Len()).
+type segment struct {
+	base int
+	t    *delta.Table
+}
+
+// snapshot is the immutable state a query runs against. Every field is
+// either immutable after publication (engine, static, segments, arena
+// prefix) or safe for concurrent atomic access (tombstones), so readers
+// touch no locks at all.
+type snapshot struct {
+	eng     *core.Engine // over arena rows [0, nStatic)
+	nStatic int
+	segs    []segment      // ascending base, covering [nStatic, rows)
+	store   *sparse.Matrix // read-only arena prefix covering [0, rows)
+	rows    int
+	deleted *bitvec.Vector // shared tombstones; atomic access only
 }
 
 // Node is a single-node PLSH store. All exported methods are safe for
-// concurrent use: queries share a read lock; inserts, merges, deletions and
-// retirement serialize behind the write lock (which is what buffers queries
-// during merges).
+// concurrent use: queries load the current snapshot atomically and run
+// lock-free; inserts, merges and retirement serialize behind a short
+// mutex that is never held across a rebuild, so a multi-second merge
+// stalls nobody.
 type Node struct {
-	mu  sync.RWMutex
 	cfg Config
 	fam *lshhash.Family
 
-	store   *sparse.Matrix // all documents, arena layout
-	static  *core.Static   // over rows [0, staticLen)
+	snap atomic.Pointer[snapshot]
+
+	mu      sync.Mutex     // guards everything below
+	store   *sparse.Matrix // master arena; append-only until Retire
+	deleted *bitvec.Vector // capacity-sized; replaced wholesale on Retire
+	segs    []segment      // unmerged delta segments, ascending base
+	static  *core.Static   // current published static index
 	eng     *core.Engine
-	dt      *delta.Table // rows [staticLen, store.Rows())
-	deleted *bitvec.Vector
 	nStatic int
 
-	// dwsPool recycles delta-side query workspaces, mirroring the static
-	// engine's private-bitvector-per-query design.
-	dwsPool sync.Pool
+	merging    bool
+	mergeUpTo  int           // arena rows the in-flight merge covers
+	mergeDone  chan struct{} // closed when the in-flight merge completes
+	coalescing bool          // a coalescer is rebuilding segments off-lock
 
 	merges       int
 	lastMergeDur time.Duration
 	totalMergeNS int64
 	insertNS     int64
+
+	// dwsPool recycles delta-side query workspaces, mirroring the static
+	// engine's private-bitvector-per-query design.
+	dwsPool sync.Pool
 }
 
 type deltaWorkspace struct {
@@ -120,6 +177,12 @@ type deltaWorkspace struct {
 	mask   *sparse.QueryMask
 	scores []float32
 	sketch []uint32
+}
+
+// newArena allocates a document arena for cfg: capacity rows with room
+// for ~8 non-zeros per document before the value arenas first grow.
+func newArena(cfg Config) *sparse.Matrix {
+	return sparse.NewMatrix(cfg.Params.Dim, cfg.Capacity, cfg.Capacity*8)
 }
 
 // New builds an empty node.
@@ -135,8 +198,7 @@ func New(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:     cfg,
 		fam:     fam,
-		store:   sparse.NewMatrix(cfg.Params.Dim, cfg.Capacity, int(float64(cfg.Capacity)*8)),
-		dt:      delta.New(fam, cfg.Build.Workers),
+		store:   newArena(cfg),
 		deleted: bitvec.New(cfg.Capacity),
 	}
 	n.dwsPool.New = func() any {
@@ -147,46 +209,66 @@ func New(cfg Config) (*Node, error) {
 			mask:   sparse.NewQueryMask(cfg.Params.Dim),
 		}
 	}
-	n.rebuild()
+	n.initStaticLocked() // no readers yet; mu not needed
+	n.publishLocked()
 	return n, nil
 }
 
-// rebuild reconstructs the static index over every stored row. Callers hold
-// the write lock (or are in New).
-func (n *Node) rebuild() {
-	st, err := core.Build(n.fam, n.store, n.cfg.Build)
+// initStaticLocked (re)builds the static index and engine over the current
+// arena's first nStatic rows — used at construction and retirement, when
+// the delta is empty. Callers hold mu (or are in New).
+func (n *Node) initStaticLocked() {
+	st, eng := n.buildStatic(n.store.Prefix(n.nStatic), n.deleted)
+	n.static, n.eng = st, eng
+}
+
+// buildStatic constructs a static index plus query engine over an immutable
+// arena prefix. It takes no locks and touches no mutable node state, so the
+// background merge calls it while inserts and queries proceed.
+func (n *Node) buildStatic(prefix *sparse.Matrix, del *bitvec.Vector) (*core.Static, *core.Engine) {
+	st, err := core.Build(n.fam, prefix, n.cfg.Build)
 	if err != nil {
 		// The store and family share Dim by construction; this is
 		// unreachable absent memory corruption.
 		panic(fmt.Sprintf("node: rebuild failed: %v", err))
 	}
-	n.static = st
-	n.nStatic = n.store.Rows()
-	eng := core.NewEngine(st, n.store, n.cfg.Query)
-	eng.SetDeleted(n.deleted)
-	n.eng = eng
-	n.dt.Reset()
+	if del.CountAtomic() > 0 {
+		// Tombstone compaction: rows deleted before this point never become
+		// candidates again. Later deletions are caught by the engine's
+		// per-query tombstone filter.
+		st.Compact(func(id uint32) bool { return del.TestAtomic(int(id)) }, n.cfg.Build.Workers)
+	}
+	eng := core.NewEngine(st, prefix, n.cfg.Query)
+	eng.SetDeleted(del)
+	return st, eng
+}
+
+// publishLocked installs a fresh immutable snapshot of the current state.
+// Callers hold mu. The segment slice is cloned so later in-place edits
+// (coalescing, merge completion) cannot reach already-published snapshots.
+func (n *Node) publishLocked() {
+	rows := n.store.Rows()
+	n.snap.Store(&snapshot{
+		eng:     n.eng,
+		nStatic: n.nStatic,
+		segs:    slices.Clone(n.segs),
+		store:   n.store.Prefix(rows),
+		rows:    rows,
+		deleted: n.deleted,
+	})
 }
 
 // Len returns the number of live rows (including deleted-but-present ones).
-func (n *Node) Len() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.store.Rows()
-}
+func (n *Node) Len() int { return n.snap.Load().rows }
 
 // StaticLen returns the number of rows covered by the static index.
-func (n *Node) StaticLen() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.nStatic
-}
+func (n *Node) StaticLen() int { return n.snap.Load().nStatic }
 
-// DeltaLen returns the number of rows in the delta table.
+// DeltaLen returns the number of rows not yet covered by the static index
+// (frozen segments awaiting or undergoing a merge, plus the active delta).
 func (n *Node) DeltaLen() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.dt.Len()
+	s := n.snap.Load()
+	return s.rows - s.nStatic
 }
 
 // Capacity returns C.
@@ -197,11 +279,11 @@ func (n *Node) Family() *lshhash.Family { return n.fam }
 
 // Insert appends a batch of documents, returning their node-local IDs.
 // The batch must fit the remaining capacity, else ErrFull and nothing is
-// inserted. An automatic merge runs if the delta exceeds η·C.
+// inserted. When the delta exceeds η·C a background merge is kicked off;
+// Insert does not wait for it.
 //
 // Cancellation is checked before any state changes; once the batch starts
-// it runs to completion (including a triggered merge) so the index never
-// holds a partially applied batch.
+// it runs to completion so the index never holds a partially applied batch.
 func (n *Node) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error) {
 	if len(vs) == 0 {
 		return nil, nil
@@ -209,87 +291,285 @@ func (n *Node) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
+	// Hash the batch and build its frozen segment before taking the mutex:
+	// the table depends only on the documents, not on where in the arena
+	// they land, so the expensive per-batch work never blocks concurrent
+	// Stats/Flush/MergeNow or other inserts. (A batch that then fails the
+	// capacity check wastes this work — rare and terminal for the node.)
+	t := delta.New(n.fam, n.cfg.Build.Workers)
+	t.Insert(vs)
+	t.Freeze()
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.store.Rows()+len(vs) > n.cfg.Capacity {
+		n.mu.Unlock()
 		return nil, ErrFull
 	}
-	t0 := time.Now()
+	base := n.store.Rows()
 	ids := make([]uint32, len(vs))
 	for i, v := range vs {
 		ids[i] = uint32(n.store.AppendRow(v))
 	}
-	n.dt.Insert(vs)
+	n.segs = append(n.segs, segment{base: base, t: t})
+	n.coalesceLoopLocked()
 	n.insertNS += int64(time.Since(t0))
-	if n.cfg.AutoMerge && float64(n.dt.Len()) > n.cfg.DeltaFraction*float64(n.cfg.Capacity) {
-		n.mergeLocked()
+	n.publishLocked()
+	if n.cfg.AutoMerge && !n.merging &&
+		float64(n.store.Rows()-n.nStatic) > n.cfg.DeltaFraction*float64(n.cfg.Capacity) {
+		n.startMergeLocked(n.store.Rows())
 	}
+	n.mu.Unlock()
 	return ids, nil
 }
 
-// MergeNow forces a merge of the delta into the static structure.
-// Cancellation is checked before the (non-abortable) rebuild starts.
+// coalesceLoopLocked merges trailing delta segments while the next-older
+// one is within 2× of the newest (the Bentley–Saxe logarithmic scheme), so
+// the per-query segment walk stays O(log deltaLen) even under single-
+// document inserts, at amortized O(log) rebucketing per row.
+//
+// Rebucketing depends only on the pair's immutable sketches and the
+// tombstones, so each step releases mu for the build and revalidates
+// before splicing — the mutex is never held across the expensive work. At
+// most one coalescer runs at a time; concurrent inserts skip and leave the
+// tail for the next round (a mid-list pair missed that way is absorbed no
+// later than the next merge). Entered and exited with mu held.
+func (n *Node) coalesceLoopLocked() {
+	if n.coalescing {
+		return
+	}
+	n.coalescing = true
+	defer func() { n.coalescing = false }()
+	for {
+		a, b, ok := n.coalesceCandidateLocked()
+		if !ok {
+			return
+		}
+		del := n.deleted
+		n.mu.Unlock()
+		merged := delta.Coalesce(n.fam, a.t, b.t, n.cfg.Build.Workers, func(i int) bool {
+			return del.TestAtomic(a.base + i)
+		})
+		n.mu.Lock()
+		// Revalidate: a completed background merge may have absorbed and
+		// dropped the pair while we rebuilt it. Segments never reorder, so
+		// the pair is identifiable by adjacency; splice in place (published
+		// snapshots hold clones and are unaffected), else discard.
+		for i := 0; i+1 < len(n.segs); i++ {
+			if n.segs[i].t == a.t && n.segs[i+1].t == b.t {
+				n.segs[i] = segment{base: a.base, t: merged}
+				n.segs = append(n.segs[:i+1], n.segs[i+2:]...)
+				break
+			}
+		}
+	}
+}
+
+// coalesceCandidateLocked returns the top two segments when they should
+// coalesce: both outside any in-flight merge's frozen range, with the
+// older within 2× of the newer. Callers hold mu.
+func (n *Node) coalesceCandidateLocked() (a, b segment, ok bool) {
+	if len(n.segs) < 2 {
+		return segment{}, segment{}, false
+	}
+	a = n.segs[len(n.segs)-2]
+	b = n.segs[len(n.segs)-1]
+	floor := n.nStatic
+	if n.merging {
+		floor = n.mergeUpTo
+	}
+	if a.base < floor || a.t.Len() > 2*b.t.Len() {
+		return segment{}, segment{}, false
+	}
+	return a, b, true
+}
+
+// startMergeLocked freezes every segment below upTo and starts the single
+// background merge goroutine over arena rows [0, upTo). Callers hold mu and
+// have checked that no merge is in flight.
+func (n *Node) startMergeLocked(upTo int) {
+	if upTo <= n.nStatic {
+		return // nothing to absorb
+	}
+	n.merging = true
+	n.mergeUpTo = upTo
+	n.mergeDone = make(chan struct{})
+	go n.runMerge(n.store.Prefix(upTo), n.deleted, upTo, n.mergeDone)
+}
+
+// runMerge is the background merge pipeline: rebuild the static structure
+// over the frozen prefix without holding any lock, then publish the result
+// with a brief critical section and an atomic snapshot swap. Queries and
+// inserts proceed throughout.
+func (n *Node) runMerge(prefix *sparse.Matrix, del *bitvec.Vector, upTo int, done chan struct{}) {
+	if h := testHookMergeStart; h != nil {
+		h()
+	}
+	t0 := time.Now()
+	st, eng := n.buildStatic(prefix, del)
+	dur := time.Since(t0)
+	if h := testHookMergeBuilt; h != nil {
+		h()
+	}
+
+	n.mu.Lock()
+	n.static, n.eng, n.nStatic = st, eng, upTo
+	// Drop the segments the new static index now covers. Build a fresh
+	// slice: published snapshots still reference the old segments.
+	var keep []segment
+	for _, sg := range n.segs {
+		if sg.base >= upTo {
+			keep = append(keep, sg)
+		}
+	}
+	n.segs = keep
+	n.merges++
+	n.lastMergeDur = dur
+	n.totalMergeNS += int64(dur)
+	n.merging = false
+	n.publishLocked()
+	// Sustained-ingest chaining: if the active delta outgrew η·C while this
+	// merge ran, immediately start the next one.
+	if n.cfg.AutoMerge &&
+		float64(n.store.Rows()-n.nStatic) > n.cfg.DeltaFraction*float64(n.cfg.Capacity) {
+		n.startMergeLocked(n.store.Rows())
+	}
+	n.mu.Unlock()
+	close(done)
+}
+
+// awaitMergeLocked waits out one completion of the in-flight merge,
+// honoring ctx. Callers hold mu with n.merging true; on nil return the
+// lock is held again, on error (canceled ctx) it is released.
+func (n *Node) awaitMergeLocked(ctx context.Context) error {
+	done := n.mergeDone
+	n.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+	}
+	n.mu.Lock()
+	return nil
+}
+
+// MergeNow forces every row present at the time of the call into the static
+// structure and returns once that state is reached (a quiesced merge): it
+// rotates the active delta, waits out or chains onto any in-flight merge,
+// and honors ctx while waiting. Queries and inserts are never blocked by
+// the work it triggers.
 func (n *Node) MergeNow(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.mergeLocked()
+	target := n.store.Rows()
+	for {
+		// A concurrent Retire can erase the rows this call set out to
+		// merge; clamping the target to the current row count keeps the
+		// quiescence condition reachable (and trivially satisfied on an
+		// emptied node).
+		if r := n.store.Rows(); r < target {
+			target = r
+		}
+		if n.nStatic >= target {
+			n.mu.Unlock()
+			return nil
+		}
+		if !n.merging {
+			n.startMergeLocked(n.store.Rows())
+		}
+		if err := n.awaitMergeLocked(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// Flush waits for any in-flight background merge (including auto-merge
+// chains) to finish without forcing one, honoring ctx. It returns nil
+// immediately when no merge is running.
+func (n *Node) Flush(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	for n.merging {
+		if err := n.awaitMergeLocked(ctx); err != nil {
+			return err
+		}
+	}
+	n.mu.Unlock()
 	return nil
 }
 
-func (n *Node) mergeLocked() {
-	if n.dt.Len() == 0 {
-		return
-	}
-	t0 := time.Now()
-	n.rebuild()
-	n.lastMergeDur = time.Since(t0)
-	n.totalMergeNS += int64(n.lastMergeDur)
-	n.merges++
-}
-
 // Delete marks a node-local ID as deleted; it will not be returned by
-// queries. Deleting an out-of-range ID is a no-op.
+// queries, including queries running right now against older snapshots
+// (tombstones are shared and read atomically). Safe to call concurrently
+// with queries, inserts, and an in-flight merge: rows deleted before the
+// merge's rebuild are compacted out of the new buckets, rows deleted after
+// are filtered per query. Deleting an out-of-range ID is a no-op.
 func (n *Node) Delete(id uint32) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if int(id) < n.store.Rows() {
-		n.deleted.Set(int(id))
+	s := n.snap.Load()
+	if int(id) < s.rows {
+		s.deleted.SetAtomic(int(id))
 	}
 }
 
 // Retire erases the node's contents (the rolling-window expiration of §6:
 // "the contents of the these nodes are erased"), retaining the hash family
-// and capacity.
-func (n *Node) Retire() {
+// and capacity. It drains any in-flight merge first — honoring ctx while
+// waiting, like MergeNow and Flush; a canceled drain returns ctx.Err()
+// with the node unretired — then replaces the arena and tombstones
+// wholesale, so queries holding older snapshots keep reading the retired
+// (immutable) structures and simply age out.
+func (n *Node) Retire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.store.Reset()
-	n.deleted.Reset()
-	n.rebuild()
+	for n.merging {
+		if err := n.awaitMergeLocked(ctx); err != nil {
+			return err
+		}
+	}
+	n.store = newArena(n.cfg)
+	n.deleted = bitvec.New(n.cfg.Capacity)
+	n.segs = nil
+	n.nStatic = 0
+	n.initStaticLocked()
 	n.merges = 0
 	n.lastMergeDur = 0
 	n.totalMergeNS = 0
 	n.insertNS = 0
+	n.publishLocked()
+	n.mu.Unlock()
+	return nil
 }
 
 // Stats returns a snapshot of the node's state.
 func (n *Node) Stats() Stats {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return Stats{
-		StaticLen:    n.nStatic,
-		DeltaLen:     n.dt.Len(),
-		Capacity:     n.cfg.Capacity,
-		Deleted:      n.deleted.Count(),
-		Merges:       n.merges,
-		LastMergeDur: n.lastMergeDur,
-		TotalMergeNS: n.totalMergeNS,
-		InsertNS:     n.insertNS,
-		MemoryBytes:  n.static.MemoryBytes() + n.dt.MemoryBytes() + n.store.MemoryBytes(),
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rows := n.store.Rows()
+	mem := n.static.MemoryBytes() + n.store.MemoryBytes()
+	for _, sg := range n.segs {
+		mem += sg.t.MemoryBytes()
 	}
+	st := Stats{
+		StaticLen:     n.nStatic,
+		DeltaLen:      rows - n.nStatic,
+		Capacity:      n.cfg.Capacity,
+		Deleted:       n.deleted.CountAtomic(),
+		Merges:        n.merges,
+		MergeInFlight: n.merging,
+		LastMergeDur:  n.lastMergeDur,
+		TotalMergeNS:  n.totalMergeNS,
+		InsertNS:      n.insertNS,
+		MemoryBytes:   mem,
+	}
+	if n.merging {
+		st.MergePendingRows = n.mergeUpTo - n.nStatic
+	}
+	return st
 }
 
 // Query answers one R-near-neighbor query over static + delta contents.
@@ -297,13 +577,11 @@ func (n *Node) Query(ctx context.Context, q sparse.Vector) ([]core.Neighbor, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.queryLocked(q), nil
+	return n.queryOn(n.snap.Load(), q), nil
 }
 
 // QueryBatch answers a batch in parallel (work stealing over queries, as in
-// §5.2), each worker consulting both the static and delta structures.
+// §5.2), every worker running against one consistent snapshot.
 // Cancellation is cooperative: workers check ctx between queries, so an
 // expired deadline abandons the remainder of the batch promptly and the
 // whole call reports ctx.Err().
@@ -311,14 +589,13 @@ func (n *Node) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Nei
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	s := n.snap.Load()
 	out := make([][]core.Neighbor, len(qs))
-	n.eng.Pool().Run(len(qs), func(task, _ int) {
+	s.eng.Pool().Run(len(qs), func(task, _ int) {
 		if ctx.Err() != nil {
 			return
 		}
-		out[task] = n.queryLocked(qs[task])
+		out[task] = n.queryOn(s, qs[task])
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -334,46 +611,47 @@ func (n *Node) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Ne
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return core.TopK(n.queryLocked(q), k), nil
+	return core.TopK(n.queryOn(n.snap.Load(), q), k), nil
 }
 
-// queryLocked runs the combined static+delta query. Callers hold at least
-// the read lock.
-func (n *Node) queryLocked(q sparse.Vector) []core.Neighbor {
+// queryOn runs the combined static+delta query against one immutable
+// snapshot. It takes no locks: the engine, segments and arena prefix are
+// frozen, and tombstones are read atomically.
+func (n *Node) queryOn(s *snapshot, q sparse.Vector) []core.Neighbor {
 	if q.NNZ() == 0 {
 		return nil
 	}
-	res := n.eng.Query(q)
-	if n.dt.Len() == 0 {
+	res := s.eng.Query(q)
+	if len(s.segs) == 0 {
 		return res
 	}
 	ws := n.dwsPool.Get().(*deltaWorkspace)
 	defer n.dwsPool.Put(ws)
 	n.fam.SketchInto(q, ws.scores, ws.sketch)
-	ws.seen = ws.seen.Grow(n.dt.Len())
-	ws.cand, _ = n.dt.Candidates(ws.sketch, ws.seen, ws.cand[:0])
-	ws.seen.ResetList(ws.cand)
 	thr := sparse.CosThreshold(n.cfg.Query.Radius)
 	useMask := n.cfg.Query.OptimizedDP
 	if useMask {
 		ws.mask.Scatter(q)
 	}
-	for _, localID := range ws.cand {
-		globalID := uint32(n.nStatic) + localID
-		if n.deleted.Test(int(globalID)) {
-			continue
-		}
-		idx, val := n.store.Doc(int(globalID))
-		var dot float64
-		if useMask {
-			dot = ws.mask.Dot(idx, val)
-		} else {
-			dot = sparse.Dot(q, sparse.Vector{Idx: idx, Val: val})
-		}
-		if dot >= thr {
-			res = append(res, core.Neighbor{ID: globalID, Dist: sparse.AngularDistance(dot)})
+	for _, sg := range s.segs {
+		ws.seen = ws.seen.Grow(sg.t.Len())
+		ws.cand, _ = sg.t.Candidates(ws.sketch, ws.seen, ws.cand[:0])
+		ws.seen.ResetList(ws.cand)
+		for _, localID := range ws.cand {
+			globalID := uint32(sg.base) + localID
+			if s.deleted.TestAtomic(int(globalID)) {
+				continue
+			}
+			idx, val := s.store.Doc(int(globalID))
+			var dot float64
+			if useMask {
+				dot = ws.mask.Dot(idx, val)
+			} else {
+				dot = sparse.Dot(q, sparse.Vector{Idx: idx, Val: val})
+			}
+			if dot >= thr {
+				res = append(res, core.Neighbor{ID: globalID, Dist: sparse.AngularDistance(dot)})
+			}
 		}
 	}
 	if useMask {
@@ -384,7 +662,5 @@ func (n *Node) queryLocked(q sparse.Vector) []core.Neighbor {
 
 // Doc returns document id's vector (shared storage; do not modify).
 func (n *Node) Doc(id uint32) sparse.Vector {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.store.Row(int(id))
+	return n.snap.Load().store.Row(int(id))
 }

@@ -78,6 +78,11 @@ func TestInsertQueryRoundTrip(t *testing.T) {
 			t.Fatalf("doc %d not found after insert", i)
 		}
 	}
+	// Quiesce the auto-merge the inserts triggered so no background
+	// goroutine outlives the test.
+	if err := n.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // The central streaming invariant: a node with any static/delta split
@@ -140,6 +145,11 @@ func TestAutoMergeTriggers(t *testing.T) {
 	if _, err := n.Insert(bg, vs[90:150]); err != nil { // delta 150 > 100 → merge
 		t.Fatal(err)
 	}
+	// The trigger starts a background merge; Flush waits it out without
+	// forcing another.
+	if err := n.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
 	st := n.Stats()
 	if st.Merges != 1 {
 		t.Fatalf("Merges = %d, want 1", st.Merges)
@@ -165,6 +175,9 @@ func TestCapacityEnforced(t *testing.T) {
 	}
 	if n.Len() != 100 {
 		t.Fatalf("failed insert mutated node: Len = %d", n.Len())
+	}
+	if err := n.Flush(bg); err != nil { // quiesce the triggered auto-merge
+		t.Fatal(err)
 	}
 }
 
@@ -193,6 +206,15 @@ func TestCanceledContextRejected(t *testing.T) {
 	}
 	if err := n.MergeNow(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MergeNow on canceled ctx: %v", err)
+	}
+	if err := n.Flush(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Flush on canceled ctx: %v", err)
+	}
+	if err := n.Retire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retire on canceled ctx: %v", err)
+	}
+	if n.Len() != 5 {
+		t.Fatalf("canceled Retire mutated node: Len = %d", n.Len())
 	}
 }
 
@@ -229,7 +251,7 @@ func TestRetire(t *testing.T) {
 	vs := testDocs(200, 13)
 	n.Insert(bg, vs)
 	n.Delete(5)
-	n.Retire()
+	n.Retire(bg)
 	st := n.Stats()
 	if st.StaticLen != 0 || st.DeltaLen != 0 || st.Deleted != 0 || st.Merges != 0 {
 		t.Fatalf("retire left state: %+v", st)
@@ -279,6 +301,7 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 // truncated to k — same candidates, bounded selection.
 func TestQueryTopKMatchesTruncatedQuery(t *testing.T) {
 	n, _ := New(testConfig(1000))
+	t.Cleanup(func() { n.Flush(bg) }) // quiesce triggered auto-merges
 	vs := testDocs(400, 27)
 	if _, err := n.Insert(bg, vs); err != nil {
 		t.Fatal(err)
@@ -311,6 +334,7 @@ func TestQueryTopKMatchesTruncatedQuery(t *testing.T) {
 func TestConcurrentQueriesAndInserts(t *testing.T) {
 	cfg := testConfig(5000)
 	n, _ := New(cfg)
+	t.Cleanup(func() { n.Flush(bg) }) // quiesce triggered auto-merges
 	vs := testDocs(2000, 19)
 	n.Insert(bg, vs[:500])
 	queries := testDocs(20, 21)
@@ -351,7 +375,10 @@ func TestConcurrentQueriesAndInserts(t *testing.T) {
 func TestStatsTrackMaintenance(t *testing.T) {
 	n, _ := New(testConfig(1000))
 	vs := testDocs(300, 23)
-	n.Insert(bg, vs) // triggers ≥1 auto-merge (η·C = 100)
+	n.Insert(bg, vs) // triggers ≥1 background auto-merge (η·C = 100)
+	if err := n.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
 	st := n.Stats()
 	if st.Merges < 1 {
 		t.Fatalf("Merges = %d", st.Merges)

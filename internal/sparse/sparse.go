@@ -136,6 +136,26 @@ func (m *Matrix) Row(i int) Vector {
 	return Vector{Idx: m.cols[lo:hi], Val: m.vals[lo:hi]}
 }
 
+// Prefix returns a read-only view of the first rows rows, sharing the
+// receiver's arenas. The view is safe to read concurrently with further
+// AppendRow calls on the receiver: appends only write beyond the captured
+// lengths (or reallocate, leaving the captured arrays untouched), so a
+// prefix taken while holding the writer's lock is an immutable snapshot.
+// The view's capacities are clipped so an accidental append to it can never
+// clobber the shared arenas. Callers must not modify the view's contents.
+func (m *Matrix) Prefix(rows int) *Matrix {
+	if rows < 0 || rows > m.Rows() {
+		panic("sparse: prefix rows out of range")
+	}
+	nnz := m.offs[rows]
+	return &Matrix{
+		Dim:  m.Dim,
+		offs: m.offs[: rows+1 : rows+1],
+		cols: m.cols[:nnz:nnz],
+		vals: m.vals[:nnz:nnz],
+	}
+}
+
 // AppendMatrix appends every row of src (which must have the same Dim).
 func (m *Matrix) AppendMatrix(src *Matrix) {
 	if src.Dim != m.Dim {

@@ -317,3 +317,55 @@ func TestMemoryBytes(t *testing.T) {
 		t.Fatalf("MemoryBytes = %d, want %d", got, want)
 	}
 }
+
+// Prefix must be a faithful read-only view of the first rows, immune to
+// later appends on the parent (the snapshot contract the node relies on).
+func TestMatrixPrefix(t *testing.T) {
+	m := NewMatrix(10, 8, 8)
+	mustRow := func(idx []uint32, val []float32) {
+		t.Helper()
+		v, err := NewVector(idx, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.AppendRow(v)
+	}
+	mustRow([]uint32{1, 3}, []float32{0.5, 0.5})
+	mustRow([]uint32{2}, []float32{1})
+	mustRow([]uint32{0, 9}, []float32{0.7, 0.3})
+
+	p := m.Prefix(2)
+	if p.Rows() != 2 || p.Dim != 10 {
+		t.Fatalf("prefix shape %d×%d", p.Rows(), p.Dim)
+	}
+	// Appends to the parent must not change the view.
+	mustRow([]uint32{5}, []float32{1})
+	mustRow([]uint32{6}, []float32{1})
+	if p.Rows() != 2 {
+		t.Fatalf("prefix grew to %d rows after parent append", p.Rows())
+	}
+	for i := 0; i < 2; i++ {
+		pr, mr := p.Row(i), m.Row(i)
+		if len(pr.Idx) != len(mr.Idx) {
+			t.Fatalf("row %d NNZ mismatch", i)
+		}
+		for j := range pr.Idx {
+			if pr.Idx[j] != mr.Idx[j] || pr.Val[j] != mr.Val[j] {
+				t.Fatalf("row %d entry %d differs", i, j)
+			}
+		}
+	}
+	// Full and empty prefixes are legal; out-of-range rows panic.
+	if full := m.Prefix(m.Rows()); full.Rows() != 5 {
+		t.Fatalf("full prefix rows = %d", full.Rows())
+	}
+	if empty := m.Prefix(0); empty.Rows() != 0 || empty.NNZ() != 0 {
+		t.Fatal("empty prefix not empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Prefix did not panic")
+		}
+	}()
+	m.Prefix(6)
+}

@@ -45,8 +45,13 @@ type NodeClient interface {
 	QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error)
 	// Delete marks a node-local ID deleted.
 	Delete(ctx context.Context, id uint32) error
-	// MergeNow forces a delta→static merge.
+	// MergeNow forces every row present at call time into the static
+	// structure and returns once that state is reached; queries keep
+	// flowing against the node's snapshots while the merge runs.
 	MergeNow(ctx context.Context) error
+	// Flush waits for any in-flight background merge to finish without
+	// forcing one.
+	Flush(ctx context.Context) error
 	// Retire erases the node's contents.
 	Retire(ctx context.Context) error
 	// Stats returns the node's state snapshot.
@@ -94,13 +99,14 @@ func (l *Local) MergeNow(ctx context.Context) error {
 	return l.N.MergeNow(ctx)
 }
 
+// Flush implements NodeClient.
+func (l *Local) Flush(ctx context.Context) error {
+	return l.N.Flush(ctx)
+}
+
 // Retire implements NodeClient.
 func (l *Local) Retire(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	l.N.Retire()
-	return nil
+	return l.N.Retire(ctx)
 }
 
 // Stats implements NodeClient.

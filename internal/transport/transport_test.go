@@ -86,6 +86,7 @@ func (s *stubBackend) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]
 }
 func (s *stubBackend) Delete(ctx context.Context, id uint32) error { return nil }
 func (s *stubBackend) MergeNow(ctx context.Context) error          { return nil }
+func (s *stubBackend) Flush(ctx context.Context) error             { return nil }
 func (s *stubBackend) Retire(ctx context.Context) error            { return nil }
 func (s *stubBackend) Stats(ctx context.Context) (node.Stats, error) {
 	if s.stats != nil {
@@ -570,5 +571,38 @@ func TestDecodeErrorSurfaced(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("decode error never surfaced")
+	}
+}
+
+// Flush and MergeNow cross the wire: a remote MergeNow leaves the node
+// fully static, and a remote Flush settles the background auto-merges a
+// burst of inserts triggered.
+func TestTCPMergeAndFlush(t *testing.T) {
+	n := testNode(t, 2000)
+	addr, _ := startServer(t, n)
+	remote, err := Dial(bg, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	if _, err := remote.Insert(bg, testDocs(300, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
+	st, err := remote.Stats(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MergeInFlight {
+		t.Fatalf("Flush returned with a merge in flight: %+v", st)
+	}
+	if err := remote.MergeNow(bg); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = remote.Stats(bg); err != nil || st.DeltaLen != 0 || st.StaticLen != 300 {
+		t.Fatalf("post-merge stats: %+v err=%v", st, err)
 	}
 }

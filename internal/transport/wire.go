@@ -40,6 +40,9 @@ const (
 	// opCancel aborts the in-flight request whose Seq it carries; it has
 	// no response frame.
 	opCancel
+	// New ops append after opCancel so existing opcode values stay stable
+	// under client/server version skew.
+	opFlush
 )
 
 // request is the client→server frame.
@@ -232,6 +235,10 @@ func handle(ctx context.Context, backend NodeClient, req *request) *response {
 		}
 	case opMerge:
 		if err := backend.MergeNow(ctx); err != nil {
+			fail(err)
+		}
+	case opFlush:
+		if err := backend.Flush(ctx); err != nil {
 			fail(err)
 		}
 	case opRetire:
@@ -478,6 +485,12 @@ func (c *Client) Delete(ctx context.Context, id uint32) error {
 // MergeNow implements NodeClient.
 func (c *Client) MergeNow(ctx context.Context) error {
 	_, err := c.do(ctx, &request{Op: opMerge})
+	return err
+}
+
+// Flush implements NodeClient.
+func (c *Client) Flush(ctx context.Context) error {
+	_, err := c.do(ctx, &request{Op: opFlush})
 	return err
 }
 

@@ -97,8 +97,14 @@ func (c Config) nodeConfig() node.Config {
 }
 
 // Store is a single-node streaming similarity-search index. All methods
-// are safe for concurrent use; queries proceed concurrently with each
-// other and are buffered behind merges.
+// are safe for concurrent use. Queries run lock-free against immutable
+// copy-on-write snapshots, so they proceed concurrently with each other,
+// with inserts, and with merges: when the delta table exceeds
+// DeltaFraction·Capacity the rebuild happens on a background goroutine and
+// is published with an atomic pointer swap — queries are never buffered
+// behind it. Use Merge to force and await a fully merged state, Flush to
+// just await any background merge already in flight, and
+// Stats().MergeInFlight to observe one.
 //
 // Every operation takes a context.Context, mirroring the cluster API: a
 // canceled or expired context makes the call return ctx.Err() (batch
@@ -166,12 +172,24 @@ func (s *Store) Delete(ctx context.Context, id uint32) error {
 	return nil
 }
 
-// Merge forces the streaming delta table into the static structure now.
-// Inserts trigger this automatically at the configured DeltaFraction.
+// Merge forces every document present at the time of the call into the
+// static structure and returns once that fully merged state is reached.
+// The rebuild itself runs on a background goroutine — concurrent queries
+// and inserts are never blocked by it; only the Merge caller waits.
+// Inserts trigger the same background merge automatically at the
+// configured DeltaFraction.
 func (s *Store) Merge(ctx context.Context) error { return s.n.MergeNow(ctx) }
 
-// Reset erases all content, keeping configuration and hash functions.
-func (s *Store) Reset() { s.n.Retire() }
+// Flush waits for any in-flight background merge (automatic or forced) to
+// finish without starting one — the barrier to call before reading settled
+// Stats after a burst of inserts. It returns nil immediately when no merge
+// is running.
+func (s *Store) Flush(ctx context.Context) error { return s.n.Flush(ctx) }
+
+// Reset erases all content, keeping configuration and hash functions. Any
+// in-flight background merge is drained first, so Reset returns with the
+// store settled and empty.
+func (s *Store) Reset() { s.n.Retire(context.Background()) }
 
 // Len returns the number of stored documents (including deleted ones,
 // which still occupy capacity until Reset).

@@ -484,3 +484,77 @@ func TestSyntheticTweetsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// Flush is a pure barrier: it waits out background merges without forcing
+// one, and a flushed store that crossed η·C repeatedly has merged.
+func TestStoreFlushSettlesBackgroundMerges(t *testing.T) {
+	s, err := NewStore(Config{Dim: 2000, K: 8, M: 6, Capacity: 2000, DeltaFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flush on an idle store is a no-op.
+	if err := s.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Merges != 0 || st.MergeInFlight {
+		t.Fatalf("idle flush changed state: %+v", st)
+	}
+	docs := SyntheticTweets(800, 2000, 21)
+	for off := 0; off < len(docs); off += 80 {
+		if _, err := s.Insert(bg, docs[off:off+80]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(bg); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Merges == 0 {
+		t.Fatal("no background merges despite crossing η·C repeatedly")
+	}
+	if st.MergeInFlight || st.MergePendingRows != 0 {
+		t.Fatalf("Flush returned with a merge still in flight: %+v", st)
+	}
+	// Flush does not force a rotation: rows under η·C may stay in the delta.
+	if st.StaticLen+st.DeltaLen != 800 {
+		t.Fatalf("rows after flush: %+v", st)
+	}
+}
+
+// Queries issued while Merge runs must complete and stay correct — the
+// Store-level face of the non-blocking merge pipeline. (The deterministic
+// held-open-merge variant lives in internal/node; this exercises the real
+// end-to-end path.)
+func TestStoreQueriesConcurrentWithMerge(t *testing.T) {
+	s, err := NewStore(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := SyntheticTweets(1500, 2000, 23)
+	if _, err := s.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	mergeErr := make(chan error, 1)
+	go func() { mergeErr <- s.Merge(bg) }()
+	for i := 0; i < 1500; i += 97 {
+		res, err := s.Query(bg, docs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, nb := range res {
+			if nb.ID == uint32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("doc %d missing while merge in flight", i)
+		}
+	}
+	if err := <-mergeErr; err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DeltaLen != 0 || st.StaticLen != 1500 {
+		t.Fatalf("post-merge state: %+v", st)
+	}
+}

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Run the benchmark suite and snapshot the results for regression
-# tracking. The latest run always lands in benchmarks/latest.txt; pass a
-# benchmark regex to narrow the run, e.g.:
+# tracking. The latest run lands in benchmarks/latest.txt (human-readable)
+# and benchmarks/latest.json (machine-readable, including the
+# query-latency-during-merge metric from BenchmarkQueryDuringMerge). Pass
+# a benchmark regex to narrow the run, e.g.:
 #
 #   scripts/bench.sh                  # everything
 #   scripts/bench.sh 'Fig9|TopK'      # just the cluster benchmarks
+#   scripts/bench.sh QueryDuringMerge # just the non-blocking-merge metric
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,3 +18,5 @@ mkdir -p benchmarks
   echo "# $(go version)"
   go test -run '^$' -bench "${pattern}" -benchmem ./...
 } | tee benchmarks/latest.txt
+go run ./cmd/plsh-bench2json < benchmarks/latest.txt > benchmarks/latest.json
+echo "wrote benchmarks/latest.json"
