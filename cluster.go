@@ -3,6 +3,7 @@ package plsh
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"plsh/internal/cluster"
@@ -42,9 +43,13 @@ type Cluster struct {
 	c *cluster.Cluster
 }
 
-// NewCluster builds an in-process cluster of nodes identical nodes, each
-// with cfg's parameters and capacity, and an insert window of windowM
-// nodes (0 → min(4, nodes)).
+// NewCluster builds an in-process cluster of identical nodes, each with
+// cfg's parameters and capacity, and an insert window of windowM nodes
+// (0 → min(4, nodes)).
+//
+// With cfg.Dir set the cluster is durable: node i lives in
+// cfg.Dir/node-NNN (nodes must never share a data directory), each is
+// recovered on construction, and SaveAll checkpoints them all.
 func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -52,7 +57,11 @@ func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
 	}
 	clients := make([]transport.NodeClient, nodes)
 	for i := range clients {
-		n, err := node.New(cfg.nodeConfig())
+		ncfg := cfg.nodeConfig()
+		if cfg.Dir != "" {
+			ncfg.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("node-%03d", i))
+		}
+		n, err := node.Open(context.Background(), ncfg)
 		if err != nil {
 			return nil, fmt.Errorf("plsh: node %d: %w", i, err)
 		}
@@ -139,8 +148,16 @@ func (cl *Cluster) QueryTopK(ctx context.Context, q Vector, k int) ([]ClusterNei
 	return cl.c.QueryTopK(ctx, q, k)
 }
 
-// Delete removes a document by its global ID.
+// Delete removes a document by its global ID. An ID naming a nonexistent
+// node or a never-inserted document returns an error wrapping
+// ErrNotFound.
 func (cl *Cluster) Delete(ctx context.Context, g uint64) error { return cl.c.Delete(ctx, g) }
+
+// SaveAll checkpoints every node's data directory in parallel (see
+// Store.Save): when it returns nil, a restart of any node — or the whole
+// cluster — recovers exactly the acknowledged contents. Nodes launched
+// without a data directory (plsh-node without -data) fail the call.
+func (cl *Cluster) SaveAll(ctx context.Context) error { return cl.c.SaveAll(ctx) }
 
 // Merge drives every node to a fully static state, in parallel. Each
 // node's rebuild runs in the background on that node, so queries broadcast
@@ -158,5 +175,6 @@ func (cl *Cluster) Stats(ctx context.Context) ([]Stats, error) { return cl.c.Sta
 // NumNodes returns the node count.
 func (cl *Cluster) NumNodes() int { return cl.c.NumNodes() }
 
-// Close releases node connections (a no-op for in-process clusters).
+// Close releases node connections; durable in-process nodes also release
+// their journals (draining in-flight merges so final checkpoints land).
 func (cl *Cluster) Close() error { return cl.c.Close() }

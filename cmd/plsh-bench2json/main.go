@@ -4,10 +4,12 @@
 // instead of eyeballed.
 //
 // Every benchmark line becomes one entry with all its metrics (standard
-// ns/op, B/op, allocs/op plus any b.ReportMetric custom units). The
-// query-latency-during-merge number — the headline metric of the
-// non-blocking merge pipeline, reported by BenchmarkQueryDuringMerge — is
-// also surfaced as a top-level field.
+// ns/op, B/op, allocs/op plus any b.ReportMetric custom units). Headline
+// metrics are also surfaced as top-level fields: the
+// query-latency-during-merge number from the non-blocking merge pipeline
+// (BenchmarkQueryDuringMerge), and the durability subsystem's snapshot
+// save throughput (BenchmarkSave) and journal replay rate
+// (BenchmarkRecover).
 package main
 
 import (
@@ -35,6 +37,12 @@ type snapshot struct {
 	// ns/query-during-merge metric, or 0 when that benchmark was not in
 	// the run's pattern.
 	QueryDuringMergeNS float64 `json:"query_latency_during_merge_ns"`
+	// SnapshotSaveMBps is BenchmarkSave's snapshot-MB/s metric
+	// (serialization throughput of a node checkpoint), or 0 when absent.
+	SnapshotSaveMBps float64 `json:"snapshot_save_mb_per_s"`
+	// WALReplayDocsPerS is BenchmarkRecover's replay-docs/s metric
+	// (journal-only crash-recovery rate), or 0 when absent.
+	WALReplayDocsPerS float64 `json:"wal_replay_docs_per_s"`
 }
 
 func main() {
@@ -76,6 +84,12 @@ func main() {
 		}
 		if v, ok := b.Metrics["ns/query-during-merge"]; ok {
 			snap.QueryDuringMergeNS = v
+		}
+		if v, ok := b.Metrics["snapshot-MB/s"]; ok {
+			snap.SnapshotSaveMBps = v
+		}
+		if v, ok := b.Metrics["replay-docs/s"]; ok {
+			snap.WALReplayDocsPerS = v
 		}
 		snap.Benchmarks = append(snap.Benchmarks, b)
 	}

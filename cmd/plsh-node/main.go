@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	plsh-node -addr :7070 -dim 500000 -k 16 -m 16 -capacity 1000000
+//	plsh-node -addr :7070 -dim 500000 -k 16 -m 16 -capacity 1000000 -data /var/lib/plsh
 //
-// All state is in memory; terminating the process discards it, exactly as
-// retiring the node would. SIGINT/SIGTERM shut the server down cleanly:
-// the listener and every open connection close, failing in-flight
-// coordinator calls promptly instead of leaving them hanging.
+// Without -data all state is in memory and terminating the process
+// discards it, exactly as retiring the node would. With -data the node is
+// durable: on boot it recovers from the directory's snapshot and journal
+// (every write acknowledged before a crash — even kill -9 — is queryable
+// again), every acknowledged write is journaled before the RPC returns,
+// and background merges checkpoint snapshots. SIGINT/SIGTERM shut the
+// server down cleanly: the listener and every open connection close,
+// failing in-flight coordinator calls promptly, and a final checkpoint is
+// written so the next boot skips journal replay entirely.
 package main
 
 import (
@@ -36,6 +41,8 @@ func main() {
 	radius := flag.Float64("r", 0.9, "query radius (radians)")
 	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "hash-family seed (must match across coordinated nodes only if you rely on reproducibility)")
+	data := flag.String("data", "", "data directory: recover on boot, journal writes, checkpoint on merge and shutdown (empty = in-memory only)")
+	fsync := flag.Bool("fsync", false, "fsync every journal append (survive machine crash, not just process death)")
 	flag.Parse()
 
 	build := core.Defaults()
@@ -50,9 +57,15 @@ func main() {
 		AutoMerge:     true,
 		Build:         build,
 		Query:         query,
+		Dir:           *data,
+		SyncWrites:    *fsync,
 	})
 	if err != nil {
 		log.Fatalf("plsh-node: %v", err)
+	}
+	if *data != "" {
+		log.Printf("plsh-node: recovered %d documents (%d static) from %s",
+			n.Len(), n.StaticLen(), *data)
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -66,6 +79,16 @@ func main() {
 	onError := func(err error) { log.Printf("plsh-node: %v", err) }
 	if err := transport.Serve(ctx, l, transport.NewLocal(n), onError); err != nil {
 		log.Fatalf("plsh-node: %v", err)
+	}
+	if *data != "" {
+		// Serve has drained every handler, so the node is quiescent: the
+		// shutdown checkpoint makes the next boot a pure snapshot load.
+		if err := n.Save(context.Background()); err != nil {
+			log.Printf("plsh-node: shutdown checkpoint: %v", err)
+		}
+		if err := n.Close(); err != nil {
+			log.Printf("plsh-node: close journal: %v", err)
+		}
 	}
 	log.Printf("plsh-node: shut down")
 }

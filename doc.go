@@ -24,7 +24,12 @@
 //     for a target recall and memory budget;
 //   - a multi-node coordinator (in-process or TCP) with a rolling insert
 //     window for cluster-scale corpora, a request-ID-multiplexed wire
-//     protocol, and per-node timeout / partial-results broadcast policies.
+//     protocol, and per-node timeout / partial-results broadcast policies;
+//   - optional durability: a Store opened with a data directory (Open)
+//     journals every acknowledged write ahead of acknowledging it and
+//     checkpoints snapshots on merge, so restarts — graceful or kill -9 —
+//     recover every acknowledged document (Save/SaveAll checkpoint on
+//     demand; see DESIGN.md for the on-disk format).
 //
 // Every operation takes a context.Context end to end — public API,
 // coordinator, transport, node — so deadlines and cancellation abort a

@@ -1,0 +1,93 @@
+// Durable quickstart: a Store that survives restarts. The store journals
+// every acknowledged write before acknowledging it and checkpoints
+// snapshots as it merges, so reopening the same directory recovers every
+// document — whether the previous process exited cleanly or was killed.
+//
+// Run it twice:
+//
+//	go run ./examples/durable          # first run: indexes and saves
+//	go run ./examples/durable          # second run: recovers, no re-index
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"plsh"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	dir := filepath.Join(os.TempDir(), "plsh-durable-example")
+	cfg := plsh.Config{
+		Dim:      1 << 16,
+		K:        8,
+		M:        8,
+		Radius:   1.2,
+		Capacity: 1000,
+	}
+
+	// Open recovers whatever the directory holds: the latest snapshot plus
+	// the journal tail. A fresh directory opens an empty durable store.
+	store, err := plsh.Open(ctx, dir, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	corpus := []string{
+		"earthquake strikes the coastal city at dawn",
+		"coastal city rocked by earthquake at dawn today",
+		"stock markets rally after strong earnings reports",
+		"local team clinches the championship in overtime",
+		"new espresso bar opens downtown with latte art",
+	}
+	enc := plsh.NewEncoder(1 << 16)
+	for _, d := range corpus {
+		enc.Observe(d)
+	}
+
+	if store.Len() > 0 {
+		fmt.Printf("recovered %d documents from %s — no re-indexing\n", store.Len(), dir)
+	} else {
+		fmt.Printf("fresh store in %s — indexing\n", dir)
+		var docs []plsh.Vector
+		for _, d := range corpus {
+			v, ok := enc.Encode(d)
+			if !ok {
+				log.Fatalf("document %q encoded to zero", d)
+			}
+			docs = append(docs, v)
+		}
+		// Once Insert returns, the batch is journaled: even kill -9 from
+		// here on cannot lose it.
+		if _, err := store.Insert(ctx, docs); err != nil {
+			log.Fatal(err)
+		}
+		// Save checkpoints explicitly: every document is merged into the
+		// static structure and snapshotted, and the journal is truncated,
+		// making the next Open a pure snapshot load.
+		if err := store.Save(ctx, dir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("indexed, journaled, and checkpointed")
+	}
+
+	q, ok := enc.Encode("earthquake hits city on the coast")
+	if !ok {
+		log.Fatal("query has no known words")
+	}
+	hits, err := store.Query(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nb := range hits {
+		fmt.Printf("  %.3f rad  %q\n", nb.Dist, corpus[nb.ID])
+	}
+}

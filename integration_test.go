@@ -3,13 +3,20 @@ package plsh
 import (
 	"context"
 	"errors"
+	"io"
 	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"plsh/internal/core"
 	"plsh/internal/lshhash"
 	"plsh/internal/node"
+	"plsh/internal/persist"
 	"plsh/internal/sparse"
 	"plsh/internal/transport"
 )
@@ -171,6 +178,7 @@ func (slowBackend) Delete(ctx context.Context, id uint32) error { return nil }
 func (slowBackend) MergeNow(ctx context.Context) error          { return nil }
 func (slowBackend) Flush(ctx context.Context) error             { return nil }
 func (slowBackend) Retire(ctx context.Context) error            { return nil }
+func (slowBackend) Save(ctx context.Context) error              { return nil }
 func (slowBackend) Stats(ctx context.Context) (node.Stats, error) {
 	return node.Stats{Capacity: 1000}, nil
 }
@@ -269,5 +277,169 @@ func TestStoreStreamsPastDeltaThreshold(t *testing.T) {
 		if !found {
 			t.Fatalf("doc %d lost across merges", i)
 		}
+	}
+}
+
+// dialRetry dials addr until the server is up (it may still be replaying
+// its journal when the test reconnects after a restart).
+func dialRetry(t *testing.T, addr string) *transport.Client {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c, err := transport.Dial(bg, addr)
+		if err == nil {
+			// The listener may accept before Serve is wired; verify with a
+			// real RPC.
+			if _, serr := c.Stats(bg); serr == nil {
+				return c
+			}
+			c.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node at %s not reachable: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestKillNineRecovery is the durability acceptance test from the issue:
+// kill -9 a plsh-node mid-ingest, restart it with the same -data
+// directory, and every insert that was acknowledged before the kill must
+// be returned by Query. A clean SIGTERM restart is then verified to
+// checkpoint (snapshot present, journal emptied) and recover identically.
+func TestKillNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	bin := filepath.Join(t.TempDir(), "plsh-node")
+	if out, err := exec.Command(goBin, "build", "-o", bin, "./cmd/plsh-node").CombinedOutput(); err != nil {
+		t.Fatalf("build plsh-node: %v\n%s", err, out)
+	}
+
+	dataDir := t.TempDir()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", addr, "-dim", "2000", "-k", "8", "-m", "6",
+			"-capacity", "100000", "-seed", "42", "-data", dataDir)
+		cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start plsh-node: %v", err)
+		}
+		return cmd
+	}
+
+	proc := start()
+	client := dialRetry(t, addr)
+	docs := SyntheticTweets(2000, 2000, 77)
+	const batch = 25
+	acked := 0
+	for ; acked < 750; acked += batch {
+		if _, err := client.Insert(bg, docs[acked:acked+batch]); err != nil {
+			t.Fatalf("insert at %d: %v", acked, err)
+		}
+	}
+	// Keep ingesting from a goroutine and SIGKILL mid-stream, so the kill
+	// lands with inserts genuinely in flight.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for off := acked; off+batch <= len(docs); off += batch {
+			if _, err := client.Insert(bg, docs[off:off+batch]); err != nil {
+				return // the kill landed; this batch was never acknowledged
+			}
+			mu.Lock()
+			acked = off + batch
+			mu.Unlock()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	proc.Process.Kill() // SIGKILL: no shutdown path runs
+	proc.Wait()
+	wg.Wait()
+	client.Close()
+	mu.Lock()
+	ackedTotal := acked
+	mu.Unlock()
+
+	proc2 := start()
+	client2 := dialRetry(t, addr)
+	st, err := client2.Stats(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := st.StaticLen + st.DeltaLen; total < ackedTotal {
+		t.Fatalf("recovered %d documents, %d were acknowledged before kill -9", total, ackedTotal)
+	}
+	// Every acknowledged insert is returned by Query (ids are sequential:
+	// one node, one ordered client).
+	step := 1
+	if ackedTotal > 400 {
+		step = ackedTotal / 400 // bound the wall time, still hundreds of probes
+	}
+	for i := 0; i < ackedTotal; i += step {
+		res, err := client2.QueryBatch(bg, []Vector{docs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, nb := range res[0] {
+			if nb.ID == uint32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("doc %d acknowledged before kill -9 but lost", i)
+		}
+	}
+	client2.Close()
+
+	// Clean shutdown checkpoints: SIGTERM, then verify the snapshot holds
+	// everything and the journal was truncated to an empty live segment.
+	if err := proc2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	proc2.Wait()
+	snap, err := persist.ReadSnapshot(dataDir)
+	if err != nil {
+		t.Fatalf("no valid snapshot after SIGTERM: %v", err)
+	}
+	if snap.Rows < ackedTotal {
+		t.Fatalf("shutdown snapshot covers %d rows, want >= %d", snap.Rows, ackedTotal)
+	}
+	segs, err := filepath.Glob(filepath.Join(dataDir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if fi, err := os.Stat(seg); err != nil || fi.Size() != 0 {
+			t.Fatalf("journal %s not truncated after shutdown checkpoint", seg)
+		}
+	}
+
+	proc3 := start()
+	defer func() {
+		proc3.Process.Signal(syscall.SIGTERM)
+		proc3.Wait()
+	}()
+	client3 := dialRetry(t, addr)
+	defer client3.Close()
+	st3, err := client3.Stats(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.StaticLen != snap.Rows {
+		t.Fatalf("snapshot boot: %d static rows, snapshot has %d", st3.StaticLen, snap.Rows)
 	}
 }

@@ -511,11 +511,14 @@ func mergeTopK(perNode [][]core.Neighbor, k int) []Neighbor {
 	return out
 }
 
-// Delete removes a document by global ID.
+// Delete removes a document by global ID. A global ID that names a
+// nonexistent node or a never-inserted local ID returns an error wrapping
+// node.ErrNotFound, so callers can tell a bad ID from a transport
+// failure.
 func (c *Cluster) Delete(ctx context.Context, g uint64) error {
 	nodeIdx, local := SplitGlobalID(g)
 	if nodeIdx < 0 || nodeIdx >= len(c.nodes) {
-		return fmt.Errorf("cluster: no node %d", nodeIdx)
+		return fmt.Errorf("cluster: no node %d: %w", nodeIdx, node.ErrNotFound)
 	}
 	return c.nodes[nodeIdx].Delete(ctx, local)
 }
@@ -537,6 +540,16 @@ func (c *Cluster) MergeAll(ctx context.Context) error {
 func (c *Cluster) FlushAll(ctx context.Context) error {
 	return c.fanOut(ctx, "flush", func(ctx context.Context, i int) error {
 		return c.nodes[i].Flush(ctx)
+	})
+}
+
+// SaveAll checkpoints every node's data directory in parallel — the
+// cluster-wide durability barrier: when it returns nil, every node's
+// state is a snapshot plus an empty journal, and a restart of any (or
+// every) node recovers exactly the acknowledged cluster contents.
+func (c *Cluster) SaveAll(ctx context.Context) error {
+	return c.fanOut(ctx, "save", func(ctx context.Context, i int) error {
+		return c.nodes[i].Save(ctx)
 	})
 }
 

@@ -99,6 +99,7 @@ func (f *fakeNode) Delete(ctx context.Context, id uint32) error { return f.wait(
 func (f *fakeNode) MergeNow(ctx context.Context) error          { return f.wait(ctx) }
 func (f *fakeNode) Flush(ctx context.Context) error             { return f.wait(ctx) }
 func (f *fakeNode) Retire(ctx context.Context) error            { return f.wait(ctx) }
+func (f *fakeNode) Save(ctx context.Context) error              { return f.wait(ctx) }
 func (f *fakeNode) Stats(ctx context.Context) (node.Stats, error) {
 	return node.Stats{Capacity: f.capacity}, nil
 }

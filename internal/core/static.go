@@ -51,6 +51,43 @@ func (s *Static) NumTables() int { return len(s.tables) }
 // Table returns table l.
 func (s *Static) Table(l int) *Table { return &s.tables[l] }
 
+// Tables exposes the full table slice for serialization. Callers must
+// treat it as read-only.
+func (s *Static) Tables() []Table { return s.tables }
+
+// StaticFromTables reassembles a Static index from previously serialized
+// tables (see internal/persist), taking ownership of the slice. The tables
+// must describe n documents under fam's geometry: L = m(m−1)/2 tables,
+// each with 2^k+1 offsets delimiting exactly its item count, and every
+// item id below n — the shape checks that keep a corrupt snapshot from
+// becoming an index that reads out of bounds.
+func StaticFromTables(fam *lshhash.Family, n int, tables []Table) (*Static, error) {
+	p := fam.Params()
+	if len(tables) != p.L() {
+		return nil, errors.New("core: StaticFromTables: table count does not match family")
+	}
+	for l := range tables {
+		t := &tables[l]
+		if len(t.Offsets) != p.Buckets()+1 {
+			return nil, errors.New("core: StaticFromTables: bucket offset count does not match K")
+		}
+		if t.Offsets[0] != 0 || int(t.Offsets[len(t.Offsets)-1]) != len(t.Items) {
+			return nil, errors.New("core: StaticFromTables: offsets do not delimit items")
+		}
+		for b := 1; b < len(t.Offsets); b++ {
+			if t.Offsets[b] < t.Offsets[b-1] {
+				return nil, errors.New("core: StaticFromTables: offsets decrease")
+			}
+		}
+		for _, id := range t.Items {
+			if int(id) >= n {
+				return nil, errors.New("core: StaticFromTables: item id out of range")
+			}
+		}
+	}
+	return &Static{fam: fam, n: n, tables: tables}, nil
+}
+
 // Compact removes every item for which drop reports true from every
 // bucket, in place, rewriting Offsets to stay consistent — the tombstone
 // compaction step of a streaming merge: rows deleted before the rebuild

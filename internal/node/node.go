@@ -29,12 +29,21 @@
 // window of §6) drains any in-flight merge, then replaces the arena and
 // tombstones wholesale; in-flight snapshot queries keep reading the old,
 // now-immutable structures.
+//
+// A node becomes durable by setting Config.Dir: every acknowledged
+// Insert/Delete is journaled to a write-ahead log before it is
+// acknowledged, each background merge checkpoints the merged state as a
+// snapshot (truncating the journal), and Open recovers the node —
+// snapshot load plus journal-tail replay — so every acknowledged write
+// survives a crash. See internal/persist and DESIGN.md for the format
+// and the recovery invariants.
 package node
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -44,6 +53,7 @@ import (
 	"plsh/internal/core"
 	"plsh/internal/delta"
 	"plsh/internal/lshhash"
+	"plsh/internal/persist"
 	"plsh/internal/sparse"
 )
 
@@ -51,6 +61,14 @@ import (
 // node's capacity; the caller (the cluster's insert window) must advance to
 // the next node.
 var ErrFull = errors.New("node: capacity reached")
+
+// ErrNotFound is returned by Delete for a document ID that was never
+// inserted, so callers can distinguish a no-op from a real tombstone.
+var ErrNotFound = errors.New("node: document not found")
+
+// ErrNotDurable is returned by Save on a node configured without a data
+// directory.
+var ErrNotDurable = errors.New("node: no data directory configured")
 
 // testHookMergeStart and testHookMergeBuilt, when non-nil, run inside the
 // background merge goroutine: Start before the rebuild begins, Built after
@@ -79,6 +97,16 @@ type Config struct {
 	Query core.QueryOptions
 	// Seed feeds the hash family if Params.Seed is zero.
 	Seed uint64
+	// Dir, when non-empty, makes the node durable: Open recovers its state
+	// from Dir (latest snapshot + journal-tail replay), acknowledged
+	// writes are journaled there first, and background merges checkpoint
+	// snapshots that truncate the journal.
+	Dir string
+	// SyncWrites fsyncs every journal append before the write is
+	// acknowledged. Off, acknowledged writes survive process death
+	// (kill -9); on, they also survive machine crash, at a large
+	// per-write cost.
+	SyncWrites bool
 }
 
 // withDefaults normalizes cfg.
@@ -115,6 +143,11 @@ type Stats struct {
 	TotalMergeNS     int64
 	InsertNS         int64
 	MemoryBytes      int64
+	// PersistErr is the most recent background persistence failure
+	// (checkpoint or journal rotation) on a durable node; empty when
+	// healthy. Failed checkpoints leave the journal untruncated, so
+	// recovery still sees every acknowledged write.
+	PersistErr string
 }
 
 // segment is one frozen delta table covering arena rows
@@ -166,6 +199,11 @@ type Node struct {
 	totalMergeNS int64
 	insertNS     int64
 
+	// wal is the write-ahead journal of a durable node; nil otherwise.
+	// Set once at construction, never replaced.
+	wal        *persist.WAL
+	persistErr atomic.Pointer[string]
+
 	// dwsPool recycles delta-side query workspaces, mirroring the static
 	// engine's private-bitvector-per-query design.
 	dwsPool sync.Pool
@@ -185,8 +223,17 @@ func newArena(cfg Config) *sparse.Matrix {
 	return sparse.NewMatrix(cfg.Params.Dim, cfg.Capacity, cfg.Capacity*8)
 }
 
-// New builds an empty node.
-func New(cfg Config) (*Node, error) {
+// New builds an empty node — or, when cfg.Dir is set, recovers one from
+// its data directory (see Open).
+func New(cfg Config) (*Node, error) { return Open(context.Background(), cfg) }
+
+// Open builds a node. With cfg.Dir set it is the durable boot path: load
+// the latest snapshot (rejecting checksum and parameter mismatches),
+// replay the journal tail on top of it — every acknowledged write lands,
+// a torn tail record does not — and open the journal for new appends.
+// ctx bounds the replay. Without cfg.Dir it returns an empty in-memory
+// node.
+func Open(ctx context.Context, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -209,9 +256,127 @@ func New(cfg Config) (*Node, error) {
 			mask:   sparse.NewQueryMask(cfg.Params.Dim),
 		}
 	}
-	n.initStaticLocked() // no readers yet; mu not needed
-	n.publishLocked()
+	if cfg.Dir == "" {
+		n.initStaticLocked() // no readers yet; mu formality only
+		n.publishLocked()
+		return n, nil
+	}
+	if err := n.recover(ctx); err != nil {
+		return nil, err
+	}
 	return n, nil
+}
+
+// recover rebuilds the node from its data directory: install the latest
+// snapshot (if any), replay the journal tail, then open the journal for
+// appending. Runs before the node is shared, so plain state writes are
+// safe; the locked helpers are used for their invariants, not exclusion.
+func (n *Node) recover(ctx context.Context) error {
+	cfg := n.cfg
+	snap, err := persist.ReadSnapshot(cfg.Dir)
+	switch {
+	case errors.Is(err, persist.ErrNoSnapshot):
+		n.initStaticLocked()
+	case err != nil:
+		return err
+	default:
+		if snap.Params != cfg.Params {
+			return fmt.Errorf("node: snapshot in %s was written with params %+v, node configured with %+v",
+				cfg.Dir, snap.Params, cfg.Params)
+		}
+		if snap.Rows > cfg.Capacity {
+			return fmt.Errorf("node: snapshot in %s holds %d rows, over capacity %d",
+				cfg.Dir, snap.Rows, cfg.Capacity)
+		}
+		n.store.AppendMatrix(snap.Arena)
+		// The snapshot's tombstone words are trimmed to its rows; the live
+		// vector is capacity-sized.
+		words := n.deleted.Words()
+		copy(words[:len(snap.Deleted)], snap.Deleted)
+		n.nStatic = snap.Rows
+		if snap.Rows == 0 {
+			n.initStaticLocked()
+		} else {
+			// The serialized buckets go straight back into a Static — no
+			// rehashing; this is what makes recovery O(bytes), not O(build).
+			st, err := core.StaticFromTables(n.fam, snap.Rows, snap.Tables)
+			if err != nil {
+				return fmt.Errorf("node: %w", err)
+			}
+			prefix := n.store.Prefix(snap.Rows)
+			eng := core.NewEngine(st, prefix, cfg.Query)
+			eng.SetDeleted(n.deleted)
+			n.static, n.eng = st, eng
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	err = persist.ReplayWAL(cfg.Dir, func(rec *persist.Record) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return n.applyRecordLocked(rec)
+	})
+	if err != nil {
+		return err
+	}
+	n.publishLocked()
+	wal, err := persist.OpenWAL(cfg.Dir, cfg.SyncWrites)
+	if err != nil {
+		return err
+	}
+	n.wal = wal
+	// A fat recovered delta merges in the background like any other.
+	if cfg.AutoMerge &&
+		float64(n.store.Rows()-n.nStatic) > cfg.DeltaFraction*float64(cfg.Capacity) {
+		n.startMergeLocked(n.store.Rows())
+	}
+	return nil
+}
+
+// applyRecordLocked replays one journal record. Inserts wholly covered by
+// the snapshot are skipped; anything else must land exactly at the arena
+// tail — journal bases are assigned under the writer mutex, so a gap or
+// overlap means the directory's snapshot and journal disagree.
+func (n *Node) applyRecordLocked(rec *persist.Record) error {
+	switch rec.Kind {
+	case persist.RecordInsert:
+		if rec.Base+len(rec.Docs) <= n.nStatic {
+			return nil // covered by the snapshot
+		}
+		if rec.Base != n.store.Rows() {
+			return fmt.Errorf("node: journal replay: insert at row %d, expected %d", rec.Base, n.store.Rows())
+		}
+		if rec.Base+len(rec.Docs) > n.cfg.Capacity {
+			return fmt.Errorf("node: journal replay: %d rows exceed capacity %d",
+				rec.Base+len(rec.Docs), n.cfg.Capacity)
+		}
+		for _, v := range rec.Docs {
+			for _, c := range v.Idx {
+				if int(c) >= n.cfg.Params.Dim {
+					return fmt.Errorf("node: journal replay: column %d out of dimension %d", c, n.cfg.Params.Dim)
+				}
+			}
+		}
+		t := delta.New(n.fam, n.cfg.Build.Workers)
+		t.Insert(rec.Docs)
+		t.Freeze()
+		for _, v := range rec.Docs {
+			n.store.AppendRow(v)
+		}
+		n.segs = append(n.segs, segment{base: rec.Base, t: t})
+		n.coalesceLoopLocked()
+	case persist.RecordDelete:
+		if int(rec.ID) >= n.store.Rows() {
+			return fmt.Errorf("node: journal replay: delete of unknown row %d", rec.ID)
+		}
+		n.deleted.SetAtomic(int(rec.ID))
+	case persist.RecordRetire:
+		n.resetLocked()
+	default:
+		return fmt.Errorf("node: journal replay: unknown record kind %d", rec.Kind)
+	}
+	return nil
 }
 
 // initStaticLocked (re)builds the static index and engine over the current
@@ -306,6 +471,16 @@ func (n *Node) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error)
 		return nil, ErrFull
 	}
 	base := n.store.Rows()
+	if n.wal != nil {
+		// Write-ahead: the batch is journaled — at the base the mutex just
+		// assigned, keeping journal order equal to arena order — before any
+		// in-memory state changes, and acknowledged only after the journal
+		// accepts it. A journal failure leaves the node untouched.
+		if err := n.wal.AppendInsert(base, vs); err != nil {
+			n.mu.Unlock()
+			return nil, err
+		}
+	}
 	ids := make([]uint32, len(vs))
 	for i, v := range vs {
 		ids[i] = uint32(n.store.AppendRow(v))
@@ -384,23 +559,42 @@ func (n *Node) coalesceCandidateLocked() (a, b segment, ok bool) {
 }
 
 // startMergeLocked freezes every segment below upTo and starts the single
-// background merge goroutine over arena rows [0, upTo). Callers hold mu and
-// have checked that no merge is in flight.
+// background merge goroutine over arena rows [0, upTo). Callers hold mu,
+// have checked that no merge is in flight, and pass upTo equal to the
+// current row count — the rotation invariant below depends on it.
 func (n *Node) startMergeLocked(upTo int) {
 	if upTo <= n.nStatic {
 		return // nothing to absorb
 	}
+	token := 0
+	if n.wal != nil {
+		// Rotate the journal at the merge boundary. Every journaled record
+		// was both appended and applied under mu with upTo the current row
+		// count, so everything in the sealed segments is covered by the
+		// snapshot this merge's checkpoint will write — the invariant that
+		// makes truncating them safe. If rotation fails, the merge still
+		// runs; only the checkpoint is skipped, so no journal data is lost.
+		t, err := n.wal.Rotate()
+		if err != nil {
+			n.notePersistErr(err)
+		} else {
+			token = t
+		}
+	}
 	n.merging = true
 	n.mergeUpTo = upTo
 	n.mergeDone = make(chan struct{})
-	go n.runMerge(n.store.Prefix(upTo), n.deleted, upTo, n.mergeDone)
+	go n.runMerge(n.store.Prefix(upTo), n.deleted, upTo, token, n.mergeDone)
 }
 
 // runMerge is the background merge pipeline: rebuild the static structure
 // over the frozen prefix without holding any lock, then publish the result
 // with a brief critical section and an atomic snapshot swap. Queries and
-// inserts proceed throughout.
-func (n *Node) runMerge(prefix *sparse.Matrix, del *bitvec.Vector, upTo int, done chan struct{}) {
+// inserts proceed throughout. On a durable node the merged state is then
+// checkpointed — snapshot written, sealed journal segments truncated —
+// still off-lock, before done closes (so Flush/MergeNow return with the
+// merge durable).
+func (n *Node) runMerge(prefix *sparse.Matrix, del *bitvec.Vector, upTo, token int, done chan struct{}) {
 	if h := testHookMergeStart; h != nil {
 		h()
 	}
@@ -434,7 +628,51 @@ func (n *Node) runMerge(prefix *sparse.Matrix, del *bitvec.Vector, upTo int, don
 		n.startMergeLocked(n.store.Rows())
 	}
 	n.mu.Unlock()
+	if token > 0 {
+		// st, prefix and the tombstones are immutable/atomic, so the
+		// checkpoint serializes them without any lock. WAL.Checkpoint
+		// discards this write if a chained merge's newer checkpoint
+		// already landed, so the on-disk snapshot never regresses.
+		if err := n.wal.Checkpoint(makeSnapshot(n.cfg, prefix, st, del, upTo), token); err != nil {
+			n.notePersistErr(err)
+		}
+	}
 	close(done)
+}
+
+// makeSnapshot assembles the durable image of a merged state: rows
+// documents, their static buckets, and the tombstone words trimmed and
+// masked to exactly rows bits (stale bits past the row count would
+// otherwise pre-delete future inserts on recovery).
+func makeSnapshot(cfg Config, prefix *sparse.Matrix, st *core.Static, del *bitvec.Vector, rows int) *persist.Snapshot {
+	words := del.Words()
+	nw := (rows + 63) / 64
+	dw := make([]uint64, nw)
+	for i := range dw {
+		dw[i] = atomic.LoadUint64(&words[i])
+	}
+	if rows%64 != 0 {
+		dw[nw-1] &= 1<<(rows%64) - 1
+	}
+	var tables []core.Table
+	if rows > 0 {
+		// An empty index's tables are all offsets and no items; rebuilding
+		// them on load is cheaper than serializing L·2^k zeros.
+		tables = st.Tables()
+	}
+	return &persist.Snapshot{
+		Params:   cfg.Params,
+		Capacity: cfg.Capacity,
+		Rows:     rows,
+		Arena:    prefix,
+		Tables:   tables,
+		Deleted:  dw,
+	}
+}
+
+func (n *Node) notePersistErr(err error) {
+	s := err.Error()
+	n.persistErr.Store(&s)
 }
 
 // awaitMergeLocked waits out one completion of the in-flight merge,
@@ -506,12 +744,33 @@ func (n *Node) Flush(ctx context.Context) error {
 // (tombstones are shared and read atomically). Safe to call concurrently
 // with queries, inserts, and an in-flight merge: rows deleted before the
 // merge's rebuild are compacted out of the new buckets, rows deleted after
-// are filtered per query. Deleting an out-of-range ID is a no-op.
-func (n *Node) Delete(id uint32) {
-	s := n.snap.Load()
-	if int(id) < s.rows {
+// are filtered per query. Deleting an ID that was never inserted returns
+// ErrNotFound; on a durable node the tombstone is journaled before the
+// call returns.
+func (n *Node) Delete(id uint32) error {
+	if n.wal == nil {
+		s := n.snap.Load()
+		if int(id) >= s.rows {
+			return ErrNotFound
+		}
 		s.deleted.SetAtomic(int(id))
+		return nil
 	}
+	// Durable path: journal, then apply, both under the writer mutex.
+	// Journal rotation also runs under mu, so a tombstone journaled into a
+	// sealed (about-to-be-truncated) segment is always applied before the
+	// sealing merge's checkpoint copies the tombstone words — it can never
+	// fall between the truncated journal and the snapshot.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(id) >= n.store.Rows() {
+		return ErrNotFound
+	}
+	if err := n.wal.AppendDelete(id); err != nil {
+		return err
+	}
+	n.deleted.SetAtomic(int(id))
+	return nil
 }
 
 // Retire erases the node's contents (the rolling-window expiration of §6:
@@ -520,7 +779,10 @@ func (n *Node) Delete(id uint32) {
 // waiting, like MergeNow and Flush; a canceled drain returns ctx.Err()
 // with the node unretired — then replaces the arena and tombstones
 // wholesale, so queries holding older snapshots keep reading the retired
-// (immutable) structures and simply age out.
+// (immutable) structures and simply age out. On a durable node the
+// erasure is journaled before it happens and checkpointed after, so a
+// crash at any point recovers to either the full or the empty state —
+// never a resurrection of expired documents.
 func (n *Node) Retire(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -531,6 +793,41 @@ func (n *Node) Retire(ctx context.Context) error {
 			return err
 		}
 	}
+	if n.wal != nil {
+		if err := n.wal.AppendRetire(); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+	}
+	n.resetLocked()
+	n.publishLocked()
+	token := 0
+	var snap *persist.Snapshot
+	if n.wal != nil {
+		// Checkpoint the empty state so the pre-retirement snapshot and
+		// journal are dropped rather than replayed-and-discarded on every
+		// future boot. The retire record above already made the erasure
+		// durable; a rotation failure here only costs disk space.
+		if t, err := n.wal.Rotate(); err != nil {
+			n.notePersistErr(err)
+		} else {
+			token = t
+			snap = makeSnapshot(n.cfg, n.store.Prefix(0), n.static, n.deleted, 0)
+		}
+	}
+	n.mu.Unlock()
+	if token > 0 {
+		if err := n.wal.Checkpoint(snap, token); err != nil {
+			n.notePersistErr(err)
+		}
+	}
+	return nil
+}
+
+// resetLocked erases the node's contents in place: fresh arena and
+// tombstones (published snapshots keep the old ones), empty static.
+// Callers hold mu.
+func (n *Node) resetLocked() {
 	n.store = newArena(n.cfg)
 	n.deleted = bitvec.New(n.cfg.Capacity)
 	n.segs = nil
@@ -540,9 +837,84 @@ func (n *Node) Retire(ctx context.Context) error {
 	n.lastMergeDur = 0
 	n.totalMergeNS = 0
 	n.insertNS = 0
-	n.publishLocked()
+}
+
+// Save forces a durable checkpoint of the node's own data directory: it
+// drives the node to a fully merged state (like MergeNow, chasing
+// concurrent ingest until a quiesced point is observed under the lock),
+// writes the snapshot, and truncates the journal. Returns ErrNotDurable
+// when no Config.Dir was set.
+func (n *Node) Save(ctx context.Context) error {
+	if n.wal == nil {
+		return ErrNotDurable
+	}
+	return n.save(ctx, "", true)
+}
+
+// SaveTo writes a quiesced snapshot of the node into dir — a
+// backup/export that any node configured with identical Params can Open.
+// When dir is the node's own data directory this is exactly Save, journal
+// truncation included.
+func (n *Node) SaveTo(ctx context.Context, dir string) error {
+	if n.wal != nil && sameDir(dir, n.cfg.Dir) {
+		return n.save(ctx, "", true)
+	}
+	return n.save(ctx, dir, false)
+}
+
+func (n *Node) save(ctx context.Context, dir string, checkpoint bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	for n.merging || n.nStatic < n.store.Rows() {
+		if !n.merging {
+			n.startMergeLocked(n.store.Rows())
+		}
+		if err := n.awaitMergeLocked(ctx); err != nil {
+			return err
+		}
+	}
+	// Quiesced under the lock: every row is static and no merge is in
+	// flight, so the captured state is the whole node — the condition the
+	// checkpoint's journal truncation needs (no journaled record may
+	// outlive the segments the rotation seals without being in the
+	// snapshot).
+	if checkpoint {
+		token, err := n.wal.Rotate()
+		if err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		snap := makeSnapshot(n.cfg, n.store.Prefix(n.nStatic), n.static, n.deleted, n.nStatic)
+		n.mu.Unlock()
+		return n.wal.Checkpoint(snap, token)
+	}
+	snap := makeSnapshot(n.cfg, n.store.Prefix(n.nStatic), n.static, n.deleted, n.nStatic)
 	n.mu.Unlock()
-	return nil
+	return persist.WriteSnapshot(dir, snap)
+}
+
+func sameDir(a, b string) bool {
+	if a == b {
+		return true
+	}
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	return errA == nil && errB == nil && aa == bb
+}
+
+// Close releases a durable node's journal after draining any in-flight
+// merge (so its checkpoint lands). Published snapshots keep answering
+// queries; further journaled writes fail. No-op on an in-memory node.
+func (n *Node) Close() error {
+	if n.wal == nil {
+		return nil
+	}
+	if err := n.Flush(context.Background()); err != nil {
+		return err
+	}
+	return n.wal.Close()
 }
 
 // Stats returns a snapshot of the node's state.
@@ -568,6 +940,9 @@ func (n *Node) Stats() Stats {
 	}
 	if n.merging {
 		st.MergePendingRows = n.mergeUpTo - n.nStatic
+	}
+	if p := n.persistErr.Load(); p != nil {
+		st.PersistErr = *p
 	}
 	return st
 }
@@ -660,7 +1035,12 @@ func (n *Node) queryOn(s *snapshot, q sparse.Vector) []core.Neighbor {
 	return res
 }
 
-// Doc returns document id's vector (shared storage; do not modify).
+// Doc returns document id's vector (shared storage; do not modify). An id
+// that was never inserted returns the zero Vector instead of panicking.
 func (n *Node) Doc(id uint32) sparse.Vector {
-	return n.snap.Load().store.Row(int(id))
+	s := n.snap.Load()
+	if int(id) >= s.rows {
+		return sparse.Vector{}
+	}
+	return s.store.Row(int(id))
 }

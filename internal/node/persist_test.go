@@ -1,0 +1,492 @@
+package node
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plsh/internal/core"
+	"plsh/internal/persist"
+	"plsh/internal/sparse"
+)
+
+// durableConfig is testConfig plus a data directory.
+func durableConfig(dir string, capacity int) Config {
+	cfg := testConfig(capacity)
+	cfg.Dir = dir
+	return cfg
+}
+
+// sameNeighbors asserts two answer sets are identical (ID and distance,
+// order-insensitive).
+func sameNeighbors(t *testing.T, what string, a, b []core.Neighbor) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d neighbors", what, len(a), len(b))
+	}
+	am := map[uint32]float64{}
+	for _, nb := range a {
+		am[nb.ID] = nb.Dist
+	}
+	for _, nb := range b {
+		d, ok := am[nb.ID]
+		if !ok {
+			t.Fatalf("%s: neighbor %d only on one side", what, nb.ID)
+		}
+		if d != nb.Dist {
+			t.Fatalf("%s: neighbor %d distance %v vs %v", what, nb.ID, d, nb.Dist)
+		}
+	}
+}
+
+// TestDurableJournalOnlyRecovery: with merges disabled, everything lives
+// in the journal; reopening must replay it to a node answering exactly
+// like one that never restarted.
+func TestDurableJournalOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 1000)
+	cfg.AutoMerge = false
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := New(testConfig(1000)) // same params, in-memory
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(300, 5)
+	for off := 0; off < len(docs); off += 50 {
+		for _, tgt := range []*Node{n, oracle} {
+			if _, err := tgt.Insert(bg, docs[off:off+50]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, id := range []uint32{3, 77, 250} {
+		if err := n.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 300 {
+		t.Fatalf("recovered %d rows, want 300", re.Len())
+	}
+	for i := 0; i < len(docs); i += 7 {
+		sameNeighbors(t, "journal-only recovery",
+			mustQuery(t, oracle, docs[i]), mustQuery(t, re, docs[i]))
+	}
+}
+
+// TestDurableSnapshotPlusTailRecovery: merges checkpoint snapshots and
+// truncate the journal; recovery is snapshot + tail replay, and answers
+// stay identical to an in-memory twin.
+func TestDurableSnapshotPlusTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 2000)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := New(testConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(1000, 9)
+	// Enough volume to trigger background merges (η·C = 200).
+	for off := 0; off < 800; off += 80 {
+		for _, tgt := range []*Node{n, oracle} {
+			if _, err := tgt.Insert(bg, docs[off:off+80]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mustMerge(t, n)
+	mustMerge(t, oracle)
+	if _, err := os.Stat(persist.SnapshotPath(dir)); err != nil {
+		t.Fatalf("merge did not checkpoint a snapshot: %v", err)
+	}
+	// A journal tail past the checkpoint, plus deletes on both sides of
+	// the static boundary.
+	for _, tgt := range []*Node{n, oracle} {
+		if _, err := tgt.Insert(bg, docs[800:900]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []uint32{10, 799, 850} {
+		if err := n.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 900 {
+		t.Fatalf("recovered %d rows, want 900", re.Len())
+	}
+	if re.StaticLen() < 800 {
+		t.Fatalf("snapshot not used: static len %d", re.StaticLen())
+	}
+	for i := 0; i < 900; i += 11 {
+		sameNeighbors(t, "snapshot+tail recovery",
+			mustQuery(t, oracle, docs[i]), mustQuery(t, re, docs[i]))
+	}
+}
+
+// walOp is one acknowledged operation in the truncation property test.
+type walOp struct {
+	docs []sparse.Vector // insert batch (nil for delete)
+	del  uint32
+}
+
+// TestWALTruncationProperty is the crash-recovery property test: the
+// journal is truncated at every record boundary and at points inside every
+// record, and each truncation must recover exactly the acknowledged
+// prefix — every fully journaled insert queryable, no torn record loaded,
+// never an error.
+func TestWALTruncationProperty(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 500)
+	cfg.AutoMerge = false
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(80, 13)
+	var ops []walOp
+	base := 0
+	for i := 0; i < 8; i++ {
+		batch := docs[base : base+5+i]
+		if _, err := n.Insert(bg, batch); err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, walOp{docs: batch})
+		base += len(batch)
+		if i%3 == 1 {
+			id := uint32(base - 2)
+			if err := n.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			ops = append(ops, walOp{del: id})
+		}
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want one journal segment, got %v (%v)", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries, by walking the length prefixes.
+	bounds := []int{0}
+	for off := 0; off < len(raw); {
+		off += 8 + int(binary.LittleEndian.Uint32(raw[off:]))
+		bounds = append(bounds, off)
+	}
+	if len(bounds)-1 != len(ops) {
+		t.Fatalf("%d frames for %d ops", len(bounds)-1, len(ops))
+	}
+
+	check := func(cut, nComplete int) {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, filepath.Base(segs[0])), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		subCfg := cfg
+		subCfg.Dir = sub
+		re, err := New(subCfg)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		defer re.Close()
+		// Model the acknowledged prefix.
+		rows := 0
+		deleted := map[uint32]bool{}
+		for _, op := range ops[:nComplete] {
+			if op.docs != nil {
+				rows += len(op.docs)
+			} else {
+				deleted[op.del] = true
+			}
+		}
+		if re.Len() != rows {
+			t.Fatalf("cut %d: recovered %d rows, want %d", cut, re.Len(), rows)
+		}
+		for id := 0; id < rows; id++ {
+			got := neighborIDs(mustQuery(t, re, docs[id]))
+			if deleted[uint32(id)] {
+				if got[uint32(id)] {
+					t.Fatalf("cut %d: deleted doc %d resurrected", cut, id)
+				}
+			} else if !got[uint32(id)] {
+				t.Fatalf("cut %d: acknowledged doc %d not queryable", cut, id)
+			}
+		}
+		// Nothing torn may load.
+		for id := rows; id < len(docs); id++ {
+			if v := re.Doc(uint32(id)); v.NNZ() != 0 {
+				t.Fatalf("cut %d: torn doc %d loaded", cut, id)
+			}
+		}
+	}
+
+	for i := 1; i < len(bounds); i++ {
+		check(bounds[i], i) // exactly i complete records
+		// Mid-record cuts: inside the header, just after it, and one byte
+		// short of complete — all must load i-1 records and drop the tear.
+		for _, cut := range []int{bounds[i-1] + 1, bounds[i-1] + 8, bounds[i] - 1} {
+			if cut > bounds[i-1] && cut < bounds[i] {
+				check(cut, i-1)
+			}
+		}
+	}
+	check(0, 0)
+}
+
+// TestSaveCheckpointTruncatesJournal: an explicit Save must leave a
+// snapshot covering everything and drop the sealed journal segments.
+func TestSaveCheckpointTruncatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 500)
+	cfg.AutoMerge = false
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(120, 21)
+	for off := 0; off < len(docs); off += 40 {
+		if _, err := n.Insert(bg, docs[off:off+40]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Save(bg); err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Stats(); st.PersistErr != "" {
+		t.Fatalf("persist error: %s", st.PersistErr)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("journal not truncated: %v", segs)
+	}
+	if fi, err := os.Stat(segs[0]); err != nil || fi.Size() != 0 {
+		t.Fatalf("live segment not empty after Save: %v (%v)", fi, err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 120 || re.StaticLen() != 120 {
+		t.Fatalf("recovered %d/%d rows", re.StaticLen(), re.Len())
+	}
+	if got := neighborIDs(mustQuery(t, re, docs[7])); got[7] {
+		t.Fatal("tombstone lost across Save")
+	}
+}
+
+// TestDurableRetireNoResurrection: retirement is durable — a reopened
+// node holds only post-retirement documents.
+func TestDurableRetireNoResurrection(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 500)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(80, 31)
+	if _, err := n.Insert(bg, docs[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Retire(bg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Insert(bg, docs[50:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 30 {
+		t.Fatalf("recovered %d rows, want 30 post-retire docs", re.Len())
+	}
+	got := neighborIDs(mustQuery(t, re, docs[50]))
+	if !got[0] {
+		t.Fatal("post-retire doc 0 not found")
+	}
+	for _, nb := range mustQuery(t, re, docs[0]) {
+		if re.Doc(nb.ID).NNZ() == 0 {
+			t.Fatalf("neighbor %d has no document", nb.ID)
+		}
+	}
+}
+
+// TestSaveToExportRoundTrip: SaveTo writes a portable snapshot a fresh
+// node opens with bit-identical query behavior.
+func TestSaveToExportRoundTrip(t *testing.T) {
+	n, err := New(testConfig(500)) // in-memory node
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(200, 41)
+	if _, err := n.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Delete(13); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := n.SaveTo(bg, dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(durableConfig(dir, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < len(docs); i += 5 {
+		sameNeighbors(t, "export round-trip",
+			mustQuery(t, n, docs[i]), mustQuery(t, re, docs[i]))
+	}
+}
+
+// TestOpenRejectsParamMismatch: a snapshot written under different hash
+// parameters must be refused, not loaded as garbage.
+func TestOpenRejectsParamMismatch(t *testing.T) {
+	dir := t.TempDir()
+	n, err := New(durableConfig(dir, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Insert(bg, testDocs(50, 51)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Save(bg); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	bad := durableConfig(dir, 500)
+	bad.Params.Seed = 999
+	if _, err := New(bad); err == nil {
+		t.Fatal("param mismatch accepted")
+	}
+}
+
+// TestOpenRejectsCorruptSnapshot: any bit flip in the snapshot fails the
+// checksum and the open.
+func TestOpenRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, 500)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Insert(bg, testDocs(50, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Save(bg); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	path := persist.SnapshotPath(dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestDeleteNeverInserted: the ErrNotFound satellite at the node layer.
+func TestDeleteNeverInserted(t *testing.T) {
+	n, err := New(testConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Insert(bg, testDocs(10, 71)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Delete(5); err != nil {
+		t.Fatalf("valid delete: %v", err)
+	}
+	if err := n.Delete(10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("out-of-range delete: want ErrNotFound, got %v", err)
+	}
+	if err := n.Delete(math.MaxUint32); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("huge delete: want ErrNotFound, got %v", err)
+	}
+	// Durable path agrees.
+	d, err := New(durableConfig(t.TempDir(), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Delete(0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("durable out-of-range delete: want ErrNotFound, got %v", err)
+	}
+}
+
+// TestDocOutOfRange: the Doc-panic satellite at the node layer.
+func TestDocOutOfRange(t *testing.T) {
+	n, err := New(testConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Insert(bg, testDocs(10, 81)); err != nil {
+		t.Fatal(err)
+	}
+	if v := n.Doc(9); v.NNZ() == 0 {
+		t.Fatal("valid doc came back empty")
+	}
+	if v := n.Doc(10); v.NNZ() != 0 {
+		t.Fatal("out-of-range doc not zero")
+	}
+	if v := n.Doc(math.MaxUint32); v.NNZ() != 0 {
+		t.Fatal("huge id doc not zero")
+	}
+	if err := n.Save(bg); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Save on in-memory node: want ErrNotDurable, got %v", err)
+	}
+}

@@ -1,0 +1,493 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plsh/internal/core"
+	"plsh/internal/corpus"
+	"plsh/internal/lshhash"
+	"plsh/internal/sparse"
+)
+
+func testParams() lshhash.Params {
+	return lshhash.Params{Dim: 500, K: 8, M: 4, Seed: 7}
+}
+
+// testSnapshot builds a small but fully populated snapshot: real documents,
+// real static tables, and a few tombstones.
+func testSnapshot(t *testing.T, n int) *Snapshot {
+	t.Helper()
+	p := testParams()
+	fam, err := lshhash.NewFamily(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := corpus.Generate(corpus.Twitter(n, p.Dim, 3))
+	st, err := core.Build(fam, c.Mat, core.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := make([]uint64, (n+63)/64)
+	if n > 2 {
+		del[0] |= 1 << 2
+	}
+	return &Snapshot{
+		Params:   p,
+		Capacity: 4 * n,
+		Rows:     n,
+		Arena:    c.Mat,
+		Tables:   st.Tables(),
+		Deleted:  del,
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := testSnapshot(t, 100)
+	if err := WriteSnapshot(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params != s.Params || got.Rows != s.Rows || got.Capacity != s.Capacity {
+		t.Fatalf("header mismatch: %+v vs %+v", got, s)
+	}
+	if got.Arena.Rows() != s.Arena.Rows() || got.Arena.NNZ() != s.Arena.NNZ() {
+		t.Fatalf("arena shape mismatch")
+	}
+	for i := 0; i < s.Rows; i++ {
+		a, b := s.Arena.Row(i), got.Arena.Row(i)
+		if len(a.Idx) != len(b.Idx) {
+			t.Fatalf("row %d nnz mismatch", i)
+		}
+		for j := range a.Idx {
+			if a.Idx[j] != b.Idx[j] || a.Val[j] != b.Val[j] {
+				t.Fatalf("row %d entry %d mismatch", i, j)
+			}
+		}
+	}
+	if len(got.Tables) != len(s.Tables) {
+		t.Fatalf("table count %d vs %d", len(got.Tables), len(s.Tables))
+	}
+	for l := range s.Tables {
+		a, b := &s.Tables[l], &got.Tables[l]
+		if len(a.Offsets) != len(b.Offsets) || len(a.Items) != len(b.Items) {
+			t.Fatalf("table %d shape mismatch", l)
+		}
+		for i := range a.Items {
+			if a.Items[i] != b.Items[i] {
+				t.Fatalf("table %d item %d mismatch", l, i)
+			}
+		}
+	}
+	if len(got.Deleted) != len(s.Deleted) || got.Deleted[0] != s.Deleted[0] {
+		t.Fatalf("tombstones mismatch")
+	}
+	// The loaded tables must reassemble into a valid Static.
+	fam, _ := lshhash.NewFamily(got.Params)
+	if _, err := core.StaticFromTables(fam, got.Rows, got.Tables); err != nil {
+		t.Fatalf("StaticFromTables: %v", err)
+	}
+}
+
+func TestSnapshotMissing(t *testing.T) {
+	if _, err := ReadSnapshot(t.TempDir()); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("want ErrNoSnapshot, got %v", err)
+	}
+}
+
+// TestSnapshotCorruptionRejected flips each of a spread of bytes and
+// asserts every corrupted file is rejected — never loaded as garbage.
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, testSnapshot(t, 60)); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(SnapshotPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(orig)/64 + 1
+	for off := 0; off < len(orig); off += step {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0xA5
+		if err := os.WriteFile(SnapshotPath(dir), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSnapshot(dir); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: want ErrCorrupt, got %v", off, err)
+		}
+	}
+	// Truncations must be rejected too.
+	for _, cut := range []int{0, 1, 7, 8, len(orig) / 2, len(orig) - 1} {
+		if err := os.WriteFile(SnapshotPath(dir), orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSnapshot(dir); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncate at %d: want ErrCorrupt, got %v", cut, err)
+		}
+	}
+}
+
+func TestSnapshotAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSnapshot(dir, testSnapshot(t, 20)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := testSnapshot(t, 40)
+	if err := WriteSnapshot(dir, s2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 40 {
+		t.Fatalf("overwrite kept old snapshot: rows = %d", got.Rows)
+	}
+	// No temp litter.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if e.Name() != snapshotName {
+			t.Fatalf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func walDocs(n int, seed uint64) []sparse.Vector {
+	c := corpus.Generate(corpus.Twitter(n, 500, seed))
+	out := make([]sparse.Vector, n)
+	for i := range out {
+		out[i] = c.Mat.Row(i)
+	}
+	return out
+}
+
+// appendAll journals a deterministic op sequence and returns the records
+// it should replay to.
+func appendAll(t *testing.T, w *WAL) []*Record {
+	t.Helper()
+	var want []*Record
+	base := 0
+	for i := 0; i < 6; i++ {
+		docs := walDocs(3+i, uint64(i+1))
+		if err := w.AppendInsert(base, docs); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, &Record{Kind: RecordInsert, Base: base, Docs: docs})
+		base += len(docs)
+		if i%2 == 1 {
+			id := uint32(base - 1)
+			if err := w.AppendDelete(id); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, &Record{Kind: RecordDelete, ID: id})
+		}
+	}
+	if err := w.AppendRetire(); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, &Record{Kind: RecordRetire})
+	if err := w.AppendInsert(0, walDocs(2, 99)); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, &Record{Kind: RecordInsert, Base: 0, Docs: walDocs(2, 99)})
+	return want
+}
+
+func replayAll(t *testing.T, dir string) []*Record {
+	t.Helper()
+	var got []*Record
+	if err := ReplayWAL(dir, func(r *Record) error {
+		cp := *r
+		cp.Docs = append([]sparse.Vector(nil), r.Docs...)
+		got = append(got, &cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func recordsEqual(a, b *Record) bool {
+	if a.Kind != b.Kind || a.Base != b.Base || a.ID != b.ID || len(a.Docs) != len(b.Docs) {
+		return false
+	}
+	for i := range a.Docs {
+		x, y := a.Docs[i], b.Docs[i]
+		if len(x.Idx) != len(y.Idx) {
+			return false
+		}
+		for j := range x.Idx {
+			if x.Idx[j] != y.Idx[j] || x.Val[j] != y.Val[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendAll(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(got[i], want[i]) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALTornTail is the framing property test: for a truncation at every
+// single byte offset of the journal, replay loads exactly the records
+// whose frames are fully contained — no torn record ever loads, and no
+// truncation point produces an error.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendAll(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := walSegments(dir)
+	if err != nil || len(seqs) != 1 {
+		t.Fatalf("segments %v (%v)", seqs, err)
+	}
+	raw, err := os.ReadFile(segmentPath(dir, seqs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries: walk the encoding.
+	var bounds []int
+	off := 0
+	for off < len(raw) {
+		n := int(uint32(raw[off]) | uint32(raw[off+1])<<8 | uint32(raw[off+2])<<16 | uint32(raw[off+3])<<24)
+		off += 8 + n
+		bounds = append(bounds, off)
+	}
+	if len(bounds) != len(want) {
+		t.Fatalf("%d frames, want %d", len(bounds), len(want))
+	}
+	for cut := 0; cut <= len(raw); cut++ {
+		sub := filepath.Join(t.TempDir(), "w")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(segmentPath(sub, 1), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, sub)
+		complete := 0
+		for _, b := range bounds {
+			if b <= cut {
+				complete++
+			}
+		}
+		if len(got) != complete {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(got), complete)
+		}
+		for i := 0; i < complete; i++ {
+			if !recordsEqual(got[i], want[i]) {
+				t.Fatalf("cut %d: record %d mismatch", cut, i)
+			}
+		}
+	}
+}
+
+// TestWALRotateCheckpointTruncates: rotation segments the journal, and a
+// checkpoint at a token removes exactly the pre-rotation segments.
+func TestWALRotateCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(0, walDocs(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	token, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(4, walDocs(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(testSnapshot(t, 4), token); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := walSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != token {
+		t.Fatalf("segments after checkpoint: %v, want [%d]", seqs, token)
+	}
+	// Only the post-rotation record remains.
+	got := replayAll(t, dir)
+	if len(got) != 1 || got[0].Base != 4 {
+		t.Fatalf("post-checkpoint replay: %+v", got)
+	}
+	// A stale checkpoint (lower token) must be skipped, not regress the
+	// snapshot: the higher checkpoint's snapshot stays.
+	if err := w.Checkpoint(testSnapshot(t, 2), token-1); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rows != 4 {
+		t.Fatalf("stale checkpoint regressed snapshot to %d rows", snap.Rows)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendDelete(0); !errors.Is(err, errWALClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+// TestWALReopenAppendsNewSegment: reopening never appends to an old
+// (possibly torn) segment.
+func TestWALReopenAppendsNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := OpenWAL(dir, false)
+	if err := w.AppendInsert(0, walDocs(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendInsert(2, walDocs(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	seqs, _ := walSegments(dir)
+	if len(seqs) != 2 {
+		t.Fatalf("segments %v, want two", seqs)
+	}
+	got := replayAll(t, dir)
+	if len(got) != 2 || got[0].Base != 0 || got[1].Base != 2 {
+		t.Fatalf("cross-segment replay: %+v", got)
+	}
+}
+
+// TestWALTornMidSequenceSegment: a crash→recover→crash history leaves a
+// torn tail in a non-final segment; replay must drop only the tear and
+// keep every acknowledged record from the following segments.
+func TestWALTornMidSequenceSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(0, walDocs(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Simulate a kill mid-append: garbage half-frame at segment 1's tail.
+	f, err := os.OpenFile(segmentPath(dir, 1), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x20, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// The next boot opens a fresh segment and keeps acknowledging writes.
+	w2, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendInsert(3, walDocs(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendDelete(1); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+
+	got := replayAll(t, dir)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3 (1 before the tear, 2 after)", len(got))
+	}
+	if got[0].Base != 0 || got[1].Base != 3 || got[2].Kind != RecordDelete {
+		t.Fatalf("wrong records across torn segment: %+v", got)
+	}
+}
+
+// TestWALBrokenSegmentHeals: after an append failure nothing more may be
+// acknowledged into the (possibly torn) segment; a rotation opens a
+// clean segment and appends resume.
+func TestWALBrokenSegmentHeals(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(0, walDocs(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // sabotage the live handle: the next write fails
+	if err := w.AppendDelete(0); err == nil {
+		t.Fatal("append on sabotaged segment succeeded")
+	}
+	if err := w.AppendDelete(0); err == nil {
+		t.Fatal("append acknowledged behind a possible tear")
+	}
+	if _, err := w.Rotate(); err != nil {
+		t.Fatalf("rotation did not heal broken journal: %v", err)
+	}
+	if err := w.AppendDelete(1); err != nil {
+		t.Fatalf("append after healing rotation: %v", err)
+	}
+	w.Close()
+	got := replayAll(t, dir)
+	if len(got) != 2 || got[0].Kind != RecordInsert || got[1].ID != 1 {
+		t.Fatalf("post-heal replay: %+v", got)
+	}
+}
+
+// TestWALOversizedRecordRejected: a batch whose frame would exceed the
+// record limit is refused outright — never acknowledged, never written
+// as a frame replay would classify as corruption.
+func TestWALOversizedRecordRejected(t *testing.T) {
+	old := maxRecordLen
+	maxRecordLen = 1 << 12
+	defer func() { maxRecordLen = old }()
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendInsert(0, walDocs(200, 1)); err == nil {
+		t.Fatal("oversized insert batch accepted")
+	}
+	if err := w.AppendInsert(0, walDocs(2, 1)); err != nil {
+		t.Fatalf("normal append after oversized rejection: %v", err)
+	}
+	if got := replayAll(t, dir); len(got) != 1 {
+		t.Fatalf("replayed %d records, want just the small batch", len(got))
+	}
+}

@@ -1,0 +1,479 @@
+// Package persist is the node durability subsystem: checkpointed
+// snapshots plus a write-ahead journal, the two halves of the classic
+// recovery contract.
+//
+// The paper's 100-node cluster (§8) holds everything in RAM, so a node
+// restart silently loses its ~10.5M documents. This package makes a node
+// durable without touching the hot read path:
+//
+//   - A snapshot is the serialized image of a fully merged node — the
+//     document arena (CSR), the static PLSH buckets, the tombstone
+//     bitvector, and the hash-family parameters — behind a versioned
+//     header and a whole-file CRC. It is exactly the immutable state a
+//     copy-on-write publish produces, so writing one needs no locks and
+//     loading one needs no rehashing: the bucket arrays go straight back
+//     into a core.Static.
+//   - The WAL (wal.go) journals every acknowledged Insert/Delete between
+//     checkpoints; replaying it on top of the latest snapshot recovers
+//     every acknowledged write after a crash.
+//
+// Snapshots are written to a temporary file and atomically renamed, so a
+// crash mid-checkpoint leaves the previous snapshot intact. Readers verify
+// the magic, version, CRC, and structural shape (via sparse.FromRaw and
+// core.StaticFromTables) and refuse to load anything that fails — a
+// corrupt file is an error, never garbage in the index.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"plsh/internal/core"
+	"plsh/internal/lshhash"
+	"plsh/internal/sparse"
+)
+
+// snapshotName is the snapshot's filename within a node's data directory.
+const snapshotName = "snapshot.plsh"
+
+// snapshotMagic identifies a plsh snapshot file; the trailing byte is the
+// format generation (bumped only for incompatible layout changes — the
+// version field below covers compatible evolution).
+var snapshotMagic = [8]byte{'P', 'L', 'S', 'H', 'S', 'N', 'P', '1'}
+
+// snapshotVersion is the current format version.
+const snapshotVersion = 1
+
+// castagnoli is the CRC-32C table used for both snapshot and WAL framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoSnapshot reports that a data directory holds no snapshot — a fresh
+// node, or one that has only journaled so far.
+var ErrNoSnapshot = errors.New("persist: no snapshot")
+
+// ErrCorrupt wraps every integrity failure (bad magic, checksum mismatch,
+// impossible lengths): the file exists but must not be loaded.
+var ErrCorrupt = errors.New("persist: corrupt snapshot")
+
+// Snapshot is the durable image of a fully merged node: every document is
+// covered by the static index, so no delta segments need serializing.
+type Snapshot struct {
+	// Params is the hash family the static tables were built under; a node
+	// opening the snapshot must be configured identically, or the bucket
+	// contents would be meaningless.
+	Params lshhash.Params
+	// Capacity is the node capacity at save time (recorded for
+	// diagnostics; an opening node may use a larger capacity).
+	Capacity int
+	// Rows is the number of documents covered: arena rows, static length,
+	// and the tombstone bit range all equal it.
+	Rows int
+	// Arena holds the documents, rows [0, Rows).
+	Arena *sparse.Matrix
+	// Tables are the static PLSH buckets over the arena. Empty when
+	// Rows == 0 (rebuilding an empty index is cheaper than serializing
+	// 2^k offsets per table).
+	Tables []core.Table
+	// Deleted is the tombstone bitvector's backing words, trimmed to
+	// ⌈Rows/64⌉ words with bits ≥ Rows masked off.
+	Deleted []uint64
+}
+
+// SnapshotPath returns where WriteSnapshot places the snapshot within dir
+// (exposed for tests and tooling that size or corrupt it).
+func SnapshotPath(dir string) string { return filepath.Join(dir, snapshotName) }
+
+// WriteSnapshot serializes s into dir atomically: the bytes go to a
+// temporary file that is fsynced and renamed over any previous snapshot,
+// so a crash at any point leaves either the old image or the new one,
+// never a torn mix.
+func WriteSnapshot(dir string, s *Snapshot) (err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, snapshotName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	// CreateTemp defaults to 0600; match the journal segments' mode.
+	tmp.Chmod(0o644)
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := newCRCWriter(tmp)
+	w.bytes(snapshotMagic[:])
+	w.u32(snapshotVersion)
+	w.u32(uint32(s.Params.Dim))
+	w.u32(uint32(s.Params.K))
+	w.u32(uint32(s.Params.M))
+	w.u64(s.Params.Seed)
+	w.u64(uint64(s.Capacity))
+	w.u64(uint64(s.Rows))
+
+	offs, cols, vals := s.Arena.Raw()
+	w.u64(uint64(len(cols)))
+	w.i32s(offs)
+	w.u32s(cols)
+	w.f32s(vals)
+
+	w.u32(uint32(len(s.Tables)))
+	for i := range s.Tables {
+		t := &s.Tables[i]
+		w.u64(uint64(len(t.Offsets)))
+		w.u32s(t.Offsets)
+		w.u64(uint64(len(t.Items)))
+		w.u32s(t.Items)
+	}
+
+	w.u64(uint64(len(s.Deleted)))
+	w.u64s(s.Deleted)
+
+	if err := w.finish(); err != nil {
+		return fmt.Errorf("persist: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), SnapshotPath(dir)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: publish snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// ReadSnapshot loads and verifies dir's snapshot. It returns ErrNoSnapshot
+// when none exists and an ErrCorrupt-wrapped error when the file fails any
+// integrity check — magic, version, CRC, or structural shape.
+func ReadSnapshot(dir string) (*Snapshot, error) {
+	f, err := os.Open(SnapshotPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoSnapshot
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	r := newCRCReader(f, fi.Size())
+
+	var magic [8]byte
+	r.bytes(magic[:])
+	if r.err == nil && magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := r.u32(); r.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	s := &Snapshot{}
+	s.Params.Dim = int(r.u32())
+	s.Params.K = int(r.u32())
+	s.Params.M = int(r.u32())
+	s.Params.Seed = r.u64()
+	s.Capacity = int(r.u64())
+	s.Rows = int(r.u64())
+	if r.err == nil && (s.Rows < 0 || s.Capacity < 0 || s.Rows > s.Capacity) {
+		return nil, fmt.Errorf("%w: impossible row count", ErrCorrupt)
+	}
+
+	nnz := int(r.u64())
+	offs := r.i32s(s.Rows + 1)
+	cols := r.u32s(nnz)
+	vals := r.f32s(nnz)
+
+	nTables := int(r.u32())
+	if r.err == nil && nTables > 1<<20 {
+		return nil, fmt.Errorf("%w: impossible table count", ErrCorrupt)
+	}
+	tables := make([]core.Table, 0, max(nTables, 0))
+	for i := 0; i < nTables && r.err == nil; i++ {
+		t := core.Table{}
+		t.Offsets = r.u32s(int(r.u64()))
+		t.Items = r.u32s(int(r.u64()))
+		tables = append(tables, t)
+	}
+	s.Tables = tables
+
+	s.Deleted = r.u64s(int(r.u64()))
+
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	arena, err := sparse.FromRaw(s.Params.Dim, offs, cols, vals)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	s.Arena = arena
+	if want := (s.Rows + 63) / 64; len(s.Deleted) != want {
+		return nil, fmt.Errorf("%w: tombstone words do not cover rows", ErrCorrupt)
+	}
+	return s, nil
+}
+
+// syncDir fsyncs a directory so renames and segment creations survive a
+// machine crash. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// crcWriter streams sections to a buffered writer while folding every byte
+// into a running CRC-32C, appended as the file's final 4 bytes.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	err error
+	tmp [8]byte
+	buf []byte // chunk scratch for slice sections
+}
+
+func newCRCWriter(w io.Writer) *crcWriter {
+	return &crcWriter{w: bufio.NewWriterSize(w, 1<<20), buf: make([]byte, 1<<16)}
+}
+
+func (c *crcWriter) bytes(p []byte) {
+	if c.err != nil {
+		return
+	}
+	c.crc = crc32.Update(c.crc, castagnoli, p)
+	_, c.err = c.w.Write(p)
+}
+
+func (c *crcWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(c.tmp[:4], v)
+	c.bytes(c.tmp[:4])
+}
+
+func (c *crcWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(c.tmp[:8], v)
+	c.bytes(c.tmp[:8])
+}
+
+// u32s writes a []uint32 section in 64 KiB chunks — the hot path for
+// bucket arrays and the arena, where per-element Write calls would
+// dominate snapshot time.
+func (c *crcWriter) u32s(vs []uint32) {
+	for len(vs) > 0 && c.err == nil {
+		n := min(len(vs), len(c.buf)/4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(c.buf[i*4:], vs[i])
+		}
+		c.bytes(c.buf[:n*4])
+		vs = vs[n:]
+	}
+}
+
+func (c *crcWriter) i32s(vs []int32) {
+	for len(vs) > 0 && c.err == nil {
+		n := min(len(vs), len(c.buf)/4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(c.buf[i*4:], uint32(vs[i]))
+		}
+		c.bytes(c.buf[:n*4])
+		vs = vs[n:]
+	}
+}
+
+func (c *crcWriter) f32s(vs []float32) {
+	for len(vs) > 0 && c.err == nil {
+		n := min(len(vs), len(c.buf)/4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(c.buf[i*4:], math.Float32bits(vs[i]))
+		}
+		c.bytes(c.buf[:n*4])
+		vs = vs[n:]
+	}
+}
+
+func (c *crcWriter) u64s(vs []uint64) {
+	for len(vs) > 0 && c.err == nil {
+		n := min(len(vs), len(c.buf)/8)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(c.buf[i*8:], vs[i])
+		}
+		c.bytes(c.buf[:n*8])
+		vs = vs[n:]
+	}
+}
+
+// finish appends the CRC (not folded into itself) and flushes.
+func (c *crcWriter) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	binary.LittleEndian.PutUint32(c.tmp[:4], c.crc)
+	if _, err := c.w.Write(c.tmp[:4]); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// crcReader mirrors crcWriter: it streams sections while tracking the CRC
+// and how many payload bytes remain before the 4-byte trailer, so a
+// corrupt length field fails fast instead of attempting a huge
+// allocation.
+type crcReader struct {
+	r         *bufio.Reader
+	crc       uint32
+	remaining int64 // payload bytes left (file size minus trailer)
+	err       error
+	tmp       [8]byte
+}
+
+func newCRCReader(r io.Reader, size int64) *crcReader {
+	return &crcReader{r: bufio.NewReaderSize(r, 1<<20), remaining: size - 4}
+}
+
+func (c *crcReader) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *crcReader) bytes(p []byte) {
+	if c.err != nil {
+		return
+	}
+	if int64(len(p)) > c.remaining {
+		c.fail(fmt.Errorf("%w: truncated", ErrCorrupt))
+		return
+	}
+	if _, err := io.ReadFull(c.r, p); err != nil {
+		c.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+		return
+	}
+	c.remaining -= int64(len(p))
+	c.crc = crc32.Update(c.crc, castagnoli, p)
+}
+
+func (c *crcReader) u32() uint32 {
+	c.bytes(c.tmp[:4])
+	if c.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(c.tmp[:4])
+}
+
+func (c *crcReader) u64() uint64 {
+	c.bytes(c.tmp[:8])
+	if c.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(c.tmp[:8])
+}
+
+// checkLen validates a section length against the bytes actually left in
+// the file before allocating for it.
+func (c *crcReader) checkLen(n, width int) bool {
+	if c.err != nil {
+		return false
+	}
+	if n < 0 || int64(n)*int64(width) > c.remaining {
+		c.fail(fmt.Errorf("%w: impossible section length %d", ErrCorrupt, n))
+		return false
+	}
+	return true
+}
+
+func (c *crcReader) u32s(n int) []uint32 {
+	if !c.checkLen(n, 4) {
+		return nil
+	}
+	out := make([]uint32, n)
+	var chunk [1 << 12]byte
+	for i := 0; i < n; {
+		m := min(n-i, len(chunk)/4)
+		c.bytes(chunk[:m*4])
+		if c.err != nil {
+			return nil
+		}
+		for j := 0; j < m; j++ {
+			out[i+j] = binary.LittleEndian.Uint32(chunk[j*4:])
+		}
+		i += m
+	}
+	return out
+}
+
+func (c *crcReader) i32s(n int) []int32 {
+	us := c.u32s(n)
+	if c.err != nil {
+		return nil
+	}
+	out := make([]int32, len(us))
+	for i, u := range us {
+		out[i] = int32(u)
+	}
+	return out
+}
+
+func (c *crcReader) f32s(n int) []float32 {
+	us := c.u32s(n)
+	if c.err != nil {
+		return nil
+	}
+	out := make([]float32, len(us))
+	for i, u := range us {
+		out[i] = math.Float32frombits(u)
+	}
+	return out
+}
+
+func (c *crcReader) u64s(n int) []uint64 {
+	if !c.checkLen(n, 8) {
+		return nil
+	}
+	out := make([]uint64, n)
+	var chunk [1 << 12]byte
+	for i := 0; i < n; {
+		m := min(n-i, len(chunk)/8)
+		c.bytes(chunk[:m*8])
+		if c.err != nil {
+			return nil
+		}
+		for j := 0; j < m; j++ {
+			out[i+j] = binary.LittleEndian.Uint64(chunk[j*8:])
+		}
+		i += m
+	}
+	return out
+}
+
+// finish verifies the trailing CRC.
+func (c *crcReader) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.remaining != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, c.remaining)
+	}
+	want := c.crc
+	if _, err := io.ReadFull(c.r, c.tmp[:4]); err != nil {
+		return fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(c.tmp[:4]); got != want {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return nil
+}

@@ -169,6 +169,48 @@ func (m *Matrix) AppendMatrix(src *Matrix) {
 	}
 }
 
+// Raw exposes the CSR arrays — row offsets, column indexes, values — for
+// serialization. Callers must not modify them, and for a live arena must
+// call it on an immutable Prefix, not the append side.
+func (m *Matrix) Raw() (offs []int32, cols []uint32, vals []float32) {
+	return m.offs, m.cols, m.vals
+}
+
+// FromRaw builds a Matrix over pre-decoded CSR arrays, taking ownership of
+// the slices. It validates the shape a deserialized arena must have —
+// monotone offsets delimiting len(cols) == len(vals) non-zeros, and every
+// row's column indexes strictly increasing within [0, dim) — so a corrupt
+// or hand-edited snapshot is rejected instead of producing undefined query
+// behavior.
+func FromRaw(dim int, offs []int32, cols []uint32, vals []float32) (*Matrix, error) {
+	if dim <= 0 {
+		return nil, errors.New("sparse: FromRaw: non-positive dimension")
+	}
+	if len(offs) < 1 || offs[0] != 0 {
+		return nil, errors.New("sparse: FromRaw: offsets must start at 0")
+	}
+	if len(cols) != len(vals) {
+		return nil, errors.New("sparse: FromRaw: column/value length mismatch")
+	}
+	if int(offs[len(offs)-1]) != len(cols) {
+		return nil, errors.New("sparse: FromRaw: final offset does not match non-zero count")
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return nil, errors.New("sparse: FromRaw: offsets decrease")
+		}
+		for j := offs[i-1]; j < offs[i]; j++ {
+			if int(cols[j]) >= dim {
+				return nil, errors.New("sparse: FromRaw: column index out of range")
+			}
+			if j > offs[i-1] && cols[j] <= cols[j-1] {
+				return nil, errors.New("sparse: FromRaw: column indexes not strictly increasing")
+			}
+		}
+	}
+	return &Matrix{Dim: dim, offs: offs, cols: cols, vals: vals}, nil
+}
+
 // Reset empties the matrix, retaining capacity.
 func (m *Matrix) Reset() {
 	m.offs = m.offs[:1]

@@ -54,6 +54,11 @@ type NodeClient interface {
 	Flush(ctx context.Context) error
 	// Retire erases the node's contents.
 	Retire(ctx context.Context) error
+	// Save forces a durable checkpoint of the node's data directory:
+	// quiesce every document into the static structure, write the
+	// snapshot, truncate the journal. Returns node.ErrNotDurable
+	// (possibly wrapped) when the node has no data directory.
+	Save(ctx context.Context) error
 	// Stats returns the node's state snapshot.
 	Stats(ctx context.Context) (node.Stats, error)
 	// Close releases the connection (a no-op for Local).
@@ -90,8 +95,7 @@ func (l *Local) Delete(ctx context.Context, id uint32) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	l.N.Delete(id)
-	return nil
+	return l.N.Delete(id)
 }
 
 // MergeNow implements NodeClient.
@@ -109,6 +113,11 @@ func (l *Local) Retire(ctx context.Context) error {
 	return l.N.Retire(ctx)
 }
 
+// Save implements NodeClient.
+func (l *Local) Save(ctx context.Context) error {
+	return l.N.Save(ctx)
+}
+
 // Stats implements NodeClient.
 func (l *Local) Stats(ctx context.Context) (node.Stats, error) {
 	if err := ctx.Err(); err != nil {
@@ -117,8 +126,10 @@ func (l *Local) Stats(ctx context.Context) (node.Stats, error) {
 	return l.N.Stats(), nil
 }
 
-// Close implements NodeClient.
-func (l *Local) Close() error { return nil }
+// Close implements NodeClient: a durable node's journal is released (its
+// in-flight merge drained so the final checkpoint lands); in-memory nodes
+// are untouched. Idempotent.
+func (l *Local) Close() error { return l.N.Close() }
 
 var _ NodeClient = (*Local)(nil)
 

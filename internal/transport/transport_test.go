@@ -12,6 +12,7 @@ import (
 	"plsh/internal/corpus"
 	"plsh/internal/lshhash"
 	"plsh/internal/node"
+	"plsh/internal/persist"
 	"plsh/internal/sparse"
 )
 
@@ -88,6 +89,7 @@ func (s *stubBackend) Delete(ctx context.Context, id uint32) error { return nil 
 func (s *stubBackend) MergeNow(ctx context.Context) error          { return nil }
 func (s *stubBackend) Flush(ctx context.Context) error             { return nil }
 func (s *stubBackend) Retire(ctx context.Context) error            { return nil }
+func (s *stubBackend) Save(ctx context.Context) error              { return nil }
 func (s *stubBackend) Stats(ctx context.Context) (node.Stats, error) {
 	if s.stats != nil {
 		return s.stats(ctx)
@@ -604,5 +606,59 @@ func TestTCPMergeAndFlush(t *testing.T) {
 	}
 	if st, err = remote.Stats(bg); err != nil || st.DeltaLen != 0 || st.StaticLen != 300 {
 		t.Fatalf("post-merge stats: %+v err=%v", st, err)
+	}
+}
+
+// TestTCPSaveAndNotFound exercises the two newest wire codes end to end:
+// opSave checkpoints a durable backend's data directory, and a delete of
+// a never-inserted id comes back as node.ErrNotFound (codeNotFound), not
+// a generic remote error.
+func TestTCPSaveAndNotFound(t *testing.T) {
+	dir := t.TempDir()
+	n, err := node.New(node.Config{
+		Params:   lshhash.Params{Dim: 2000, K: 8, M: 6, Seed: 42},
+		Capacity: 500,
+		Build:    core.Defaults(),
+		Query:    core.QueryDefaults(),
+		Dir:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	addr, _ := startBackend(t, NewLocal(n), nil)
+	remote, err := Dial(bg, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	ids, err := remote.Insert(bg, testDocs(40, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Delete(bg, ids[0]); err != nil {
+		t.Fatalf("valid delete over TCP: %v", err)
+	}
+	if err := remote.Delete(bg, 40); !errors.Is(err, node.ErrNotFound) {
+		t.Fatalf("out-of-range delete over TCP: want ErrNotFound, got %v", err)
+	}
+	if err := remote.Save(bg); err != nil {
+		t.Fatalf("Save over TCP: %v", err)
+	}
+	if _, err := persist.ReadSnapshot(dir); err != nil {
+		t.Fatalf("no valid snapshot after remote Save: %v", err)
+	}
+
+	// An in-memory backend refuses the checkpoint with a remote error.
+	mem := testNode(t, 100)
+	addr2, _ := startBackend(t, NewLocal(mem), nil)
+	remote2, err := Dial(bg, addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote2.Close()
+	if err := remote2.Save(bg); err == nil {
+		t.Fatal("Save on in-memory node succeeded over TCP")
 	}
 }

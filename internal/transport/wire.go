@@ -43,6 +43,9 @@ const (
 	// New ops append after opCancel so existing opcode values stay stable
 	// under client/server version skew.
 	opFlush
+	// opSave checkpoints the node's data directory (snapshot + journal
+	// truncation).
+	opSave
 )
 
 // request is the client→server frame.
@@ -67,6 +70,10 @@ const (
 	codeOK respCode = iota
 	codeFull
 	codeError
+	// codeNotFound carries node.ErrNotFound (delete of a never-inserted
+	// id); appended after codeError so existing values stay stable under
+	// version skew.
+	codeNotFound
 )
 
 // response is the server→client frame.
@@ -192,6 +199,10 @@ func handle(ctx context.Context, backend NodeClient, req *request) *response {
 			resp.Code = codeFull
 			return
 		}
+		if errors.Is(err, node.ErrNotFound) {
+			resp.Code = codeNotFound
+			return
+		}
 		resp.Code = codeError
 		resp.Err = err.Error()
 	}
@@ -243,6 +254,10 @@ func handle(ctx context.Context, backend NodeClient, req *request) *response {
 		}
 	case opRetire:
 		if err := backend.Retire(ctx); err != nil {
+			fail(err)
+		}
+	case opSave:
+		if err := backend.Save(ctx); err != nil {
 			fail(err)
 		}
 	case opStats:
@@ -412,6 +427,8 @@ func (c *Client) do(ctx context.Context, req *request) (*response, error) {
 		switch resp.Code {
 		case codeFull:
 			return nil, node.ErrFull
+		case codeNotFound:
+			return nil, node.ErrNotFound
 		case codeError:
 			return nil, fmt.Errorf("transport: remote: %s", resp.Err)
 		}
@@ -497,6 +514,12 @@ func (c *Client) Flush(ctx context.Context) error {
 // Retire implements NodeClient.
 func (c *Client) Retire(ctx context.Context) error {
 	_, err := c.do(ctx, &request{Op: opRetire})
+	return err
+}
+
+// Save implements NodeClient.
+func (c *Client) Save(ctx context.Context) error {
+	_, err := c.do(ctx, &request{Op: opSave})
 	return err
 }
 

@@ -32,6 +32,11 @@ type Stats = node.Stats
 // be exceeded.
 var ErrFull = node.ErrFull
 
+// ErrNotFound is returned (possibly wrapped) by Store.Delete and
+// Cluster.Delete for a document ID that was never inserted, so callers
+// can distinguish a no-op from a real tombstone.
+var ErrNotFound = node.ErrNotFound
+
 // Config parameterizes a Store.
 type Config struct {
 	// Dim is the dimensionality of the vector space (vocabulary size).
@@ -55,11 +60,35 @@ type Config struct {
 	Workers int
 	// Seed makes hashing deterministic (default 1).
 	Seed uint64
+	// Dir, when non-empty, makes the Store durable: state is recovered
+	// from Dir on open (snapshot + journal replay), every acknowledged
+	// Insert/Delete is journaled there before the call returns, and
+	// background merges checkpoint snapshots. Open is the idiomatic way
+	// to set it. Empty (the default) keeps everything in memory.
+	Dir string
+	// SyncWrites fsyncs every journal append before the write is
+	// acknowledged. Off, acknowledged writes survive process death
+	// (kill -9); on, they also survive machine crash, at a large
+	// per-write cost.
+	SyncWrites bool
 }
 
+// normalize validates cfg and fills defaults. Every field is either
+// rejected or reflected: a value that passes normalize is the value in
+// effect, so Store.Config never reports a setting the node silently
+// rewrote.
 func (c Config) normalize() (Config, error) {
 	if c.Dim <= 0 {
 		return c, errors.New("plsh: Config.Dim is required")
+	}
+	if c.Radius < 0 {
+		return c, fmt.Errorf("plsh: Config.Radius = %v must not be negative", c.Radius)
+	}
+	if c.Capacity < 0 {
+		return c, fmt.Errorf("plsh: Config.Capacity = %d must not be negative", c.Capacity)
+	}
+	if c.DeltaFraction < 0 || c.DeltaFraction > 1 {
+		return c, fmt.Errorf("plsh: Config.DeltaFraction = %v outside [0, 1]", c.DeltaFraction)
 	}
 	if c.K == 0 {
 		c.K = 16
@@ -69,6 +98,12 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.Radius == 0 {
 		c.Radius = 0.9
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1 << 20
+	}
+	if c.DeltaFraction == 0 {
+		c.DeltaFraction = 0.1
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -93,6 +128,8 @@ func (c Config) nodeConfig() node.Config {
 		AutoMerge:     true,
 		Build:         build,
 		Query:         query,
+		Dir:           c.Dir,
+		SyncWrites:    c.SyncWrites,
 	}
 }
 
@@ -110,18 +147,38 @@ func (c Config) nodeConfig() node.Config {
 // canceled or expired context makes the call return ctx.Err() (batch
 // queries abandon their remaining work cooperatively; writes are checked
 // before any state changes).
+//
+// A Store opened with a data directory (Open, or Config.Dir) is durable:
+// acknowledged writes are journaled before they are acknowledged, merges
+// checkpoint snapshots, and reopening the directory recovers every
+// acknowledged write — see Open, Save, and DESIGN.md for the on-disk
+// format and recovery semantics.
 type Store struct {
 	cfg Config
 	n   *node.Node
 }
 
-// NewStore creates an empty Store.
+// NewStore creates a Store: empty when cfg.Dir is unset, recovered from
+// cfg.Dir when it is (see Open, the ctx-aware form).
 func NewStore(cfg Config) (*Store, error) {
+	return Open(context.Background(), cfg.Dir, cfg)
+}
+
+// Open opens a durable Store rooted at dir (overriding cfg.Dir): the
+// latest snapshot is loaded — checksum and hash-parameter mismatches are
+// rejected, never loaded as garbage — and the write-ahead journal's tail
+// is replayed on top, so every write acknowledged before a crash is
+// queryable again, without rehashing the snapshotted documents. A fresh
+// or empty dir opens an empty durable Store. ctx bounds the recovery.
+//
+// With dir (and cfg.Dir) empty, Open returns a plain in-memory Store.
+func Open(ctx context.Context, dir string, cfg Config) (*Store, error) {
+	cfg.Dir = dir
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
-	n, err := node.New(cfg.nodeConfig())
+	n, err := node.Open(ctx, cfg.nodeConfig())
 	if err != nil {
 		return nil, fmt.Errorf("plsh: %w", err)
 	}
@@ -164,12 +221,13 @@ func (s *Store) QueryTopK(ctx context.Context, q Vector, k int) ([]Neighbor, err
 }
 
 // Delete marks a document ID deleted; it will no longer be returned.
+// Deleting an ID that was never inserted returns ErrNotFound. On a
+// durable Store the tombstone is journaled before Delete returns.
 func (s *Store) Delete(ctx context.Context, id uint32) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.n.Delete(id)
-	return nil
+	return s.n.Delete(id)
 }
 
 // Merge forces every document present at the time of the call into the
@@ -188,15 +246,38 @@ func (s *Store) Flush(ctx context.Context) error { return s.n.Flush(ctx) }
 
 // Reset erases all content, keeping configuration and hash functions. Any
 // in-flight background merge is drained first, so Reset returns with the
-// store settled and empty.
-func (s *Store) Reset() { s.n.Retire(context.Background()) }
+// store settled and empty. On a durable Store the erasure is journaled;
+// a journal failure leaves the store untouched and is returned.
+func (s *Store) Reset() error { return s.n.Retire(context.Background()) }
 
 // Len returns the number of stored documents (including deleted ones,
 // which still occupy capacity until Reset).
 func (s *Store) Len() int { return s.n.Len() }
 
-// Doc returns the stored vector for id (shared storage; do not modify).
-func (s *Store) Doc(id uint32) Vector { return s.n.Doc(id) }
+// Doc returns the stored vector for id (shared storage; do not modify)
+// and whether the id has ever been inserted; ids never inserted report
+// (zero Vector, false) instead of panicking.
+func (s *Store) Doc(id uint32) (Vector, bool) {
+	v := s.n.Doc(id)
+	return v, v.NNZ() > 0
+}
+
+// Save writes a quiesced snapshot of the Store into dir: every document
+// is driven into the static structure (like Merge), then the arena,
+// static buckets, tombstones, and hash parameters are serialized behind a
+// versioned, checksummed header. Open on that dir reproduces the Store
+// bit-identically, without rehashing. When dir is the Store's own
+// Config.Dir this is a checkpoint: the write-ahead journal is truncated
+// once the snapshot is durable. Any other dir is an export/backup and
+// leaves the journal alone.
+func (s *Store) Save(ctx context.Context, dir string) error {
+	return s.n.SaveTo(ctx, dir)
+}
+
+// Close releases a durable Store's journal after waiting out any
+// background merge (so its checkpoint lands). Queries keep working;
+// further writes fail. A no-op for in-memory Stores.
+func (s *Store) Close() error { return s.n.Close() }
 
 // Stats returns a state snapshot.
 func (s *Store) Stats() Stats { return s.n.Stats() }

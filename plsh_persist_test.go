@@ -1,0 +1,328 @@
+package plsh
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"plsh/internal/sparse"
+)
+
+// TestConfigRejectsNegatives: normalize must refuse values the node layer
+// would otherwise silently rewrite, so Store.Config never reports a
+// setting that is not in effect.
+func TestConfigRejectsNegatives(t *testing.T) {
+	base := smallConfig()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative radius", func(c *Config) { c.Radius = -0.5 }},
+		{"negative capacity", func(c *Config) { c.Capacity = -1 }},
+		{"negative delta fraction", func(c *Config) { c.DeltaFraction = -0.1 }},
+		{"delta fraction over 1", func(c *Config) { c.DeltaFraction = 1.5 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := NewStore(cfg); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+		if _, err := NewCluster(2, 0, cfg); err == nil {
+			t.Errorf("%s accepted by NewCluster", tc.name)
+		}
+	}
+}
+
+// TestConfigReportsEffectiveValues: defaults are filled in normalize, so
+// what Config() reports is what the node runs with.
+func TestConfigReportsEffectiveValues(t *testing.T) {
+	s, err := NewStore(Config{Dim: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Capacity != 1<<20 {
+		t.Fatalf("Capacity reported %d, node runs with %d", cfg.Capacity, 1<<20)
+	}
+	if cfg.DeltaFraction != 0.1 {
+		t.Fatalf("DeltaFraction reported %v, node runs with 0.1", cfg.DeltaFraction)
+	}
+	if cfg.Radius != 0.9 {
+		t.Fatalf("Radius reported %v, node runs with 0.9", cfg.Radius)
+	}
+}
+
+// TestStoreDocBounds: the Doc-panic satellite at the public layer — an
+// out-of-range id reports (zero, false) instead of crashing the process.
+func TestStoreDocBounds(t *testing.T) {
+	s, _ := NewStore(smallConfig())
+	docs := SyntheticTweets(10, 2000, 3)
+	ids, err := s.Insert(bg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Doc(ids[4]); !ok || v.NNZ() == 0 {
+		t.Fatal("valid doc not returned")
+	}
+	if v, ok := s.Doc(10); ok || v.NNZ() != 0 {
+		t.Fatal("out-of-range doc returned")
+	}
+	if _, ok := s.Doc(math.MaxUint32); ok {
+		t.Fatal("huge id returned a doc")
+	}
+}
+
+// TestStoreDeleteNotFound: deleting a never-inserted id is distinguishable
+// from a real tombstone, on Store and Cluster alike.
+func TestStoreDeleteNotFound(t *testing.T) {
+	s, _ := NewStore(smallConfig())
+	ids, err := s.Insert(bg, SyntheticTweets(10, 2000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(bg, ids[0]); err != nil {
+		t.Fatalf("valid delete: %v", err)
+	}
+	if err := s.Delete(bg, ids[0]); err != nil {
+		t.Fatalf("repeated delete of a real doc must stay idempotent: %v", err)
+	}
+	if err := s.Delete(bg, 10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("out-of-range delete: want ErrNotFound, got %v", err)
+	}
+
+	cl, err := NewCluster(2, 0, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gids, err := cl.Insert(bg, SyntheticTweets(10, 2000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(bg, gids[0]); err != nil {
+		t.Fatalf("valid cluster delete: %v", err)
+	}
+	if err := cl.Delete(bg, GlobalID(99, 0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("bad node delete: want ErrNotFound, got %v", err)
+	}
+	if err := cl.Delete(bg, GlobalID(0, 5000)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("bad local-id delete: want ErrNotFound, got %v", err)
+	}
+}
+
+// TestStoreSaveOpenOracle is the acceptance round-trip: Save → Open must
+// reproduce query results bit-identically, and both stores' answers are
+// verified against an exhaustive-scan oracle (every reported neighbor is
+// truly within the radius at its reported distance, and a store always
+// finds the query document itself).
+func TestStoreSaveOpenOracle(t *testing.T) {
+	s, err := NewStore(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := SyntheticTweets(400, 2000, 23)
+	ids, err := s.Insert(bg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted := map[uint32]bool{}
+	for _, i := range []int{3, 111, 222} {
+		if err := s.Delete(bg, ids[i]); err != nil {
+			t.Fatal(err)
+		}
+		deleted[ids[i]] = true
+	}
+
+	dir := t.TempDir()
+	if err := s.Save(bg, dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(bg, dir, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != s.Len() {
+		t.Fatalf("reopened Len %d vs %d", re.Len(), s.Len())
+	}
+
+	radius := s.Config().Radius
+	for qi := 0; qi < len(docs); qi += 13 {
+		q := docs[qi]
+		a, err := s.Query(bg, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := re.Query(bg, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bit-identical round trip.
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results after reopen", qi, len(a), len(b))
+		}
+		seen := map[uint32]float64{}
+		for _, nb := range a {
+			seen[nb.ID] = nb.Dist
+		}
+		for _, nb := range b {
+			if d, ok := seen[nb.ID]; !ok || d != nb.Dist {
+				t.Fatalf("query %d: neighbor %d differs after reopen", qi, nb.ID)
+			}
+		}
+		// Exhaustive-scan oracle: reported distances are the true angular
+		// distances, within radius, never deleted; the query doc itself
+		// (distance 0) is always reported unless deleted.
+		for _, nb := range b {
+			if deleted[nb.ID] {
+				t.Fatalf("query %d: deleted doc %d returned", qi, nb.ID)
+			}
+			v, ok := re.Doc(nb.ID)
+			if !ok {
+				t.Fatalf("query %d: neighbor %d has no document", qi, nb.ID)
+			}
+			want := sparse.AngularDistance(sparse.Dot(q, v))
+			if math.Abs(nb.Dist-want) > 1e-9 {
+				t.Fatalf("query %d: neighbor %d distance %v, oracle %v", qi, nb.ID, nb.Dist, want)
+			}
+			if nb.Dist > radius {
+				t.Fatalf("query %d: neighbor %d outside radius", qi, nb.ID)
+			}
+		}
+		if !deleted[ids[qi]] {
+			if _, ok := seen[ids[qi]]; !ok {
+				t.Fatalf("query %d: self not found", qi)
+			}
+		}
+	}
+}
+
+// TestOpenDurableLifecycle: the ctx-aware public open/journal/reopen path,
+// including writes after reopen and a second recovery.
+func TestOpenDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	s, err := Open(bg, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := SyntheticTweets(120, 2000, 29)
+	if _, err := s.Insert(bg, docs[:60]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen, write more, delete, reopen again.
+	s2, err := Open(bg, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 60 {
+		t.Fatalf("first recovery: Len %d", s2.Len())
+	}
+	ids, err := s2.Insert(bg, docs[60:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Delete(bg, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(bg, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 120 {
+		t.Fatalf("second recovery: Len %d", s3.Len())
+	}
+	res, err := s3.Query(bg, docs[60])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range res {
+		if nb.ID == ids[0] {
+			t.Fatal("journaled tombstone lost across recovery")
+		}
+	}
+	// A canceled recovery context aborts the open.
+	canceled, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := Open(canceled, dir, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled open: %v", err)
+	}
+}
+
+// TestClusterDurableSaveAllRecovery: a durable in-process cluster —
+// per-node subdirectories under one root — checkpoints with SaveAll and
+// a fresh cluster over the same root recovers identical answers.
+func TestClusterDurableSaveAllRecovery(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Capacity = 200
+	cfg.Dir = t.TempDir()
+	cl, err := NewCluster(3, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := SyntheticTweets(300, 2000, 37)
+	ids, err := cl.Insert(bg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Delete(bg, ids[7]); err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]ClusterNeighbor, 0, 20)
+	queries := docs[:20]
+	for _, q := range queries {
+		res, err := cl.Query(bg, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	if err := cl.SaveAll(bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewCluster(3, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for qi, q := range queries {
+		res, err := re.Query(bg, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(want[qi]) {
+			t.Fatalf("query %d: %d results after cluster recovery, want %d", qi, len(res), len(want[qi]))
+		}
+		seen := map[uint64]float64{}
+		for _, nb := range want[qi] {
+			seen[GlobalID(nb.Node, nb.ID)] = nb.Dist
+		}
+		for _, nb := range res {
+			if d, ok := seen[GlobalID(nb.Node, nb.ID)]; !ok || d != nb.Dist {
+				t.Fatalf("query %d: neighbor %+v differs after cluster recovery", qi, nb)
+			}
+		}
+	}
+
+	// An in-memory cluster refuses SaveAll rather than pretending.
+	mem, err := NewCluster(2, 0, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if err := mem.SaveAll(bg); err == nil {
+		t.Fatal("SaveAll on in-memory cluster succeeded")
+	}
+}

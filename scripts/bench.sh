@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Run the benchmark suite and snapshot the results for regression
 # tracking. The latest run lands in benchmarks/latest.txt (human-readable)
-# and benchmarks/latest.json (machine-readable, including the
-# query-latency-during-merge metric from BenchmarkQueryDuringMerge). Pass
-# a benchmark regex to narrow the run, e.g.:
+# and benchmarks/latest.json (machine-readable, surfacing the
+# query-latency-during-merge metric from BenchmarkQueryDuringMerge and the
+# durability metrics — snapshot MB/s from BenchmarkSave, WAL-replay docs/s
+# from BenchmarkRecover). Pass a benchmark regex to narrow the run, e.g.:
 #
 #   scripts/bench.sh                  # everything
 #   scripts/bench.sh 'Fig9|TopK'      # just the cluster benchmarks
 #   scripts/bench.sh QueryDuringMerge # just the non-blocking-merge metric
+#   scripts/bench.sh 'Save|Recover'   # just the durability metrics
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
