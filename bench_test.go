@@ -313,6 +313,60 @@ func BenchmarkClusterQueryTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchTopK measures the unified Search path's bounded query
+// shape and prices the request-scoped radius: the "construction" arm
+// searches at the store's own radius, the "override" arm forces the same
+// effective radius onto a store built with a different one via
+// WithRadius. The two arms do identical candidate work — the per-request
+// parameter costs one struct copy, not a rebuild — so their ns/search-topk
+// metrics should track each other.
+func BenchmarkSearchTopK(b *testing.B) {
+	f := benchFixture(b)
+	const radius = 0.9
+	mkStore := func(consRadius float64) *Store {
+		s, err := NewStore(Config{
+			Dim: benchDim, K: 12, M: 10, Radius: consRadius,
+			Capacity: benchN, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Insert(bg, docsSlice(f.col, benchN)); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Merge(bg); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	arms := []struct {
+		name       string
+		consRadius float64
+		opts       []SearchOption
+	}{
+		// Radius fixed at construction — the pre-redesign operating point.
+		{"construction", radius, []SearchOption{WithK(10)}},
+		// Same effective radius, but request-scoped onto a store whose
+		// construction radius differs.
+		{"override", 1.3, []SearchOption{WithK(10), WithRadius(radius)}},
+	}
+	queries := f.queries[:64]
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			s := mkStore(arm.consRadius)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := s.Search(bg, q, arm.opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/search-topk")
+		})
+	}
+}
+
 func docsSlice(c *corpus.Collection, n int) []sparse.Vector {
 	out := make([]sparse.Vector, 0, n)
 	for i := 0; i < n; i++ {

@@ -11,9 +11,13 @@ import (
 	"plsh/internal/transport"
 )
 
-// ClusterNeighbor is a cluster query answer: the node index, the node-
-// local document ID, and the angular distance. GlobalID packs the first
-// two into one identifier usable with Cluster.Delete.
+// ClusterNeighbor is a legacy cluster query answer: the node index, the
+// node-local document ID, and the angular distance. GlobalID packs the
+// first two into one identifier usable with Cluster.Delete.
+//
+// Deprecated: the unified Search surface answers with Match, which
+// carries the packed uint64 global ID directly. ClusterNeighbor remains
+// for the deprecated Query/QueryBatch/QueryBatchTimed/QueryTopK wrappers.
 type ClusterNeighbor = cluster.Neighbor
 
 // BatchOptions is the failure policy for a cluster broadcast: an optional
@@ -45,30 +49,53 @@ type Cluster struct {
 
 // NewCluster builds an in-process cluster of identical nodes, each with
 // cfg's parameters and capacity, and an insert window of windowM nodes
-// (0 → min(4, nodes)).
+// (0 → min(4, nodes)). It is the context-less convenience shim over
+// OpenCluster and runs recovery under context.Background() — unbounded,
+// uncancelable; use OpenCluster to bound it.
+func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
+	return OpenCluster(context.Background(), nodes, windowM, cfg)
+}
+
+// OpenCluster builds an in-process cluster of identical nodes under one
+// caller-supplied context that consistently bounds every node's recovery
+// and the initial capacity exchange — canceling it aborts construction
+// mid-fleet instead of leaving some nodes replaying journals under a
+// context nobody holds.
 //
 // With cfg.Dir set the cluster is durable: node i lives in
 // cfg.Dir/node-NNN (nodes must never share a data directory), each is
-// recovered on construction, and SaveAll checkpoints them all.
-func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
+// recovered on construction, and Save checkpoints them all.
+func OpenCluster(ctx context.Context, nodes int, windowM int, cfg Config) (*Cluster, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
 	clients := make([]transport.NodeClient, nodes)
+	// On any failure, release the nodes already opened: durable nodes
+	// hold journal file handles that would otherwise leak for the
+	// process lifetime (mid-fleet cancellation is an advertised use).
+	closeAll := func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
 	for i := range clients {
 		ncfg := cfg.nodeConfig()
 		if cfg.Dir != "" {
 			ncfg.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("node-%03d", i))
 		}
-		n, err := node.Open(context.Background(), ncfg)
+		n, err := node.Open(ctx, ncfg)
 		if err != nil {
+			closeAll()
 			return nil, fmt.Errorf("plsh: node %d: %w", i, err)
 		}
 		clients[i] = transport.NewLocal(n)
 	}
-	c, err := cluster.New(context.Background(), clients, windowM)
+	c, err := cluster.New(ctx, clients, windowM)
 	if err != nil {
+		closeAll()
 		return nil, fmt.Errorf("plsh: %w", err)
 	}
 	return &Cluster{c: c}, nil
@@ -116,34 +143,80 @@ func DialCluster(ctx context.Context, addrs []string, windowM int) (*Cluster, er
 	return &Cluster{c: c}, nil
 }
 
-// Insert distributes documents over the insert window, expiring the oldest
-// nodes' contents as the window wraps. Returned IDs parallel docs.
+// Insert distributes documents over the insert window, expiring the
+// oldest nodes' contents as the window wraps. Returned global IDs
+// parallel docs. Documents should be unit-normalized; Insert rejects
+// empty vectors, exactly like a Store.
 func (cl *Cluster) Insert(ctx context.Context, docs []Vector) ([]uint64, error) {
+	if err := validateDocs(docs); err != nil {
+		return nil, err
+	}
 	return cl.c.Insert(ctx, docs)
 }
 
-// Query broadcasts one query to all nodes and concatenates the answers.
+// Search answers one query under request-scoped options, broadcast to
+// every node: each node applies the effective radius (WithRadius, or the
+// construction Config.Radius) and candidate budget locally — pruned to
+// the k best with WithK — and the coordinator merges the bounded sorted
+// partial lists. Matches come back ascending by (distance, ID).
+// WithNodeTimeout and AllowPartial trade completeness for bounded
+// latency; use SearchBatch to also observe the per-node Report.
+func (cl *Cluster) Search(ctx context.Context, q Vector, opts ...SearchOption) (Result, error) {
+	res, _, err := cl.SearchBatch(ctx, []Vector{q}, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// SearchBatch answers many queries in one broadcast under one set of
+// request-scoped options and reports per-node wall times and outcomes —
+// the production path when a bounded-latency, possibly-partial answer
+// beats waiting out a straggler (AllowPartial), and the load-balance
+// measure of Fig. 9 either way.
+func (cl *Cluster) SearchBatch(ctx context.Context, qs []Vector, opts ...SearchOption) ([]Result, Report, error) {
+	spec, err := resolveSearch(opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	res, report, err := cl.c.Search(ctx, qs, spec.params, spec.policy)
+	if err != nil {
+		return nil, report, err
+	}
+	out := make([]Result, len(res))
+	for i, ns := range res {
+		out[i] = Result{Matches: matchesFromCluster(ns)}
+	}
+	return out, report, nil
+}
+
+// Query broadcasts one query to all nodes and merges the answers.
+//
+// Deprecated: use Search, which takes request-scoped options and answers
+// with global-ID Matches.
 func (cl *Cluster) Query(ctx context.Context, q Vector) ([]ClusterNeighbor, error) {
 	return cl.c.Query(ctx, q)
 }
 
 // QueryBatch broadcasts a batch, all-or-nothing: any node failure fails
-// the call (and cancels the rest of the broadcast). Use QueryBatchTimed
-// for partial results under a per-node timeout.
+// the call (and cancels the rest of the broadcast).
+//
+// Deprecated: use SearchBatch.
 func (cl *Cluster) QueryBatch(ctx context.Context, qs []Vector) ([][]ClusterNeighbor, error) {
 	return cl.c.QueryBatch(ctx, qs)
 }
 
 // QueryBatchTimed broadcasts a batch under opts' failure policy and
-// reports per-node wall times and outcomes — the production path when a
-// bounded-latency, possibly-partial answer beats waiting out a straggler.
+// reports per-node wall times and outcomes.
+//
+// Deprecated: use SearchBatch with WithNodeTimeout/AllowPartial.
 func (cl *Cluster) QueryBatchTimed(ctx context.Context, qs []Vector, opts BatchOptions) ([][]ClusterNeighbor, BatchReport, error) {
 	return cl.c.QueryBatchTimed(ctx, qs, opts)
 }
 
-// QueryTopK returns the k nearest of q's R-near neighbors cluster-wide:
-// each node prunes to its local top k and the coordinator merges the
-// bounded partial lists rather than concatenating full answer sets.
+// QueryTopK returns the k nearest of q's R-near neighbors cluster-wide.
+//
+// Deprecated: use Search with WithK.
 func (cl *Cluster) QueryTopK(ctx context.Context, q Vector, k int) ([]ClusterNeighbor, error) {
 	return cl.c.QueryTopK(ctx, q, k)
 }
@@ -153,10 +226,32 @@ func (cl *Cluster) QueryTopK(ctx context.Context, q Vector, k int) ([]ClusterNei
 // ErrNotFound.
 func (cl *Cluster) Delete(ctx context.Context, g uint64) error { return cl.c.Delete(ctx, g) }
 
-// SaveAll checkpoints every node's data directory in parallel (see
+// Doc fetches the stored vector for a global ID (shared storage on
+// in-process clusters; do not modify) from the node that holds it, with
+// that node's authoritative answer to whether the local ID was ever
+// inserted. IDs naming a nonexistent node are simply unknown; transport
+// failures are errors.
+func (cl *Cluster) Doc(ctx context.Context, id uint64) (Vector, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Vector{}, false, err
+	}
+	v, known, err := cl.c.Doc(ctx, id)
+	if err != nil {
+		return Vector{}, false, fmt.Errorf("plsh: %w", err)
+	}
+	return v, known, nil
+}
+
+// Save checkpoints every node's data directory in parallel (see
 // Store.Save): when it returns nil, a restart of any node — or the whole
 // cluster — recovers exactly the acknowledged contents. Nodes launched
-// without a data directory (plsh-node without -data) fail the call.
+// without a data directory (plsh-node without -data) fail the call with
+// ErrNotDurable (possibly wrapped).
+func (cl *Cluster) Save(ctx context.Context) error { return cl.c.SaveAll(ctx) }
+
+// SaveAll checkpoints every node's data directory in parallel.
+//
+// Deprecated: renamed to Save, the uniform Index spelling.
 func (cl *Cluster) SaveAll(ctx context.Context) error { return cl.c.SaveAll(ctx) }
 
 // Merge drives every node to a fully static state, in parallel. Each

@@ -7,9 +7,10 @@
 // ns/op, B/op, allocs/op plus any b.ReportMetric custom units). Headline
 // metrics are also surfaced as top-level fields: the
 // query-latency-during-merge number from the non-blocking merge pipeline
-// (BenchmarkQueryDuringMerge), and the durability subsystem's snapshot
-// save throughput (BenchmarkSave) and journal replay rate
-// (BenchmarkRecover).
+// (BenchmarkQueryDuringMerge), the durability subsystem's snapshot save
+// throughput (BenchmarkSave) and journal replay rate (BenchmarkRecover),
+// and the unified Search path's bounded-query latency with and without a
+// request-scoped radius override (BenchmarkSearchTopK).
 package main
 
 import (
@@ -43,6 +44,14 @@ type snapshot struct {
 	// WALReplayDocsPerS is BenchmarkRecover's replay-docs/s metric
 	// (journal-only crash-recovery rate), or 0 when absent.
 	WALReplayDocsPerS float64 `json:"wal_replay_docs_per_s"`
+	// SearchTopKNS is BenchmarkSearchTopK/construction's ns/search-topk
+	// metric (the unified Search path's bounded query shape at the
+	// store's own radius), or 0 when absent. SearchTopKOverrideNS is the
+	// same query under a request-scoped WithRadius override — the two
+	// should track each other, pricing the per-request parameter at a
+	// struct copy rather than a rebuild.
+	SearchTopKNS         float64 `json:"search_topk_ns"`
+	SearchTopKOverrideNS float64 `json:"search_topk_override_radius_ns"`
 }
 
 func main() {
@@ -90,6 +99,14 @@ func main() {
 		}
 		if v, ok := b.Metrics["replay-docs/s"]; ok {
 			snap.WALReplayDocsPerS = v
+		}
+		if v, ok := b.Metrics["ns/search-topk"]; ok {
+			switch {
+			case strings.HasSuffix(b.Name, "/construction"):
+				snap.SearchTopKNS = v
+			case strings.HasSuffix(b.Name, "/override"):
+				snap.SearchTopKOverrideNS = v
+			}
 		}
 		snap.Benchmarks = append(snap.Benchmarks, b)
 	}

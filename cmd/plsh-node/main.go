@@ -1,6 +1,10 @@
 // Command plsh-node serves one PLSH node over TCP, the per-machine unit of
 // a multi-node deployment (the paper's 100-node cluster, §5.3). A
-// coordinator connects with plsh.DialCluster.
+// coordinator connects with plsh.DialCluster and drives the unified
+// Search surface: the versioned opSearch wire op carries each request's
+// radius, top-k bound, and candidate budget to this node, and opDoc
+// fetches stored vectors by id. The -r flag is therefore only the
+// node-side default radius — requests override it per query.
 //
 // Usage:
 //
@@ -38,7 +42,7 @@ func main() {
 	m := flag.Int("m", 16, "half-width hash functions (L = m(m-1)/2)")
 	capacity := flag.Int("capacity", 1<<20, "maximum documents held")
 	eta := flag.Float64("eta", 0.1, "delta fraction before automatic merge")
-	radius := flag.Float64("r", 0.9, "query radius (radians)")
+	radius := flag.Float64("r", 0.9, "default query radius in radians (requests override per query via search options)")
 	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "hash-family seed (must match across coordinated nodes only if you rely on reproducibility)")
 	data := flag.String("data", "", "data directory: recover on boot, journal writes, checkpoint on merge and shutdown (empty = in-memory only)")

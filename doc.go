@@ -5,7 +5,41 @@
 //
 // PLSH answers R-near-neighbor queries over sparse high-dimensional unit
 // vectors (e.g. IDF-weighted bag-of-words documents) under angular
-// distance. It combines:
+// distance.
+//
+// # One Index, one Search
+//
+// The public API is one logical surface, the Index interface, implemented
+// identically by a single-node *Store and a multi-node *Cluster
+// (in-process via NewCluster/OpenCluster, or over TCP via DialCluster):
+//
+//	Insert(ctx, docs)           → []uint64 global IDs
+//	Search(ctx, q, opts...)     → Result{Matches}
+//	SearchBatch(ctx, qs, opts...) → []Result, Report
+//	Delete / Doc / Merge / Flush / Save / Stats / Close
+//
+// Documents are identified by uint64 global IDs everywhere: a Cluster
+// packs (node, local ID) via GlobalID, and a Store is simply node 0, so
+// code written against Index scales from one process to a fleet without
+// changing a call site.
+//
+// Query behavior is request-scoped, not frozen at construction: Search
+// takes functional options so one index serves heterogeneous traffic —
+//
+//	res, _ := idx.Search(ctx, q)                       // R-near at the configured radius
+//	res, _ = idx.Search(ctx, q, plsh.WithK(10))        // the 10 nearest of them
+//	res, _ = idx.Search(ctx, q, plsh.WithRadius(1.1))  // a per-request radius
+//	res, _, _ = idx.SearchBatch(ctx, qs,               // bounded latency, partial ok
+//		plsh.WithNodeTimeout(50*time.Millisecond), plsh.AllowPartial())
+//
+// WithMaxCandidates bounds per-node distance computations for callers
+// that prefer a bounded answer over an exhaustive one. The legacy
+// Query/QueryBatch/QueryTopK/QueryBatchTimed methods remain as thin
+// deprecated wrappers over Search and answer identically.
+//
+// # The engine underneath
+//
+// The implementation combines:
 //
 //   - an all-pairs LSH scheme: m half-width hash functions composed into
 //     L = m(m−1)/2 tables, cutting hashing cost to O(NNZ·k·√L);
@@ -21,15 +55,16 @@
 //     MergeInFlight), with atomic-tombstone deletions that are compacted
 //     out of rebuilds, and well-defined expiration;
 //   - an analytical performance model that selects the (k, m) parameters
-//     for a target recall and memory budget;
+//     for a target recall and memory budget (see Tune);
 //   - a multi-node coordinator (in-process or TCP) with a rolling insert
-//     window for cluster-scale corpora, a request-ID-multiplexed wire
-//     protocol, and per-node timeout / partial-results broadcast policies;
+//     window for cluster-scale corpora and a request-ID-multiplexed,
+//     versioned wire protocol that carries the request-scoped search
+//     parameters to every node;
 //   - optional durability: a Store opened with a data directory (Open)
 //     journals every acknowledged write ahead of acknowledging it and
 //     checkpoints snapshots on merge, so restarts — graceful or kill -9 —
-//     recover every acknowledged document (Save/SaveAll checkpoint on
-//     demand; see DESIGN.md for the on-disk format).
+//     recover every acknowledged document (Save checkpoints on demand;
+//     see DESIGN.md for the on-disk format).
 //
 // Every operation takes a context.Context end to end — public API,
 // coordinator, transport, node — so deadlines and cancellation abort a
@@ -40,9 +75,9 @@
 //	store, err := plsh.NewStore(plsh.Config{Dim: 1 << 18})
 //	if err != nil { ... }
 //	ctx := context.Background()
-//	ids, err := store.Insert(ctx, docs)        // docs are unit plsh.Vectors
-//	hits, err := store.Query(ctx, q)           // R-near neighbors of q
-//	best, err := store.QueryTopK(ctx, q, 10)   // 10 nearest of them
+//	ids, err := store.Insert(ctx, docs)              // docs are unit plsh.Vectors
+//	res, err := store.Search(ctx, q)                 // R-near neighbors of q
+//	best, err := store.Search(ctx, q, plsh.WithK(10)) // 10 nearest of them
 //
 // See the examples directory for streaming, first-story detection, and
 // multi-node usage, and DESIGN.md for the paper-to-package map.

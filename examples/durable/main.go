@@ -70,10 +70,11 @@ func main() {
 		if _, err := store.Insert(ctx, docs); err != nil {
 			log.Fatal(err)
 		}
-		// Save checkpoints explicitly: every document is merged into the
-		// static structure and snapshotted, and the journal is truncated,
-		// making the next Open a pure snapshot load.
-		if err := store.Save(ctx, dir); err != nil {
+		// Save checkpoints the store's own data directory explicitly:
+		// every document is merged into the static structure and
+		// snapshotted, and the journal is truncated, making the next Open
+		// a pure snapshot load. (SaveTo exports to any other directory.)
+		if err := store.Save(ctx); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("indexed, journaled, and checkpointed")
@@ -83,11 +84,11 @@ func main() {
 	if !ok {
 		log.Fatal("query has no known words")
 	}
-	hits, err := store.Query(ctx, q)
+	res, err := store.Search(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, nb := range hits {
-		fmt.Printf("  %.3f rad  %q\n", nb.Dist, corpus[nb.ID])
+	for _, m := range res.Matches {
+		fmt.Printf("  %.3f rad  %q\n", m.Dist, corpus[m.ID])
 	}
 }

@@ -52,23 +52,24 @@ func main() {
 		if !ok {
 			continue // 0-length tweet: ignore, as the paper does
 		}
-		// Top-1 is exactly the first-story question: is there any earlier
-		// tweet within the radius, and which one is closest?
-		neighbors, err := store.QueryTopK(ctx, v, 1)
+		// Search bounded to the single nearest match is exactly the
+		// first-story question: is there any earlier tweet within the
+		// radius, and which one is closest?
+		res, err := store.Search(ctx, v, plsh.WithK(1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if len(neighbors) == 0 {
+		if len(res.Matches) == 0 {
 			fmt.Printf("  FIRST STORY: %q\n", text)
 		} else {
-			best := neighbors[0]
+			best := res.Matches[0]
 			fmt.Printf("  follow-up (%.2f rad from doc %d): %q\n", best.Dist, best.ID, text)
 		}
 		if _, err := store.Insert(ctx, []plsh.Vector{v}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	st := store.Stats()
+	st := store.StatsNow()
 	fmt.Printf("\nindexed %d tweets (%d static / %d delta)\n",
 		st.StaticLen+st.DeltaLen, st.StaticLen, st.DeltaLen)
 }

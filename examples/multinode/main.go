@@ -58,26 +58,28 @@ func main() {
 	fmt.Printf("cluster holds %d docs — the oldest %d expired with the rolling window\n",
 		total, streamTotal-total)
 
-	// The most recent documents are always findable...
+	// The most recent documents are always findable... (Search matches
+	// carry the same packed global IDs Insert returned, so membership is
+	// a direct comparison.)
 	recent := docs[streamTotal-1]
-	res, err := cluster.Query(ctx, recent)
+	res, err := cluster.Search(ctx, recent)
 	if err != nil {
 		log.Fatal(err)
 	}
 	foundRecent := false
-	for _, nb := range res {
-		if plsh.GlobalID(nb.Node, nb.ID) == ids[streamTotal-1] {
+	for _, m := range res.Matches {
+		if m.ID == ids[streamTotal-1] {
 			foundRecent = true
 		}
 	}
 	// ...while the oldest have been expired.
-	oldRes, err := cluster.Query(ctx, docs[0])
+	oldRes, err := cluster.Search(ctx, docs[0])
 	if err != nil {
 		log.Fatal(err)
 	}
 	foundOld := false
-	for _, nb := range oldRes {
-		if plsh.GlobalID(nb.Node, nb.ID) == ids[0] {
+	for _, m := range oldRes.Matches {
+		if m.ID == ids[0] {
 			foundOld = true
 		}
 	}
@@ -85,21 +87,27 @@ func main() {
 
 	// Top-K across the cluster: each node prunes to its k best and the
 	// coordinator merges the bounded partial lists — no full concatenation.
-	top, err := cluster.QueryTopK(ctx, recent, 3)
+	top, err := cluster.Search(ctx, recent, plsh.WithK(3))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("3 nearest neighbors of the newest doc:")
-	for _, nb := range top {
-		fmt.Printf("  node %d doc %d at %.3f rad\n", nb.Node, nb.ID, nb.Dist)
+	for _, m := range top.Matches {
+		fmt.Printf("  node %d doc %d at %.3f rad\n", m.Node(), m.Local(), m.Dist)
+	}
+	// The cluster can also hand back any stored vector by global ID.
+	if v, known, err := cluster.Doc(ctx, top.Matches[0].ID); err != nil {
+		log.Fatal(err)
+	} else if known {
+		fmt.Printf("nearest neighbor has %d non-zero terms\n", v.NNZ())
 	}
 
 	// Production broadcasts can trade completeness for bounded latency:
 	// each node gets a timeout and stragglers are reported, not fatal.
-	_, report, err := cluster.QueryBatchTimed(ctx, docs[:8], plsh.BatchOptions{
-		PerNodeTimeout: 250 * time.Millisecond,
-		Partial:        true,
-	})
+	// The same options scope radius and k per request — one cluster
+	// serves heterogeneous traffic.
+	_, report, err := cluster.SearchBatch(ctx, docs[:8],
+		plsh.WithNodeTimeout(250*time.Millisecond), plsh.AllowPartial())
 	if err != nil {
 		log.Fatal(err)
 	}

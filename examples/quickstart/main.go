@@ -64,7 +64,9 @@ func main() {
 	}
 	fmt.Printf("indexed %d documents\n", len(ids))
 
-	// Query with fresh text.
+	// Query with fresh text. Search is the one query call: options scope
+	// radius, top-k bounds, and latency policy to the request, and every
+	// match carries a uint64 global ID (a Store is node 0).
 	for _, qText := range []string{
 		"earthquake hits city on the coast",
 		"markets rally on earnings",
@@ -75,22 +77,24 @@ func main() {
 			log.Fatalf("query %q has no known words", qText)
 		}
 		fmt.Printf("\nquery: %q\n", qText)
-		hits, err := store.Query(ctx, q)
+		res, err := store.Search(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, nb := range hits {
-			fmt.Printf("  %.3f rad  %q\n", nb.Dist, corpus[nb.ID])
+		for _, m := range res.Matches {
+			fmt.Printf("  %.3f rad  %q\n", m.Dist, corpus[m.ID])
 		}
 
-		// Top-K: the bounded production query shape — just the best
-		// answer(s) within the radius, nearest first.
-		best, err := store.QueryTopK(ctx, q, 1)
+		// WithK bounds the answer to the best match(es) within the
+		// radius, nearest first; WithRadius would widen or narrow the
+		// radius for this request alone.
+		best, err := store.Search(ctx, q, plsh.WithK(1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if len(best) > 0 {
-			fmt.Printf("  best: %q (%.3f rad)\n", corpus[best[0].ID], best[0].Dist)
+		if len(best.Matches) > 0 {
+			m := best.Matches[0]
+			fmt.Printf("  best: %q (%.3f rad)\n", corpus[m.ID], m.Dist)
 		}
 	}
 }

@@ -58,7 +58,7 @@ func main() {
 			default:
 			}
 			t0 := time.Now()
-			if _, err := store.QueryBatch(ctx, queries); err != nil {
+			if _, _, err := store.SearchBatch(ctx, queries); err != nil {
 				log.Fatal(err)
 			}
 			latMu.Lock()
@@ -85,7 +85,7 @@ func main() {
 	if err := store.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
-	st := store.Stats()
+	st := store.StatsNow()
 	fmt.Printf("ingested %d docs in %v (%.0f docs/s)\n",
 		store.Len(), ingestDur.Round(time.Millisecond),
 		float64(store.Len())/ingestDur.Seconds())

@@ -174,6 +174,13 @@ func (slowBackend) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]cor
 	<-ctx.Done()
 	return nil, ctx.Err()
 }
+func (slowBackend) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+func (slowBackend) Doc(ctx context.Context, id uint32) (sparse.Vector, bool, error) {
+	return sparse.Vector{}, false, nil
+}
 func (slowBackend) Delete(ctx context.Context, id uint32) error { return nil }
 func (slowBackend) MergeNow(ctx context.Context) error          { return nil }
 func (slowBackend) Flush(ctx context.Context) error             { return nil }
@@ -259,18 +266,18 @@ func TestStoreStreamsPastDeltaThreshold(t *testing.T) {
 	if err := s.Flush(bg); err != nil {
 		t.Fatal(err)
 	}
-	st := s.Stats()
+	st := s.StatsNow()
 	if st.Merges == 0 {
 		t.Fatal("no automatic merges despite exceeding η·C repeatedly")
 	}
 	for i := 0; i < len(docs); i += 113 {
-		res, err := s.Query(bg, docs[i])
+		res, err := s.Search(bg, docs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
 		found := false
-		for _, nb := range res {
-			if nb.ID == uint32(i) {
+		for _, m := range res.Matches {
+			if m.ID == uint64(i) {
 				found = true
 			}
 		}

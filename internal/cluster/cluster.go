@@ -328,25 +328,15 @@ func (c *Cluster) resyncUsed(ctx context.Context, w int) {
 	}
 }
 
-// Query answers one query by broadcast.
-func (c *Cluster) Query(ctx context.Context, q sparse.Vector) ([]Neighbor, error) {
-	res, _, err := c.QueryBatchTimed(ctx, []sparse.Vector{q}, BatchOptions{})
-	if err != nil {
-		return nil, err
-	}
-	return res[0], nil
-}
-
-// QueryBatch broadcasts the batch to every node in parallel and
-// concatenates the per-node answers (§4: "individual query responses from
-// each structure are concatenated by the coordinator"), all-or-nothing.
-func (c *Cluster) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]Neighbor, error) {
-	res, _, err := c.QueryBatchTimed(ctx, qs, BatchOptions{})
-	return res, err
-}
-
-// QueryBatchTimed broadcasts the batch under opts' failure policy and
-// reports each node's wall time and outcome.
+// Search broadcasts a batch under request-scoped parameters and opts'
+// failure policy, and reports each node's wall time and outcome. It is
+// the one query path of the coordinator: every node answers the whole
+// batch through its Search entry point (per-query radius and candidate
+// budget applied node-side, answers pruned to p.K per node when bounded),
+// and the coordinator k-way-merges the per-node sorted partial lists per
+// query — bounded-heap selection of the global k best when p.K is set,
+// a full ordered merge otherwise. Answers come back in canonical
+// ascending (distance, node, id) order.
 //
 // Cancellation of ctx aborts the whole broadcast early with ctx.Err().
 // Under the default all-or-nothing policy the first node failure cancels
@@ -354,14 +344,14 @@ func (c *Cluster) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]Neigh
 // completion (each node bounded by opts.PerNodeTimeout, if set), answers
 // from responding nodes are merged, and stragglers show up only in the
 // report — the production trade of a complete answer for bounded latency.
-func (c *Cluster) QueryBatchTimed(ctx context.Context, qs []sparse.Vector, opts BatchOptions) ([][]Neighbor, BatchReport, error) {
+func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams, opts BatchOptions) ([][]Neighbor, BatchReport, error) {
 	report := BatchReport{
 		Times: make([]time.Duration, len(c.nodes)),
 		Errs:  make([]error, len(c.nodes)),
 	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	perNode := make([][][]Neighbor, len(c.nodes))
+	perNode := make([][][]core.Neighbor, len(c.nodes))
 	var wg sync.WaitGroup
 	for i := range c.nodes {
 		wg.Add(1)
@@ -374,7 +364,7 @@ func (c *Cluster) QueryBatchTimed(ctx context.Context, qs []sparse.Vector, opts 
 				defer ncancel()
 			}
 			t0 := time.Now()
-			res, err := c.nodes[i].QueryBatch(nctx, qs)
+			res, err := c.nodes[i].Search(nctx, qs, p)
 			report.Times[i] = time.Since(t0)
 			if err != nil {
 				report.Errs[i] = err
@@ -383,22 +373,14 @@ func (c *Cluster) QueryBatchTimed(ctx context.Context, qs []sparse.Vector, opts 
 				}
 				return
 			}
-			conv := make([][]Neighbor, len(res))
-			for qi, ns := range res {
-				out := make([]Neighbor, len(ns))
-				for j, nb := range ns {
-					out[j] = Neighbor{Node: i, ID: nb.ID, Dist: nb.Dist}
-				}
-				conv[qi] = out
-			}
-			perNode[i] = conv
+			perNode[i] = res
 		}(i)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, report, err
 	}
-	firstErr := firstNodeError(report.Errs, "query")
+	firstErr := firstNodeError(report.Errs, "search")
 	answered := 0
 	realFailure := false
 	for _, err := range report.Errs {
@@ -422,41 +404,87 @@ func (c *Cluster) QueryBatchTimed(ctx context.Context, qs []sparse.Vector, opts 
 		return nil, report, firstErr
 	}
 	out := make([][]Neighbor, len(qs))
+	lists := make([][]core.Neighbor, len(c.nodes))
 	for qi := range qs {
-		var merged []Neighbor
+		total := 0
 		for i := range c.nodes {
-			if perNode[i] == nil {
-				continue
+			lists[i] = nil
+			if perNode[i] != nil {
+				lists[i] = perNode[i][qi]
+				total += len(lists[i])
 			}
-			merged = append(merged, perNode[i][qi]...)
 		}
-		out[qi] = merged
+		if total == 0 {
+			continue
+		}
+		k := p.K
+		if k <= 0 {
+			k = total // unbounded: a full ordered merge
+		}
+		out[qi] = mergeTopK(lists, k)
 	}
 	return out, report, nil
 }
 
+// Query answers one query by broadcast.
+//
+// Deprecated: use Search.
+func (c *Cluster) Query(ctx context.Context, q sparse.Vector) ([]Neighbor, error) {
+	res, _, err := c.Search(ctx, []sparse.Vector{q}, node.SearchParams{}, BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// QueryBatch broadcasts the batch to every node in parallel and merges
+// the per-node answers, all-or-nothing.
+//
+// Deprecated: use Search.
+func (c *Cluster) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]Neighbor, error) {
+	res, _, err := c.Search(ctx, qs, node.SearchParams{}, BatchOptions{})
+	return res, err
+}
+
+// QueryBatchTimed broadcasts the batch under opts' failure policy and
+// reports each node's wall time and outcome.
+//
+// Deprecated: use Search, which carries the same policy plus the
+// request-scoped query parameters.
+func (c *Cluster) QueryBatchTimed(ctx context.Context, qs []sparse.Vector, opts BatchOptions) ([][]Neighbor, BatchReport, error) {
+	return c.Search(ctx, qs, node.SearchParams{}, opts)
+}
+
 // QueryTopK answers one query with the k nearest of its R-near neighbors
-// cluster-wide. Each node prunes to its local top k, and the coordinator
-// merges the per-node sorted partial lists with a bounded heap — O(n·k)
-// memory and O(k log n) merge for n nodes, instead of materializing the
-// full concatenated R-near answer.
+// cluster-wide.
+//
+// Deprecated: use Search with SearchParams.K.
 func (c *Cluster) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]Neighbor, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	perNode := make([][]core.Neighbor, len(c.nodes))
-	err := c.fanOut(ctx, "top-k query", func(ctx context.Context, i int) error {
-		res, err := c.nodes[i].QueryTopK(ctx, q, k)
-		if err != nil {
-			return err
-		}
-		perNode[i] = res
-		return nil
-	})
+	res, _, err := c.Search(ctx, []sparse.Vector{q}, node.SearchParams{K: k}, BatchOptions{})
 	if err != nil {
 		return nil, err
 	}
-	return mergeTopK(perNode, k), nil
+	return res[0], nil
+}
+
+// Doc fetches the stored vector for a global ID from the node that holds
+// it, with the node's authoritative answer to whether the local id was
+// ever inserted. A global ID naming a nonexistent node is simply unknown
+// — (zero, false, nil), matching an unknown local id — while a transport
+// failure is an error.
+func (c *Cluster) Doc(ctx context.Context, g uint64) (sparse.Vector, bool, error) {
+	nodeIdx, local := SplitGlobalID(g)
+	if nodeIdx < 0 || nodeIdx >= len(c.nodes) {
+		return sparse.Vector{}, false, nil
+	}
+	v, known, err := c.nodes[nodeIdx].Doc(ctx, local)
+	if err != nil {
+		return sparse.Vector{}, false, fmt.Errorf("cluster: doc on node %d: %w", nodeIdx, err)
+	}
+	return v, known, nil
 }
 
 // topkCursor walks one node's sorted partial list during the merge.

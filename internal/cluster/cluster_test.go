@@ -95,6 +95,20 @@ func (f *fakeNode) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]cor
 	return nil, nil
 }
 
+func (f *fakeNode) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	return make([][]core.Neighbor, len(qs)), nil
+}
+
+func (f *fakeNode) Doc(ctx context.Context, id uint32) (sparse.Vector, bool, error) {
+	if err := f.wait(ctx); err != nil {
+		return sparse.Vector{}, false, err
+	}
+	return sparse.Vector{}, false, nil
+}
+
 func (f *fakeNode) Delete(ctx context.Context, id uint32) error { return f.wait(ctx) }
 func (f *fakeNode) MergeNow(ctx context.Context) error          { return f.wait(ctx) }
 func (f *fakeNode) Flush(ctx context.Context) error             { return f.wait(ctx) }

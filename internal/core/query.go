@@ -51,10 +51,31 @@ func QueryDefaults() QueryOptions {
 	}
 }
 
+// SearchParams are the request-scoped knobs of one query. The engine's
+// QueryOptions fix the structural choices (dedup strategy, dot-product
+// kernel, workers) at construction; SearchParams override the two values
+// that heterogeneous traffic wants to vary per request without rebuilding
+// anything. The zero value means "use the engine's configured defaults".
+type SearchParams struct {
+	// Radius overrides QueryOptions.Radius for this query when > 0. The
+	// hash tables are radius-agnostic (only candidate filtering uses it),
+	// so any radius is answerable by any engine; recall guarantees still
+	// assume the (k, m) geometry was tuned for a radius near this one.
+	Radius float64
+	// MaxCandidates, when > 0, bounds how many unique candidates this
+	// query evaluates distances for — the latency/recall trade for callers
+	// that prefer a bounded answer over an exhaustive one. Candidates past
+	// the bound are dropped unevaluated; QueryStats.Unique reports the
+	// evaluated count.
+	MaxCandidates int
+}
+
 // QueryStats counts the work a query performed, matching the quantities of
 // the §7 model: Collisions is the total bucket-entry count over all L
-// tables (duplicates included); Unique is the deduplicated candidate count
-// (the number of distance computations); Results is the answer count.
+// tables (duplicates included); Unique is the number of distance
+// computations actually performed (deduplicated candidates, minus
+// tombstoned ones and anything past the request's candidate budget);
+// Results is the answer count.
 type QueryStats struct {
 	Collisions int
 	Unique     int
@@ -165,7 +186,7 @@ func (e *Engine) ResetPhases() {
 	e.q3ns.Store(0)
 }
 
-// Query answers a single query.
+// Query answers a single query with the engine's configured defaults.
 func (e *Engine) Query(q sparse.Vector) []Neighbor {
 	res, _ := e.QueryWithStats(q)
 	return res
@@ -173,8 +194,20 @@ func (e *Engine) Query(q sparse.Vector) []Neighbor {
 
 // QueryWithStats answers a single query and reports work counts.
 func (e *Engine) QueryWithStats(q sparse.Vector) ([]Neighbor, QueryStats) {
+	return e.SearchWithStats(q, SearchParams{})
+}
+
+// Search answers a single query under request-scoped parameters.
+func (e *Engine) Search(q sparse.Vector, p SearchParams) []Neighbor {
+	res, _ := e.SearchWithStats(q, p)
+	return res
+}
+
+// SearchWithStats answers a single query under request-scoped parameters
+// and reports work counts.
+func (e *Engine) SearchWithStats(q sparse.Vector, p SearchParams) ([]Neighbor, QueryStats) {
 	ws := e.wsPool.Get().(*workspace)
-	res, stats := e.queryOn(q, ws)
+	res, stats := e.queryOn(q, ws, p)
 	e.wsPool.Put(ws)
 	return res, stats
 }
@@ -201,13 +234,13 @@ func (e *Engine) QueryBatchStats(qs []sparse.Vector) ([][]Neighbor, []QueryStats
 }
 
 // queryOn runs the full Q1–Q4 pipeline on a private workspace.
-func (e *Engine) queryOn(q sparse.Vector, ws *workspace) ([]Neighbor, QueryStats) {
+func (e *Engine) queryOn(q sparse.Vector, ws *workspace, p SearchParams) ([]Neighbor, QueryStats) {
 	var stats QueryStats
 	if e.st.Len() == 0 || q.NNZ() == 0 {
 		return nil, stats
 	}
-	p := e.st.fam.Params()
-	half := uint(p.K / 2)
+	hp := e.st.fam.Params()
+	half := uint(hp.K / 2)
 
 	// Step Q1: hash the query (cheap; the paper ignores its cost too).
 	e.st.fam.SketchInto(q, ws.scores, ws.sketch)
@@ -265,16 +298,24 @@ func (e *Engine) queryOn(q sparse.Vector, ws *workspace) ([]Neighbor, QueryStats
 			delete(set, id)
 		}
 	}
-	stats.Unique = len(ws.cand)
-
 	if e.opts.CollectPhases {
 		t1 := now()
 		e.q2ns.Add(t1 - t0)
 		t0 = t1
 	}
 
-	// Steps Q3+Q4: distance computation and radius filter.
-	thr := sparse.CosThreshold(e.opts.Radius)
+	// Steps Q3+Q4: distance computation and radius filter, under the
+	// request's radius when one was given. The request-scoped candidate
+	// budget bounds distance computations, the work it exists to cap:
+	// tombstoned candidates are skipped for free, so a deletion-heavy
+	// candidate set does not starve the budget unevaluated, and
+	// stats.Unique is the true evaluation count either way.
+	radius := e.opts.Radius
+	if p.Radius > 0 {
+		radius = p.Radius
+	}
+	thr := sparse.CosThreshold(radius)
+	evaluated := 0
 	var out []Neighbor
 	if e.opts.OptimizedDP {
 		ws.mask.Scatter(q)
@@ -283,6 +324,10 @@ func (e *Engine) queryOn(q sparse.Vector, ws *workspace) ([]Neighbor, QueryStats
 		if e.deleted != nil && e.deleted.TestAtomic(int(id)) {
 			continue
 		}
+		if p.MaxCandidates > 0 && evaluated == p.MaxCandidates {
+			break
+		}
+		evaluated++
 		idx, val := e.store.Doc(int(id))
 		var dot float64
 		if e.opts.OptimizedDP {
@@ -294,6 +339,7 @@ func (e *Engine) queryOn(q sparse.Vector, ws *workspace) ([]Neighbor, QueryStats
 			out = append(out, Neighbor{ID: id, Dist: sparse.AngularDistance(dot)})
 		}
 	}
+	stats.Unique = evaluated
 	if e.opts.OptimizedDP {
 		ws.mask.Unscatter()
 	}

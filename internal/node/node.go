@@ -126,6 +126,24 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// SearchParams are the request-scoped knobs of one search — the
+// parameter struct that flows from the public Search options through the
+// coordinator and the wire protocol down to this entry point. The zero
+// value means "the node's configured defaults, unbounded".
+type SearchParams struct {
+	// Radius overrides the configured query radius (radians) when > 0.
+	// The hash tables are radius-agnostic, so any radius is answerable;
+	// recall guarantees still assume the (k, m) geometry suits it.
+	Radius float64
+	// K, when > 0, bounds the answer to the k nearest in-radius documents,
+	// sorted ascending by (distance, id).
+	K int
+	// MaxCandidates, when > 0, bounds how many unique candidates (static
+	// engine plus delta segments combined) this query evaluates distances
+	// for — a per-request latency/recall trade.
+	MaxCandidates int
+}
+
 // Stats summarizes a node's state and accumulated maintenance costs.
 type Stats struct {
 	StaticLen int
@@ -947,19 +965,67 @@ func (n *Node) Stats() Stats {
 	return st
 }
 
-// Query answers one R-near-neighbor query over static + delta contents.
+// Search answers one query under request-scoped parameters. Answers come
+// back in the canonical presentation order — ascending (distance, id) —
+// bounded to the k nearest when p.K is set. This is the entry point the
+// unified public Search path (Store, coordinator, wire protocol) lands on.
+func (n *Node) Search(ctx context.Context, q sparse.Vector, p SearchParams) ([]core.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return finishSearch(n.searchOn(n.snap.Load(), q, p), p), nil
+}
+
+// SearchBatch answers a batch under one set of request-scoped parameters,
+// in parallel (work stealing over queries, as in §5.2), every worker
+// running against one consistent snapshot. Cancellation is cooperative:
+// workers check ctx between queries, so an expired deadline abandons the
+// remainder of the batch promptly and the whole call reports ctx.Err().
+func (n *Node) SearchBatch(ctx context.Context, qs []sparse.Vector, p SearchParams) ([][]core.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := n.snap.Load()
+	out := make([][]core.Neighbor, len(qs))
+	s.eng.Pool().Run(len(qs), func(task, _ int) {
+		if ctx.Err() != nil {
+			return
+		}
+		out[task] = finishSearch(n.searchOn(s, qs[task], p), p)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// finishSearch imposes the answer contract of Search on a raw candidate
+// list: top-k selection when bounded, canonical (distance, id) order
+// either way.
+func finishSearch(res []core.Neighbor, p SearchParams) []core.Neighbor {
+	if p.K > 0 {
+		return core.TopK(res, p.K)
+	}
+	core.SortNeighbors(res)
+	return res
+}
+
+// Query answers one R-near-neighbor query over static + delta contents
+// with the node's configured defaults (answer order unspecified).
+//
+// Deprecated: use Search, which takes request-scoped parameters and
+// returns canonically ordered answers.
 func (n *Node) Query(ctx context.Context, q sparse.Vector) ([]core.Neighbor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return n.queryOn(n.snap.Load(), q), nil
+	return n.searchOn(n.snap.Load(), q, SearchParams{}), nil
 }
 
-// QueryBatch answers a batch in parallel (work stealing over queries, as in
-// §5.2), every worker running against one consistent snapshot.
-// Cancellation is cooperative: workers check ctx between queries, so an
-// expired deadline abandons the remainder of the batch promptly and the
-// whole call reports ctx.Err().
+// QueryBatch answers a batch in parallel with the node's configured
+// defaults (answer order unspecified).
+//
+// Deprecated: use SearchBatch.
 func (n *Node) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -970,7 +1036,7 @@ func (n *Node) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Nei
 		if ctx.Err() != nil {
 			return
 		}
-		out[task] = n.queryOn(s, qs[task])
+		out[task] = n.searchOn(s, qs[task], SearchParams{})
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -979,35 +1045,54 @@ func (n *Node) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Nei
 }
 
 // QueryTopK answers one query with at most k answers: the k nearest of the
-// R-near neighbors, sorted ascending by distance. This is the node half of
-// the cluster's Top-K path — each node prunes to k locally so the
-// coordinator merges bounded partial lists instead of full answer sets.
+// R-near neighbors, sorted ascending by distance; k <= 0 answers empty
+// (SearchParams.K treats 0 as unbounded instead).
+//
+// Deprecated: use Search with SearchParams.K.
 func (n *Node) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if k <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
 	}
-	return core.TopK(n.queryOn(n.snap.Load(), q), k), nil
+	return n.Search(ctx, q, SearchParams{K: k})
 }
 
-// queryOn runs the combined static+delta query against one immutable
-// snapshot. It takes no locks: the engine, segments and arena prefix are
-// frozen, and tombstones are read atomically.
-func (n *Node) queryOn(s *snapshot, q sparse.Vector) []core.Neighbor {
+// searchOn runs the combined static+delta query against one immutable
+// snapshot under request-scoped parameters. It takes no locks: the engine,
+// segments and arena prefix are frozen, and tombstones are read
+// atomically. p.MaxCandidates bounds the total distance computations
+// across the static engine and the delta segments combined; p.K is left
+// to the caller (finishSearch) so the R-near set stays intact for reuse.
+func (n *Node) searchOn(s *snapshot, q sparse.Vector, p SearchParams) []core.Neighbor {
 	if q.NNZ() == 0 {
 		return nil
 	}
-	res := s.eng.Query(q)
+	res, stats := s.eng.SearchWithStats(q, core.SearchParams{Radius: p.Radius, MaxCandidates: p.MaxCandidates})
 	if len(s.segs) == 0 {
 		return res
+	}
+	budget := 0
+	if p.MaxCandidates > 0 {
+		budget = p.MaxCandidates - stats.Unique
+		if budget <= 0 {
+			return res
+		}
+	}
+	radius := n.cfg.Query.Radius
+	if p.Radius > 0 {
+		radius = p.Radius
 	}
 	ws := n.dwsPool.Get().(*deltaWorkspace)
 	defer n.dwsPool.Put(ws)
 	n.fam.SketchInto(q, ws.scores, ws.sketch)
-	thr := sparse.CosThreshold(n.cfg.Query.Radius)
+	thr := sparse.CosThreshold(radius)
 	useMask := n.cfg.Query.OptimizedDP
 	if useMask {
 		ws.mask.Scatter(q)
 	}
+segments:
 	for _, sg := range s.segs {
 		ws.seen = ws.seen.Grow(sg.t.Len())
 		ws.cand, _ = sg.t.Candidates(ws.sketch, ws.seen, ws.cand[:0])
@@ -1027,6 +1112,11 @@ func (n *Node) queryOn(s *snapshot, q sparse.Vector) []core.Neighbor {
 			if dot >= thr {
 				res = append(res, core.Neighbor{ID: globalID, Dist: sparse.AngularDistance(dot)})
 			}
+			if p.MaxCandidates > 0 {
+				if budget--; budget == 0 {
+					break segments
+				}
+			}
 		}
 	}
 	if useMask {
@@ -1035,12 +1125,14 @@ func (n *Node) queryOn(s *snapshot, q sparse.Vector) []core.Neighbor {
 	return res
 }
 
-// Doc returns document id's vector (shared storage; do not modify). An id
-// that was never inserted returns the zero Vector instead of panicking.
-func (n *Node) Doc(id uint32) sparse.Vector {
+// Doc returns document id's vector (shared storage; do not modify) and
+// whether the id has ever been inserted — the node is the authority on
+// that, so an inserted-but-empty document still reports true. An id never
+// inserted returns (zero Vector, false) instead of panicking.
+func (n *Node) Doc(id uint32) (sparse.Vector, bool) {
 	s := n.snap.Load()
 	if int(id) >= s.rows {
-		return sparse.Vector{}
+		return sparse.Vector{}, false
 	}
-	return s.store.Row(int(id))
+	return s.store.Row(int(id)), true
 }

@@ -396,8 +396,8 @@ func TestDocReturnsStoredVector(t *testing.T) {
 	vs := testDocs(10, 25)
 	ids, _ := n.Insert(bg, vs)
 	for i, id := range ids {
-		got := n.Doc(id)
-		if got.NNZ() != vs[i].NNZ() {
+		got, known := n.Doc(id)
+		if !known || got.NNZ() != vs[i].NNZ() {
 			t.Fatalf("doc %d NNZ mismatch", i)
 		}
 		for j := range got.Idx {
@@ -421,5 +421,149 @@ func TestEmptyInsertNoop(t *testing.T) {
 	ids, err := n.Insert(bg, nil)
 	if err != nil || ids != nil {
 		t.Fatalf("empty insert: ids=%v err=%v", ids, err)
+	}
+}
+
+// TestDocKnownForEmptyDocument: Doc's known bool is the node's
+// authoritative insertion record, not an inference from content — an
+// inserted document that happens to be empty (possible through the raw
+// node API, unlike the public Store which rejects empties) still reports
+// known, and a never-inserted id reports unknown even though both have
+// zero NNZ.
+func TestDocKnownForEmptyDocument(t *testing.T) {
+	n, err := New(testConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(3, 91)
+	docs[1] = sparse.Vector{} // empty-adjacent: no terms at all
+	ids, err := n.Insert(bg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, known := n.Doc(ids[1])
+	if !known {
+		t.Fatal("inserted empty document reported unknown")
+	}
+	if v.NNZ() != 0 {
+		t.Fatal("empty document came back with terms")
+	}
+	if _, known := n.Doc(3); known {
+		t.Fatal("never-inserted id reported known")
+	}
+}
+
+// TestNodeSearchParams: the request-scoped parameters reach both halves
+// of the snapshot — static engine and delta segments — without a merge.
+func TestNodeSearchParams(t *testing.T) {
+	cfg := testConfig(2000)
+	cfg.AutoMerge = false // hold a static/delta split open
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(600, 93)
+	if _, err := n.Insert(bg, docs[:300]); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MergeNow(bg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Insert(bg, docs[300:]); err != nil {
+		t.Fatal(err)
+	}
+	if n.StaticLen() == 0 || n.DeltaLen() == 0 {
+		t.Fatalf("split not held: static=%d delta=%d", n.StaticLen(), n.DeltaLen())
+	}
+	oracle := func(q sparse.Vector, radius float64) map[uint32]bool {
+		thr := sparse.CosThreshold(radius)
+		out := map[uint32]bool{}
+		for i, d := range docs {
+			if sparse.Dot(q, d) >= thr {
+				out[uint32(i)] = true
+			}
+		}
+		return out
+	}
+	for qi := 0; qi < len(docs); qi += 53 {
+		q := docs[qi]
+		for _, radius := range []float64{0.9, 1.2} {
+			res, err := n.Search(bg, q, SearchParams{Radius: radius})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle(q, radius)
+			for _, nb := range res {
+				if !want[nb.ID] {
+					t.Fatalf("radius %v: doc %d outside radius returned", radius, nb.ID)
+				}
+			}
+			// The self-match (distance 0) always collides with itself.
+			found := false
+			for _, nb := range res {
+				if nb.ID == uint32(qi) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("radius %v: query %d did not find itself", radius, qi)
+			}
+			// Sorted canonical order.
+			for i := 1; i < len(res); i++ {
+				a, b := res[i-1], res[i]
+				if a.Dist > b.Dist || (a.Dist == b.Dist && a.ID >= b.ID) {
+					t.Fatalf("radius %v: answers not in canonical order at %d", radius, i)
+				}
+			}
+		}
+		// K bounds and orders; MaxCandidates never invents answers.
+		topk, err := n.Search(bg, q, SearchParams{K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(topk) > 3 {
+			t.Fatalf("K=3 answered %d", len(topk))
+		}
+		full, err := n.Search(bg, q, SearchParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFull := map[uint32]bool{}
+		for _, nb := range full {
+			inFull[nb.ID] = true
+		}
+		bounded, err := n.Search(bg, q, SearchParams{MaxCandidates: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range bounded {
+			if !inFull[nb.ID] {
+				t.Fatalf("budgeted search invented doc %d", nb.ID)
+			}
+		}
+	}
+}
+
+// TestQueryTopKNonPositiveK: the deprecated wrapper keeps its original
+// contract — k <= 0 answers empty — even though SearchParams.K treats 0
+// as unbounded (the opQueryTopK wire handler forwards K unguarded, so an
+// old client sending k=0 must not suddenly receive the full answer set).
+func TestQueryTopKNonPositiveK(t *testing.T) {
+	n, err := New(testConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := testDocs(20, 95)
+	if _, err := n.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, -1} {
+		res, err := n.QueryTopK(bg, docs[0], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 0 {
+			t.Fatalf("k=%d returned %d answers, want 0", k, len(res))
+		}
 	}
 }

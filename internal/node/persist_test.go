@@ -250,7 +250,7 @@ func TestWALTruncationProperty(t *testing.T) {
 		}
 		// Nothing torn may load.
 		for id := rows; id < len(docs); id++ {
-			if v := re.Doc(uint32(id)); v.NNZ() != 0 {
+			if _, known := re.Doc(uint32(id)); known {
 				t.Fatalf("cut %d: torn doc %d loaded", cut, id)
 			}
 		}
@@ -352,7 +352,7 @@ func TestDurableRetireNoResurrection(t *testing.T) {
 		t.Fatal("post-retire doc 0 not found")
 	}
 	for _, nb := range mustQuery(t, re, docs[0]) {
-		if re.Doc(nb.ID).NNZ() == 0 {
+		if v, known := re.Doc(nb.ID); !known || v.NNZ() == 0 {
 			t.Fatalf("neighbor %d has no document", nb.ID)
 		}
 	}
@@ -477,13 +477,13 @@ func TestDocOutOfRange(t *testing.T) {
 	if _, err := n.Insert(bg, testDocs(10, 81)); err != nil {
 		t.Fatal(err)
 	}
-	if v := n.Doc(9); v.NNZ() == 0 {
+	if v, known := n.Doc(9); !known || v.NNZ() == 0 {
 		t.Fatal("valid doc came back empty")
 	}
-	if v := n.Doc(10); v.NNZ() != 0 {
+	if v, known := n.Doc(10); known || v.NNZ() != 0 {
 		t.Fatal("out-of-range doc not zero")
 	}
-	if v := n.Doc(math.MaxUint32); v.NNZ() != 0 {
+	if v, known := n.Doc(math.MaxUint32); known || v.NNZ() != 0 {
 		t.Fatal("huge id doc not zero")
 	}
 	if err := n.Save(bg); !errors.Is(err, ErrNotDurable) {

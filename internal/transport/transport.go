@@ -37,12 +37,22 @@ type NodeClient interface {
 	// Insert appends documents, returning node-local IDs. Returns
 	// node.ErrFull (possibly wrapped) if capacity would be exceeded.
 	Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error)
+	// Search answers a batch of queries under one set of request-scoped
+	// parameters (per-query radius, top-k bound, candidate budget), each
+	// answer list in canonical ascending (distance, id) order. A
+	// successful reply always has exactly len(qs) entries. This is the
+	// one query entry point the unified Search path uses; QueryBatch and
+	// QueryTopK remain for the legacy surfaces.
+	Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error)
 	// QueryBatch answers a batch of R-near-neighbor queries. A successful
 	// reply always has exactly len(qs) entries.
 	QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error)
 	// QueryTopK answers one query with the node's k nearest R-near
 	// neighbors, sorted ascending by distance.
 	QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error)
+	// Doc fetches the stored vector for a node-local ID and the node's
+	// authoritative answer to whether that id was ever inserted.
+	Doc(ctx context.Context, id uint32) (sparse.Vector, bool, error)
 	// Delete marks a node-local ID deleted.
 	Delete(ctx context.Context, id uint32) error
 	// MergeNow forces every row present at call time into the static
@@ -80,9 +90,23 @@ func (l *Local) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error
 	return l.N.Insert(ctx, vs)
 }
 
+// Search implements NodeClient.
+func (l *Local) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
+	return l.N.SearchBatch(ctx, qs, p)
+}
+
 // QueryBatch implements NodeClient.
 func (l *Local) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
 	return l.N.QueryBatch(ctx, qs)
+}
+
+// Doc implements NodeClient.
+func (l *Local) Doc(ctx context.Context, id uint32) (sparse.Vector, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return sparse.Vector{}, false, err
+	}
+	v, known := l.N.Doc(id)
+	return v, known, nil
 }
 
 // QueryTopK implements NodeClient.

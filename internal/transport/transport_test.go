@@ -85,6 +85,14 @@ func (s *stubBackend) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]c
 func (s *stubBackend) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error) {
 	return nil, nil
 }
+
+func (s *stubBackend) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
+	return make([][]core.Neighbor, len(qs)), nil
+}
+
+func (s *stubBackend) Doc(ctx context.Context, id uint32) (sparse.Vector, bool, error) {
+	return sparse.Vector{}, false, nil
+}
 func (s *stubBackend) Delete(ctx context.Context, id uint32) error { return nil }
 func (s *stubBackend) MergeNow(ctx context.Context) error          { return nil }
 func (s *stubBackend) Flush(ctx context.Context) error             { return nil }

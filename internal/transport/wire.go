@@ -46,15 +46,45 @@ const (
 	// opSave checkpoints the node's data directory (snapshot + journal
 	// truncation).
 	opSave
+	// opSearch is the unified query op: a batch of vectors plus a
+	// versioned request-scoped parameter struct (radius, top-k bound,
+	// candidate budget). Older servers answer it with an unknown-op
+	// error, so mixed-version clusters fail loud, not wrong.
+	opSearch
+	// opDoc fetches one stored vector by node-local id, plus the node's
+	// authoritative known/unknown answer.
+	opDoc
 )
+
+// searchVersion is the highest searchParams revision this binary speaks.
+// The version rides inside every opSearch frame; a server that receives a
+// newer revision than it knows rejects the request instead of silently
+// dropping parameters it cannot interpret.
+const searchVersion = 1
+
+// searchParams is the wire form of node.SearchParams. It is a separate
+// struct so the wire encoding is owned here: node-side fields can evolve
+// independently, and appends to this struct keep old frames decodable
+// (gob fills missing fields with zero values, which all mean "default").
+type searchParams struct {
+	// Version is the revision of this struct the client encoded;
+	// required (an opSearch frame with Version 0 is malformed).
+	Version       uint8
+	Radius        float64
+	K             int
+	MaxCandidates int
+}
 
 // request is the client→server frame.
 type request struct {
 	Seq     uint64
 	Op      op
 	Vectors []sparse.Vector
-	ID      uint32 // Delete target
+	ID      uint32 // Delete / Doc target
 	K       int    // QueryTopK bound
+	// Search carries the request-scoped parameters of an opSearch frame.
+	// Nil on every other op (and on frames from pre-opSearch clients).
+	Search *searchParams
 	// Deadline is the caller's context deadline as Unix nanoseconds (0 =
 	// none). The server bounds the backend call with it, so an expired
 	// client deadline stops costing server CPU even if the cancel frame
@@ -85,6 +115,9 @@ type response struct {
 	Results [][]core.Neighbor
 	TopK    []core.Neighbor
 	Stats   node.Stats
+	// Doc and Known answer an opDoc request.
+	Doc   sparse.Vector
+	Known bool
 }
 
 // Serve answers requests for backend on l until ctx is canceled (clean
@@ -240,6 +273,40 @@ func handle(ctx context.Context, backend NodeClient, req *request) *response {
 			break
 		}
 		resp.TopK = res
+	case opSearch:
+		p := req.Search
+		if p == nil || p.Version == 0 {
+			fail(errors.New("transport: search frame carries no parameters"))
+			break
+		}
+		if p.Version > searchVersion {
+			fail(fmt.Errorf("transport: search parameters v%d from peer, this server speaks v%d",
+				p.Version, searchVersion))
+			break
+		}
+		res, err := backend.Search(ctx, req.Vectors, node.SearchParams{
+			Radius:        p.Radius,
+			K:             p.K,
+			MaxCandidates: p.MaxCandidates,
+		})
+		if err != nil {
+			fail(err)
+			break
+		}
+		if len(res) != len(req.Vectors) {
+			fail(fmt.Errorf("transport: backend returned %d answer lists for %d queries",
+				len(res), len(req.Vectors)))
+			break
+		}
+		resp.Results = res
+	case opDoc:
+		v, known, err := backend.Doc(ctx, req.ID)
+		if err != nil {
+			fail(err)
+			break
+		}
+		resp.Doc = v
+		resp.Known = known
 	case opDelete:
 		if err := backend.Delete(ctx, req.ID); err != nil {
 			fail(err)
@@ -482,6 +549,34 @@ func (c *Client) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.N
 			len(resp.Results), len(qs))
 	}
 	return resp.Results, nil
+}
+
+// Search implements NodeClient: one frame carries the batch and the
+// versioned request-scoped parameter struct.
+func (c *Client) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
+	resp, err := c.do(ctx, &request{Op: opSearch, Vectors: qs, Search: &searchParams{
+		Version:       searchVersion,
+		Radius:        p.Radius,
+		K:             p.K,
+		MaxCandidates: p.MaxCandidates,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(qs) {
+		return nil, fmt.Errorf("transport: reply carries %d answer lists for %d queries",
+			len(resp.Results), len(qs))
+	}
+	return resp.Results, nil
+}
+
+// Doc implements NodeClient.
+func (c *Client) Doc(ctx context.Context, id uint32) (sparse.Vector, bool, error) {
+	resp, err := c.do(ctx, &request{Op: opDoc, ID: id})
+	if err != nil {
+		return sparse.Vector{}, false, err
+	}
+	return resp.Doc, resp.Known, nil
 }
 
 // QueryTopK implements NodeClient.

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/hex"
+	"net"
+	"reflect"
+	"testing"
+
+	"plsh/internal/core"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+)
+
+// TestOpcodeValuesStable pins every wire constant to its numeric value.
+// The opcode block is append-only: a reordered or renumbered constant
+// breaks mixed-version clusters silently (an old peer would run the
+// wrong operation), so any diff here must be an append — this table
+// grows, existing rows never change.
+func TestOpcodeValuesStable(t *testing.T) {
+	ops := []struct {
+		name string
+		got  op
+		want uint8
+	}{
+		{"opInsert", opInsert, 1},
+		{"opQueryBatch", opQueryBatch, 2},
+		{"opQueryTopK", opQueryTopK, 3},
+		{"opDelete", opDelete, 4},
+		{"opMerge", opMerge, 5},
+		{"opRetire", opRetire, 6},
+		{"opStats", opStats, 7},
+		{"opCancel", opCancel, 8},
+		{"opFlush", opFlush, 9},
+		{"opSave", opSave, 10},
+		{"opSearch", opSearch, 11},
+		{"opDoc", opDoc, 12},
+	}
+	for _, tc := range ops {
+		if uint8(tc.got) != tc.want {
+			t.Errorf("%s = %d, must stay %d (opcodes are append-only)", tc.name, tc.got, tc.want)
+		}
+	}
+	codes := []struct {
+		name string
+		got  respCode
+		want uint8
+	}{
+		{"codeOK", codeOK, 0},
+		{"codeFull", codeFull, 1},
+		{"codeError", codeError, 2},
+		{"codeNotFound", codeNotFound, 3},
+	}
+	for _, tc := range codes {
+		if uint8(tc.got) != tc.want {
+			t.Errorf("%s = %d, must stay %d (response codes are append-only)", tc.name, tc.got, tc.want)
+		}
+	}
+	if searchVersion != 1 {
+		t.Errorf("searchVersion = %d; bump only with a compatible server-side decoder for every older revision", searchVersion)
+	}
+}
+
+type goldenReq struct {
+	name string
+	req  request
+}
+
+func goldenVec() sparse.Vector {
+	return sparse.Vector{Idx: []uint32{1, 5}, Val: []float32{0.5, 0.25}}
+}
+
+// goldenRequests is one canonical frame per opcode, in opcode order.
+func goldenRequests() []goldenReq {
+	return []goldenReq{
+		{"insert", request{Seq: 1, Op: opInsert, Vectors: []sparse.Vector{goldenVec()}}},
+		{"queryBatch", request{Seq: 2, Op: opQueryBatch, Vectors: []sparse.Vector{goldenVec()}, Deadline: 12345}},
+		{"queryTopK", request{Seq: 3, Op: opQueryTopK, Vectors: []sparse.Vector{goldenVec()}, K: 7}},
+		{"delete", request{Seq: 4, Op: opDelete, ID: 42}},
+		{"merge", request{Seq: 5, Op: opMerge}},
+		{"retire", request{Seq: 6, Op: opRetire}},
+		{"stats", request{Seq: 7, Op: opStats}},
+		{"cancel", request{Seq: 8, Op: opCancel}},
+		{"flush", request{Seq: 9, Op: opFlush}},
+		{"save", request{Seq: 10, Op: opSave}},
+		{"search", request{Seq: 11, Op: opSearch, Vectors: []sparse.Vector{goldenVec()},
+			Search: &searchParams{Version: 1, Radius: 1.25, K: 9, MaxCandidates: 100}}},
+		{"doc", request{Seq: 12, Op: opDoc, ID: 99}},
+	}
+}
+
+// goldenStream is the byte-exact gob encoding of goldenRequests on one
+// encoder (one encoder per connection, exactly like Client.writeLoop).
+// It pins the request struct's field names, types, and the opcode
+// numbering all at once: any change to the frame layout — renamed field,
+// retyped field, renumbered opcode — shows up as a diff here and must be
+// made as a backward-compatible append instead.
+const goldenStream = "" +
+	"567f030101077265717565737401ff80000107010353657101060001024f7001" +
+	"06000107566563746f727301ff88000102494401060001014b01040001065365" +
+	"6172636801ff8a000108446561646c696e6501040000001eff870201010f5b5d" +
+	"7370617273652e566563746f7201ff880001ff82000026ff8103010106566563" +
+	"746f7201ff82000102010349647801ff8400010356616c01ff8600000016ff83" +
+	"020101085b5d75696e74333201ff84000106000017ff85020101095b5d666c6f" +
+	"6174333201ff86000108000049ff890301010c736561726368506172616d7301" +
+	"ff8a000104010756657273696f6e010600010652616469757301080001014b01" +
+	"0400010d4d617843616e64696461746573010400000016ff8001010101010101" +
+	"0201050102fee03ffed03f00001aff80010201020101010201050102fee03ffe" +
+	"d03f0004fe60720018ff80010301030101010201050102fee03ffed03f00020e" +
+	"0009ff8001040104022a0007ff80010501050007ff80010601060007ff800107" +
+	"01070007ff80010801080007ff80010901090007ff80010a010a0023ff80010b" +
+	"010b0101010201050102fee03ffed03f0003010101fef43f011201ffc8000009" +
+	"ff80010c010c026300"
+
+// TestWireFramesGolden re-encodes the canonical frame sequence and
+// requires the byte-exact golden stream, then decodes the golden bytes
+// back and requires the canonical requests — so both directions of the
+// frame layout are pinned.
+func TestWireFramesGolden(t *testing.T) {
+	reqs := goldenRequests()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, tc := range reqs {
+		if err := enc.Encode(tc.req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := hex.EncodeToString(buf.Bytes())
+	if got != goldenStream {
+		t.Fatalf("wire frame encoding changed; this breaks mixed-version clusters.\ngot:  %s\nwant: %s",
+			got, goldenStream)
+	}
+
+	raw, err := hex.DecodeString(goldenStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(raw))
+	for _, tc := range reqs {
+		var back request
+		if err := dec.Decode(&back); err != nil {
+			t.Fatalf("%s: decoding golden bytes: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(back, tc.req) {
+			t.Fatalf("%s: golden bytes decode to %+v, want %+v", tc.name, back, tc.req)
+		}
+	}
+}
+
+// TestSearchIdenticalAcrossTransports is the mixed-path satellite: the
+// same Search (radius override, top-k bound, candidate budget) against
+// the same node must answer byte-identically through transport.NewLocal
+// and through a real TCP Client — the serialization layer may not perturb
+// parameters or results.
+func TestSearchIdenticalAcrossTransports(t *testing.T) {
+	n, err := node.New(node.Config{
+		Params:   lshhash.Params{Dim: 2000, K: 4, M: 16, Seed: 7},
+		Capacity: 1000,
+		Build:    core.Defaults(),
+		Query:    core.QueryDefaults(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := NewLocal(n)
+	docs := testDocs(400, 3)
+	if _, err := local.Insert(context.Background(), docs); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go Serve(ctx, l, local, nil)
+	remote, err := Dial(context.Background(), l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	queries := docs[:16]
+	for _, p := range []node.SearchParams{
+		{},
+		{Radius: 1.2},
+		{K: 5},
+		{Radius: 1.1, K: 3},
+		{Radius: 1.3, MaxCandidates: 10},
+	} {
+		a, err := local.Search(context.Background(), queries, p)
+		if err != nil {
+			t.Fatalf("local search %+v: %v", p, err)
+		}
+		b, err := remote.Search(context.Background(), queries, p)
+		if err != nil {
+			t.Fatalf("tcp search %+v: %v", p, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("params %+v: %d vs %d answer lists", p, len(a), len(b))
+		}
+		for qi := range a {
+			// gob decodes an empty slice as nil; normalize before the
+			// byte-identical comparison.
+			if len(a[qi]) == 0 && len(b[qi]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(a[qi], b[qi]) {
+				t.Fatalf("params %+v query %d: local %+v, tcp %+v", p, qi, a[qi], b[qi])
+			}
+		}
+	}
+
+	// Doc crosses the wire unperturbed too.
+	for _, id := range []uint32{0, 399} {
+		va, ka, err := local.Doc(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, kb, err := remote.Doc(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ka != kb || !reflect.DeepEqual(va.Idx, vb.Idx) || !reflect.DeepEqual(va.Val, vb.Val) {
+			t.Fatalf("doc %d differs across transports", id)
+		}
+	}
+	if _, known, err := remote.Doc(context.Background(), 5000); err != nil || known {
+		t.Fatalf("unknown id over TCP: known=%v err=%v", known, err)
+	}
+}

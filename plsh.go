@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"plsh/internal/core"
 	"plsh/internal/lshhash"
@@ -20,8 +21,12 @@ type Vector = sparse.Vector
 // by index and summing duplicates.
 func NewVector(idx []uint32, val []float32) (Vector, error) { return sparse.NewVector(idx, val) }
 
-// Neighbor is one query answer: the document ID and its angular distance
-// in radians.
+// Neighbor is one legacy query answer: the node-local document ID and its
+// angular distance in radians.
+//
+// Deprecated: the unified Search surface answers with Match, which
+// carries the uint64 global ID used everywhere else. Neighbor remains for
+// the deprecated Query/QueryBatch/QueryTopK wrappers.
 type Neighbor = core.Neighbor
 
 // Stats is a snapshot of a Store's state (sizes, merge/insert overheads,
@@ -36,6 +41,10 @@ var ErrFull = node.ErrFull
 // Cluster.Delete for a document ID that was never inserted, so callers
 // can distinguish a no-op from a real tombstone.
 var ErrNotFound = node.ErrNotFound
+
+// ErrNotDurable is returned (possibly wrapped) by Save on an index
+// configured without a data directory.
+var ErrNotDurable = node.ErrNotDurable
 
 // Config parameterizes a Store.
 type Config struct {
@@ -71,6 +80,19 @@ type Config struct {
 	// (kill -9); on, they also survive machine crash, at a large
 	// per-write cost.
 	SyncWrites bool
+}
+
+// validateDocs is the one insert-side document check, shared by Store
+// and Cluster so the Index implementations cannot drift: documents must
+// be non-empty (the delta table and Doc's known/unknown answer both
+// assume content-bearing rows at this layer).
+func validateDocs(docs []Vector) error {
+	for i, d := range docs {
+		if d.NNZ() == 0 {
+			return fmt.Errorf("plsh: document %d is empty", i)
+		}
+	}
+	return nil
 }
 
 // normalize validates cfg and fills defaults. Every field is either
@@ -133,15 +155,16 @@ func (c Config) nodeConfig() node.Config {
 	}
 }
 
-// Store is a single-node streaming similarity-search index. All methods
-// are safe for concurrent use. Queries run lock-free against immutable
-// copy-on-write snapshots, so they proceed concurrently with each other,
-// with inserts, and with merges: when the delta table exceeds
-// DeltaFraction·Capacity the rebuild happens on a background goroutine and
-// is published with an atomic pointer swap — queries are never buffered
-// behind it. Use Merge to force and await a fully merged state, Flush to
-// just await any background merge already in flight, and
-// Stats().MergeInFlight to observe one.
+// Store is a single-node streaming similarity-search index — the
+// one-node implementation of Index (it is node 0, so its global IDs are
+// the node-local IDs zero-extended). All methods are safe for concurrent
+// use. Queries run lock-free against immutable copy-on-write snapshots,
+// so they proceed concurrently with each other, with inserts, and with
+// merges: when the delta table exceeds DeltaFraction·Capacity the rebuild
+// happens on a background goroutine and is published with an atomic
+// pointer swap — queries are never buffered behind it. Use Merge to force
+// and await a fully merged state, Flush to just await any background
+// merge already in flight, and Stats' MergeInFlight to observe one.
 //
 // Every operation takes a context.Context, mirroring the cluster API: a
 // canceled or expired context makes the call return ctx.Err() (batch
@@ -159,7 +182,10 @@ type Store struct {
 }
 
 // NewStore creates a Store: empty when cfg.Dir is unset, recovered from
-// cfg.Dir when it is (see Open, the ctx-aware form).
+// cfg.Dir when it is. It is the context-less convenience shim over Open
+// and runs recovery under context.Background() — unbounded, uncancelable.
+// Callers that need to bound or abort recovery of a large data directory
+// must use Open, the ctx-aware form, instead.
 func NewStore(cfg Config) (*Store, error) {
 	return Open(context.Background(), cfg.Dir, cfg)
 }
@@ -185,49 +211,153 @@ func Open(ctx context.Context, dir string, cfg Config) (*Store, error) {
 	return &Store{cfg: cfg, n: n}, nil
 }
 
-// Insert appends documents, returning their IDs (dense, in arrival order).
-// Documents should be unit-normalized; Insert rejects empty vectors.
-// Returns ErrFull when capacity would be exceeded.
-func (s *Store) Insert(ctx context.Context, docs []Vector) ([]uint32, error) {
-	for i, d := range docs {
-		if d.NNZ() == 0 {
-			return nil, fmt.Errorf("plsh: document %d is empty", i)
-		}
+// Insert appends documents, returning their global IDs (dense, in arrival
+// order; a Store is node 0, so the IDs are the node-local IDs
+// zero-extended). Documents should be unit-normalized; Insert rejects
+// empty vectors. Returns ErrFull when capacity would be exceeded.
+func (s *Store) Insert(ctx context.Context, docs []Vector) ([]uint64, error) {
+	if err := validateDocs(docs); err != nil {
+		return nil, err
 	}
-	return s.n.Insert(ctx, docs)
+	local, err := s.n.Insert(ctx, docs)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, len(local))
+	for i, l := range local {
+		ids[i] = GlobalID(0, l)
+	}
+	return ids, nil
 }
 
-// Query returns the R-near neighbors of q: every stored document within
-// the configured angular radius is reported with probability ≥ 1−δ for the
-// tuned parameters (see Tune), and every reported document is truly within
-// the radius.
+// Search answers one query under request-scoped options: every stored
+// document within the effective radius (WithRadius, or the construction
+// Config.Radius) is reported with probability ≥ 1−δ for the tuned
+// parameters (see Tune), every reported document is truly within that
+// radius, and matches come back ascending by (distance, ID) — bounded to
+// the k nearest with WithK.
+func (s *Store) Search(ctx context.Context, q Vector, opts ...SearchOption) (Result, error) {
+	spec, err := resolveSearch(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, _, err := s.searchBatch(ctx, []Vector{q}, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// SearchBatch answers many queries in one parallel batch under one set of
+// request-scoped options — the high-throughput path (the paper processes
+// queries in batches of ≥30, trading ~45 ms of latency for maximal
+// throughput). The Report covers the Store as the single node 0.
+func (s *Store) SearchBatch(ctx context.Context, qs []Vector, opts ...SearchOption) ([]Result, Report, error) {
+	spec, err := resolveSearch(opts)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return s.searchBatch(ctx, qs, spec)
+}
+
+// searchBatch runs a resolved spec against the node, mirroring the
+// coordinator's per-node policy on the Store's one node: WithNodeTimeout
+// bounds the call, and with a single node a failure fails the call even
+// under AllowPartial (no other node can answer).
+func (s *Store) searchBatch(ctx context.Context, qs []Vector, spec searchSpec) ([]Result, Report, error) {
+	report := Report{Times: make([]time.Duration, 1), Errs: make([]error, 1)}
+	nctx := ctx
+	if spec.policy.PerNodeTimeout > 0 {
+		var cancel context.CancelFunc
+		nctx, cancel = context.WithTimeout(ctx, spec.policy.PerNodeTimeout)
+		defer cancel()
+	}
+	t0 := time.Now()
+	res, err := s.n.SearchBatch(nctx, qs, spec.params)
+	report.Times[0] = time.Since(t0)
+	if err != nil {
+		report.Errs[0] = err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, report, cerr
+		}
+		return nil, report, err
+	}
+	out := make([]Result, len(res))
+	for i, ns := range res {
+		out[i] = Result{Matches: matchesFromLocal(0, ns)}
+	}
+	return out, report, nil
+}
+
+// Query returns the R-near neighbors of q at the construction radius.
+//
+// Deprecated: use Search, which takes request-scoped options and answers
+// with global-ID Matches in canonical order.
 func (s *Store) Query(ctx context.Context, q Vector) ([]Neighbor, error) {
-	return s.n.Query(ctx, q)
+	res, err := s.Search(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return neighborsFromMatches(res.Matches), nil
 }
 
-// QueryBatch answers many queries in one parallel batch — the high-
-// throughput path (the paper processes queries in batches of ≥30,
-// trading ~45 ms of latency for maximal throughput).
+// QueryBatch answers many queries in one parallel batch.
+//
+// Deprecated: use SearchBatch.
 func (s *Store) QueryBatch(ctx context.Context, qs []Vector) ([][]Neighbor, error) {
-	return s.n.QueryBatch(ctx, qs)
+	res, _, err := s.SearchBatch(ctx, qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = neighborsFromMatches(r.Matches)
+	}
+	return out, nil
 }
 
 // QueryTopK returns the k nearest of q's R-near neighbors, sorted
-// ascending by distance — the bounded production query shape next to the
-// raw R-near broadcast. The radius still applies: fewer than k answers
-// come back when fewer than k documents are within it.
+// ascending by distance.
+//
+// Deprecated: use Search with WithK.
 func (s *Store) QueryTopK(ctx context.Context, q Vector, k int) ([]Neighbor, error) {
-	return s.n.QueryTopK(ctx, q, k)
+	if k <= 0 {
+		// Keep the pre-Search contract on this fast path too: a canceled
+		// call reports cancellation, never silent success.
+		return nil, ctx.Err()
+	}
+	res, err := s.Search(ctx, q, WithK(k))
+	if err != nil {
+		return nil, err
+	}
+	return neighborsFromMatches(res.Matches), nil
+}
+
+// neighborsFromMatches converts unified Matches back to the legacy
+// node-local Neighbor shape for the deprecated Query wrappers.
+func neighborsFromMatches(ms []Match) []Neighbor {
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]Neighbor, len(ms))
+	for i, m := range ms {
+		out[i] = Neighbor{ID: m.Local(), Dist: m.Dist}
+	}
+	return out
 }
 
 // Delete marks a document ID deleted; it will no longer be returned.
-// Deleting an ID that was never inserted returns ErrNotFound. On a
-// durable Store the tombstone is journaled before Delete returns.
-func (s *Store) Delete(ctx context.Context, id uint32) error {
+// Deleting an ID that was never inserted — including any ID naming a
+// node other than 0, which a Store cannot hold — returns ErrNotFound. On
+// a durable Store the tombstone is journaled before Delete returns.
+func (s *Store) Delete(ctx context.Context, id uint64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return s.n.Delete(id)
+	if nodeIdx, _ := SplitGlobalID(id); nodeIdx != 0 {
+		return fmt.Errorf("plsh: store is node 0, id names node %d: %w", nodeIdx, ErrNotFound)
+	}
+	return s.n.Delete(uint32(id))
 }
 
 // Merge forces every document present at the time of the call into the
@@ -254,23 +384,39 @@ func (s *Store) Reset() error { return s.n.Retire(context.Background()) }
 // which still occupy capacity until Reset).
 func (s *Store) Len() int { return s.n.Len() }
 
-// Doc returns the stored vector for id (shared storage; do not modify)
-// and whether the id has ever been inserted; ids never inserted report
+// Doc returns the stored vector for a global ID (shared storage; do not
+// modify) and the node's authoritative answer to whether the ID was ever
+// inserted — an inserted-but-empty document still reports true, and IDs
+// never inserted (including any naming a node other than 0) report
 // (zero Vector, false) instead of panicking.
-func (s *Store) Doc(id uint32) (Vector, bool) {
-	v := s.n.Doc(id)
-	return v, v.NNZ() > 0
+func (s *Store) Doc(ctx context.Context, id uint64) (Vector, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Vector{}, false, err
+	}
+	if nodeIdx, _ := SplitGlobalID(id); nodeIdx != 0 {
+		return Vector{}, false, nil
+	}
+	v, known := s.n.Doc(uint32(id))
+	return v, known, nil
 }
 
-// Save writes a quiesced snapshot of the Store into dir: every document
+// Save forces a durable checkpoint of the Store's own data directory:
+// every document is driven into the static structure (like Merge), the
+// snapshot is written, and the write-ahead journal is truncated. Returns
+// ErrNotDurable on a Store opened without a data directory; use SaveTo to
+// export an in-memory Store.
+func (s *Store) Save(ctx context.Context) error {
+	return s.n.Save(ctx)
+}
+
+// SaveTo writes a quiesced snapshot of the Store into dir: every document
 // is driven into the static structure (like Merge), then the arena,
 // static buckets, tombstones, and hash parameters are serialized behind a
 // versioned, checksummed header. Open on that dir reproduces the Store
 // bit-identically, without rehashing. When dir is the Store's own
-// Config.Dir this is a checkpoint: the write-ahead journal is truncated
-// once the snapshot is durable. Any other dir is an export/backup and
-// leaves the journal alone.
-func (s *Store) Save(ctx context.Context, dir string) error {
+// Config.Dir this is exactly Save, journal truncation included; any other
+// dir is an export/backup and leaves the journal alone.
+func (s *Store) SaveTo(ctx context.Context, dir string) error {
 	return s.n.SaveTo(ctx, dir)
 }
 
@@ -279,8 +425,18 @@ func (s *Store) Save(ctx context.Context, dir string) error {
 // further writes fail. A no-op for in-memory Stores.
 func (s *Store) Close() error { return s.n.Close() }
 
-// Stats returns a state snapshot.
-func (s *Store) Stats() Stats { return s.n.Stats() }
+// Stats returns one state snapshot per node — for a Store, exactly one,
+// the uniform Index shape. Use StatsNow for the local convenience form.
+func (s *Store) Stats(ctx context.Context) ([]Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return []Stats{s.n.Stats()}, nil
+}
+
+// StatsNow returns the Store's state snapshot without the ceremony of the
+// Index-shaped Stats — the common local-observability call.
+func (s *Store) StatsNow() Stats { return s.n.Stats() }
 
 // Config returns the (normalized) configuration the Store runs with.
 func (s *Store) Config() Config { return s.cfg }

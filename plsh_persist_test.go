@@ -63,14 +63,17 @@ func TestStoreDocBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := s.Doc(ids[4]); !ok || v.NNZ() == 0 {
+	if v, known, err := s.Doc(bg, ids[4]); err != nil || !known || v.NNZ() == 0 {
 		t.Fatal("valid doc not returned")
 	}
-	if v, ok := s.Doc(10); ok || v.NNZ() != 0 {
+	if v, known, err := s.Doc(bg, 10); err != nil || known || v.NNZ() != 0 {
 		t.Fatal("out-of-range doc returned")
 	}
-	if _, ok := s.Doc(math.MaxUint32); ok {
+	if _, known, _ := s.Doc(bg, math.MaxUint32); known {
 		t.Fatal("huge id returned a doc")
+	}
+	if _, known, _ := s.Doc(bg, GlobalID(3, 0)); known {
+		t.Fatal("foreign-node id returned a doc from a store")
 	}
 }
 
@@ -126,7 +129,7 @@ func TestStoreSaveOpenOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deleted := map[uint32]bool{}
+	deleted := map[uint64]bool{}
 	for _, i := range []int{3, 111, 222} {
 		if err := s.Delete(bg, ids[i]); err != nil {
 			t.Fatal(err)
@@ -135,7 +138,7 @@ func TestStoreSaveOpenOracle(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	if err := s.Save(bg, dir); err != nil {
+	if err := s.SaveTo(bg, dir); err != nil {
 		t.Fatal(err)
 	}
 	re, err := Open(bg, dir, smallConfig())
@@ -150,44 +153,44 @@ func TestStoreSaveOpenOracle(t *testing.T) {
 	radius := s.Config().Radius
 	for qi := 0; qi < len(docs); qi += 13 {
 		q := docs[qi]
-		a, err := s.Query(bg, q)
+		a, err := s.Search(bg, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := re.Query(bg, q)
+		b, err := re.Search(bg, q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Bit-identical round trip.
-		if len(a) != len(b) {
-			t.Fatalf("query %d: %d vs %d results after reopen", qi, len(a), len(b))
+		if len(a.Matches) != len(b.Matches) {
+			t.Fatalf("query %d: %d vs %d results after reopen", qi, len(a.Matches), len(b.Matches))
 		}
-		seen := map[uint32]float64{}
-		for _, nb := range a {
-			seen[nb.ID] = nb.Dist
+		seen := map[uint64]float64{}
+		for _, m := range a.Matches {
+			seen[m.ID] = m.Dist
 		}
-		for _, nb := range b {
-			if d, ok := seen[nb.ID]; !ok || d != nb.Dist {
-				t.Fatalf("query %d: neighbor %d differs after reopen", qi, nb.ID)
+		for _, m := range b.Matches {
+			if d, ok := seen[m.ID]; !ok || d != m.Dist {
+				t.Fatalf("query %d: neighbor %d differs after reopen", qi, m.ID)
 			}
 		}
 		// Exhaustive-scan oracle: reported distances are the true angular
 		// distances, within radius, never deleted; the query doc itself
 		// (distance 0) is always reported unless deleted.
-		for _, nb := range b {
-			if deleted[nb.ID] {
-				t.Fatalf("query %d: deleted doc %d returned", qi, nb.ID)
+		for _, m := range b.Matches {
+			if deleted[m.ID] {
+				t.Fatalf("query %d: deleted doc %d returned", qi, m.ID)
 			}
-			v, ok := re.Doc(nb.ID)
-			if !ok {
-				t.Fatalf("query %d: neighbor %d has no document", qi, nb.ID)
+			v, known, err := re.Doc(bg, m.ID)
+			if err != nil || !known {
+				t.Fatalf("query %d: neighbor %d has no document", qi, m.ID)
 			}
 			want := sparse.AngularDistance(sparse.Dot(q, v))
-			if math.Abs(nb.Dist-want) > 1e-9 {
-				t.Fatalf("query %d: neighbor %d distance %v, oracle %v", qi, nb.ID, nb.Dist, want)
+			if math.Abs(m.Dist-want) > 1e-9 {
+				t.Fatalf("query %d: neighbor %d distance %v, oracle %v", qi, m.ID, m.Dist, want)
 			}
-			if nb.Dist > radius {
-				t.Fatalf("query %d: neighbor %d outside radius", qi, nb.ID)
+			if m.Dist > radius {
+				t.Fatalf("query %d: neighbor %d outside radius", qi, m.ID)
 			}
 		}
 		if !deleted[ids[qi]] {
@@ -240,12 +243,12 @@ func TestOpenDurableLifecycle(t *testing.T) {
 	if s3.Len() != 120 {
 		t.Fatalf("second recovery: Len %d", s3.Len())
 	}
-	res, err := s3.Query(bg, docs[60])
+	res, err := s3.Search(bg, docs[60])
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, nb := range res {
-		if nb.ID == ids[0] {
+	for _, m := range res.Matches {
+		if m.ID == ids[0] {
 			t.Fatal("journaled tombstone lost across recovery")
 		}
 	}
@@ -285,7 +288,7 @@ func TestClusterDurableSaveAllRecovery(t *testing.T) {
 		}
 		want = append(want, res)
 	}
-	if err := cl.SaveAll(bg); err != nil {
+	if err := cl.Save(bg); err != nil {
 		t.Fatal(err)
 	}
 	if err := cl.Close(); err != nil {
@@ -322,7 +325,7 @@ func TestClusterDurableSaveAllRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mem.Close()
-	if err := mem.SaveAll(bg); err == nil {
-		t.Fatal("SaveAll on in-memory cluster succeeded")
+	if err := mem.Save(bg); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Save on in-memory cluster: want ErrNotDurable, got %v", err)
 	}
 }

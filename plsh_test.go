@@ -122,19 +122,19 @@ func TestStoreDeleteMergeReset(t *testing.T) {
 	if err := s.Delete(bg, ids[5]); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Query(bg, docs[5])
+	res, err := s.Search(bg, docs[5])
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, nb := range res {
-		if nb.ID == ids[5] {
+	for _, m := range res.Matches {
+		if m.ID == ids[5] {
 			t.Fatal("deleted doc returned")
 		}
 	}
 	if err := s.Merge(bg); err != nil {
 		t.Fatal(err)
 	}
-	if st := s.Stats(); st.DeltaLen != 0 || st.StaticLen != 200 {
+	if st := s.StatsNow(); st.DeltaLen != 0 || st.StaticLen != 200 {
 		t.Fatalf("merge state: %+v", st)
 	}
 	s.Reset()
@@ -496,7 +496,7 @@ func TestStoreFlushSettlesBackgroundMerges(t *testing.T) {
 	if err := s.Flush(bg); err != nil {
 		t.Fatal(err)
 	}
-	if st := s.Stats(); st.Merges != 0 || st.MergeInFlight {
+	if st := s.StatsNow(); st.Merges != 0 || st.MergeInFlight {
 		t.Fatalf("idle flush changed state: %+v", st)
 	}
 	docs := SyntheticTweets(800, 2000, 21)
@@ -508,7 +508,7 @@ func TestStoreFlushSettlesBackgroundMerges(t *testing.T) {
 	if err := s.Flush(bg); err != nil {
 		t.Fatal(err)
 	}
-	st := s.Stats()
+	st := s.StatsNow()
 	if st.Merges == 0 {
 		t.Fatal("no background merges despite crossing η·C repeatedly")
 	}
@@ -554,7 +554,7 @@ func TestStoreQueriesConcurrentWithMerge(t *testing.T) {
 	if err := <-mergeErr; err != nil {
 		t.Fatal(err)
 	}
-	if st := s.Stats(); st.DeltaLen != 0 || st.StaticLen != 1500 {
+	if st := s.StatsNow(); st.DeltaLen != 0 || st.StaticLen != 1500 {
 		t.Fatalf("post-merge state: %+v", st)
 	}
 }

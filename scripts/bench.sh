@@ -9,6 +9,7 @@
 #   scripts/bench.sh                  # everything
 #   scripts/bench.sh 'Fig9|TopK'      # just the cluster benchmarks
 #   scripts/bench.sh QueryDuringMerge # just the non-blocking-merge metric
+#   scripts/bench.sh SearchTopK     # just the unified-Search top-k metric
 #   scripts/bench.sh 'Save|Recover'   # just the durability metrics
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -1,0 +1,204 @@
+package plsh
+
+import (
+	"fmt"
+	"time"
+
+	"context"
+
+	"plsh/internal/cluster"
+	"plsh/internal/core"
+	"plsh/internal/node"
+)
+
+// Index is the one logical similarity-search surface of this package:
+// a single node (*Store) and a coordinated fleet (*Cluster) implement it
+// identically, so callers write against the abstraction and scale from
+// one process to a hundred machines without changing a call site — the
+// transparency the paper's deployment model (and SLASH after it) argues
+// for. Document identifiers are uint64 global IDs everywhere: a Store is
+// simply node 0, so its IDs are the node-local IDs zero-extended, and
+// GlobalID/SplitGlobalID convert at the boundary when node placement
+// matters.
+//
+// Request-scoped behavior — radius, top-k bound, per-node time budget,
+// partial-result policy, candidate budget — travels with each Search call
+// as SearchOptions rather than being frozen at construction, so one index
+// serves heterogeneous traffic.
+type Index interface {
+	// Insert appends documents, returning their global IDs (parallel to
+	// docs). Documents should be unit-normalized and non-empty.
+	Insert(ctx context.Context, docs []Vector) ([]uint64, error)
+	// Search answers one query under the given request-scoped options.
+	Search(ctx context.Context, q Vector, opts ...SearchOption) (Result, error)
+	// SearchBatch answers a batch under one set of options and reports
+	// how the distributed execution went.
+	SearchBatch(ctx context.Context, qs []Vector, opts ...SearchOption) ([]Result, Report, error)
+	// Delete tombstones a document by global ID; never-inserted IDs
+	// return ErrNotFound (possibly wrapped).
+	Delete(ctx context.Context, id uint64) error
+	// Doc fetches the stored vector for a global ID (shared storage; do
+	// not modify) and whether that ID was ever inserted.
+	Doc(ctx context.Context, id uint64) (Vector, bool, error)
+	// Merge drives every document present at call time into the static
+	// structure(s) and returns once that state is reached.
+	Merge(ctx context.Context) error
+	// Flush waits out any in-flight background merge without forcing one.
+	Flush(ctx context.Context) error
+	// Save checkpoints every durable node's data directory; nodes without
+	// one fail the call with ErrNotDurable (possibly wrapped).
+	Save(ctx context.Context) error
+	// Stats returns one state snapshot per node (a Store returns one).
+	Stats(ctx context.Context) ([]Stats, error)
+	// Close releases node connections and journals.
+	Close() error
+}
+
+// Compile-time proof that both implementations present the one surface.
+var (
+	_ Index = (*Store)(nil)
+	_ Index = (*Cluster)(nil)
+)
+
+// Match is one Search answer: the document's global ID and its angular
+// distance from the query in radians. On a Store the ID is the node-local
+// ID zero-extended; on a Cluster it packs (node, local ID) — use Node and
+// Local (or SplitGlobalID) when placement matters.
+type Match struct {
+	ID   uint64
+	Dist float64
+}
+
+// Node returns the index of the node holding the document.
+func (m Match) Node() int { n, _ := SplitGlobalID(m.ID); return n }
+
+// Local returns the document's node-local ID.
+func (m Match) Local() uint32 { _, l := SplitGlobalID(m.ID); return l }
+
+// Result is the answer to one query: every reported document is truly
+// within the effective radius, sorted ascending by (distance, ID) — and
+// with WithK, bounded to the k nearest.
+type Result struct {
+	Matches []Match
+}
+
+// Report describes how a Search/SearchBatch broadcast went: per-node wall
+// times and errors, with Complete/Stragglers helpers. A Store reports
+// itself as the single node 0.
+type Report = BatchReport
+
+// searchSpec is the resolved form of a SearchOption list: the per-query
+// parameter struct that flows to every node, plus the broadcast policy
+// the coordinator applies around it.
+type searchSpec struct {
+	params node.SearchParams
+	policy cluster.BatchOptions
+	err    error
+}
+
+// SearchOption is a request-scoped knob for Search/SearchBatch. Options
+// compose left to right; an invalid value surfaces as an error from the
+// Search call itself rather than panicking or being silently clamped.
+type SearchOption func(*searchSpec)
+
+func (s *searchSpec) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// WithRadius overrides the construction-time Config.Radius for this query
+// (radians, > 0). The hash tables are radius-agnostic — only candidate
+// filtering consults it — so any radius is answerable by any index;
+// recall guarantees still assume the tuned (K, M) geometry suits it.
+func WithRadius(r float64) SearchOption {
+	return func(s *searchSpec) {
+		if r <= 0 {
+			s.fail(fmt.Errorf("plsh: WithRadius(%v): radius must be positive", r))
+			return
+		}
+		s.params.Radius = r
+	}
+}
+
+// WithK bounds the answer to the k nearest in-radius documents (k > 0).
+// Each node prunes to its local k best, so the coordinator merges bounded
+// partial lists instead of full answer sets.
+func WithK(k int) SearchOption {
+	return func(s *searchSpec) {
+		if k <= 0 {
+			s.fail(fmt.Errorf("plsh: WithK(%d): k must be positive", k))
+			return
+		}
+		s.params.K = k
+	}
+}
+
+// WithMaxCandidates bounds how many unique candidates each node evaluates
+// distances for on this query (n > 0) — the latency/recall trade for
+// callers that prefer a bounded answer over an exhaustive one.
+func WithMaxCandidates(n int) SearchOption {
+	return func(s *searchSpec) {
+		if n <= 0 {
+			s.fail(fmt.Errorf("plsh: WithMaxCandidates(%d): bound must be positive", n))
+			return
+		}
+		s.params.MaxCandidates = n
+	}
+}
+
+// WithNodeTimeout bounds each node's share of the broadcast (d > 0), in
+// addition to the call's context deadline. Combine with AllowPartial to
+// trade completeness for bounded latency; without it, one node timing out
+// fails the whole call.
+func WithNodeTimeout(d time.Duration) SearchOption {
+	return func(s *searchSpec) {
+		if d <= 0 {
+			s.fail(fmt.Errorf("plsh: WithNodeTimeout(%v): timeout must be positive", d))
+			return
+		}
+		s.policy.PerNodeTimeout = d
+	}
+}
+
+// AllowPartial makes a Search succeed with the merged answers from the
+// nodes that responded instead of failing when some did not; stragglers
+// are visible in the Report. Without it the first node failure fails the
+// call (all-or-nothing). A search no node answered still fails.
+func AllowPartial() SearchOption {
+	return func(s *searchSpec) { s.policy.Partial = true }
+}
+
+// resolveSearch folds an option list into a spec, surfacing the first
+// invalid option as an error.
+func resolveSearch(opts []SearchOption) (searchSpec, error) {
+	var s searchSpec
+	for _, o := range opts {
+		o(&s)
+	}
+	return s, s.err
+}
+
+// matchesFromLocal converts node-local answers to Matches of nodeIdx.
+func matchesFromLocal(nodeIdx int, ns []core.Neighbor) []Match {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := make([]Match, len(ns))
+	for i, nb := range ns {
+		out[i] = Match{ID: GlobalID(nodeIdx, nb.ID), Dist: nb.Dist}
+	}
+	return out
+}
+
+// matchesFromCluster converts coordinator answers to Matches.
+func matchesFromCluster(ns []cluster.Neighbor) []Match {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := make([]Match, len(ns))
+	for i, nb := range ns {
+		out[i] = Match{ID: GlobalID(nb.Node, nb.ID), Dist: nb.Dist}
+	}
+	return out
+}
