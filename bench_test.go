@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"plsh/internal/baseline"
 	"plsh/internal/core"
@@ -363,6 +364,54 @@ func BenchmarkSearchTopK(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/search-topk")
+		})
+	}
+}
+
+// BenchmarkSearchReplicated prices the replica layer on the broadcast
+// path: the same corpus and bounded batch searched through a single-copy
+// cluster (replicas=1), an R=2 cluster (one member answers per group —
+// the mirroring costs inserts, not searches), and an R=2 cluster with
+// the tail hedge armed (on a healthy cluster the hedge timer virtually
+// never fires, so its cost should be noise). Surfaced in
+// benchmarks/latest.json as search_replicated_*_ns via plsh-bench2json.
+func BenchmarkSearchReplicated(b *testing.B) {
+	f := benchFixture(b)
+	const endpoints = 4
+	const docsN = 8000
+	queries := f.queries[:64]
+	arms := []struct {
+		name     string
+		replicas int
+		opts     []SearchOption
+	}{
+		{"replicas=1", 1, []SearchOption{WithK(10)}},
+		{"replicas=2", 2, []SearchOption{WithK(10)}},
+		{"replicas=2-hedged", 2, []SearchOption{WithK(10), WithHedge(50 * time.Millisecond)}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			cl, err := NewCluster(endpoints, 0, Config{
+				Dim: benchDim, K: 12, M: 10, Capacity: docsN,
+				Replicas: arm.replicas, Seed: benchSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			if _, err := cl.Insert(bg, docsSlice(f.col, docsN)); err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.Merge(bg); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.SearchBatch(bg, queries, arm.opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/replicated-search")
 		})
 	}
 }

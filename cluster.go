@@ -11,9 +11,10 @@ import (
 	"plsh/internal/transport"
 )
 
-// ClusterNeighbor is a legacy cluster query answer: the node index, the
-// node-local document ID, and the angular distance. GlobalID packs the
-// first two into one identifier usable with Cluster.Delete.
+// ClusterNeighbor is a legacy cluster query answer: the replica-group
+// index (the node index when Replicas is 1), the group-local document ID,
+// and the angular distance. GlobalID packs the first two into one
+// identifier usable with Cluster.Delete.
 //
 // Deprecated: the unified Search surface answers with Match, which
 // carries the packed uint64 global ID directly. ClusterNeighbor remains
@@ -21,37 +22,54 @@ import (
 type ClusterNeighbor = cluster.Neighbor
 
 // BatchOptions is the failure policy for a cluster broadcast: an optional
-// per-node timeout and whether partial results are acceptable.
+// per-attempt timeout, whether partial results are acceptable, and the
+// replica hedge delay.
 type BatchOptions = cluster.BatchOptions
 
-// BatchReport describes how a broadcast went: per-node wall times and
-// errors, with Complete/Stragglers helpers.
+// BatchReport describes how a broadcast went: per-group wall times and
+// errors plus the per-replica attempt trace, with Complete/Stragglers/
+// Failovers/HedgesWon helpers.
 type BatchReport = cluster.BatchReport
 
-// GlobalID packs (node, local ID) into one opaque document identifier.
-func GlobalID(nodeIdx int, local uint32) uint64 { return cluster.GlobalID(nodeIdx, local) }
+// Attempt is one replica RPC of a broadcast: which group and member it
+// went to, whether it was a hedge, and how it ended. See Report.
+type Attempt = cluster.Attempt
+
+// InsertError reports a cluster Insert that failed midway: Placed[i] is
+// true exactly when docs[i] was durably accepted by every member of its
+// replica group before the failure, and IDs[i] is then its global ID.
+// Unwrap exposes the cause, so errors.Is keeps working.
+type InsertError = cluster.InsertError
+
+// GlobalID packs (group, local ID) into one opaque document identifier.
+// With Replicas = 1 the group index is exactly the node index, so
+// single-copy IDs are unchanged from the pre-replication layout.
+func GlobalID(group int, local uint32) uint64 { return cluster.GlobalID(group, local) }
 
 // SplitGlobalID inverts GlobalID.
-func SplitGlobalID(g uint64) (nodeIdx int, local uint32) { return cluster.SplitGlobalID(g) }
+func SplitGlobalID(g uint64) (group int, local uint32) { return cluster.SplitGlobalID(g) }
 
-// Cluster coordinates many PLSH nodes: queries broadcast to every node and
-// merge; inserts go round-robin to a rolling window of WindowM nodes, and
-// when the window wraps, the nodes holding the oldest data are erased —
-// giving the stream well-defined expiration (the paper runs 100 nodes with
-// a window of 4 to absorb 400M tweets/day).
+// Cluster coordinates many PLSH nodes arranged into replica groups:
+// queries broadcast to every group — one member each, with failover to
+// sibling replicas and an optional latency hedge (WithHedge) — and merge;
+// inserts mirror each batch onto every member of a rolling window of
+// WindowM groups, and when the window wraps, the groups holding the
+// oldest data are erased — giving the stream well-defined expiration
+// (the paper runs 100 single-copy nodes with a window of 4 to absorb
+// 400M tweets/day; Config.Replicas = 1 reproduces that layout exactly).
 //
 // Every operation takes a context.Context; deadlines and cancellation
-// abort a broadcast early instead of waiting on the slowest node, and
-// QueryBatchTimed can return partial results under a per-node timeout.
+// abort a broadcast early instead of waiting on the slowest node.
 type Cluster struct {
 	c *cluster.Cluster
 }
 
 // NewCluster builds an in-process cluster of identical nodes, each with
-// cfg's parameters and capacity, and an insert window of windowM nodes
-// (0 → min(4, nodes)). It is the context-less convenience shim over
-// OpenCluster and runs recovery under context.Background() — unbounded,
-// uncancelable; use OpenCluster to bound it.
+// cfg's parameters and capacity, arranged into nodes/cfg.Replicas groups,
+// with an insert window of windowM groups (0 → min(4, groups)). It is the
+// context-less convenience shim over OpenCluster and runs recovery under
+// context.Background() — unbounded, uncancelable; use OpenCluster to
+// bound it.
 func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
 	return OpenCluster(context.Background(), nodes, windowM, cfg)
 }
@@ -62,13 +80,20 @@ func NewCluster(nodes int, windowM int, cfg Config) (*Cluster, error) {
 // mid-fleet instead of leaving some nodes replaying journals under a
 // context nobody holds.
 //
+// nodes counts endpoints; cfg.Replicas arranges them into nodes/Replicas
+// mirrored groups (nodes must divide evenly), and windowM counts groups.
+//
 // With cfg.Dir set the cluster is durable: node i lives in
-// cfg.Dir/node-NNN (nodes must never share a data directory), each is
-// recovered on construction, and Save checkpoints them all.
+// cfg.Dir/node-NNN (nodes must never share a data directory, replicas
+// included), each is recovered on construction, and Save checkpoints
+// them all.
 func OpenCluster(ctx context.Context, nodes int, windowM int, cfg Config) (*Cluster, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
+	}
+	if nodes%cfg.Replicas != 0 {
+		return nil, fmt.Errorf("plsh: %d nodes cannot form groups of %d replicas", nodes, cfg.Replicas)
 	}
 	clients := make([]transport.NodeClient, nodes)
 	// On any failure, release the nodes already opened: durable nodes
@@ -93,7 +118,7 @@ func OpenCluster(ctx context.Context, nodes int, windowM int, cfg Config) (*Clus
 		}
 		clients[i] = transport.NewLocal(n)
 	}
-	c, err := cluster.New(ctx, clients, windowM)
+	c, err := cluster.NewReplicated(ctx, clients, windowM, cfg.Replicas)
 	if err != nil {
 		closeAll()
 		return nil, fmt.Errorf("plsh: %w", err)
@@ -101,11 +126,47 @@ func OpenCluster(ctx context.Context, nodes int, windowM int, cfg Config) (*Clus
 	return &Cluster{c: c}, nil
 }
 
+// DialOption configures DialCluster.
+type DialOption func(*dialSpec)
+
+type dialSpec struct {
+	replicas int
+	err      error
+}
+
+// WithReplicas arranges the dialed endpoints into groups of r mirrored
+// replicas (len(addrs) must divide evenly; members of one group are
+// adjacent in addrs). The node servers of one group must be launched
+// with identical parameters — same -seed above all — so they answer as
+// true mirrors. Default 1, the single-copy layout.
+func WithReplicas(r int) DialOption {
+	return func(s *dialSpec) {
+		if r <= 0 {
+			s.err = fmt.Errorf("plsh: WithReplicas(%d): replicas must be positive", r)
+			return
+		}
+		s.replicas = r
+	}
+}
+
 // DialCluster connects to remote plsh-node servers (see cmd/plsh-node) and
 // coordinates them exactly like an in-process cluster. All nodes are
 // dialed in parallel; ctx bounds the dials and the initial capacity
 // exchange. On any failure every established connection is closed.
-func DialCluster(ctx context.Context, addrs []string, windowM int) (*Cluster, error) {
+//
+// Connections self-heal: a node that dies mid-run fails its in-flight
+// calls (replica failover masks that when WithReplicas(r>1) is set), and
+// once the process is back — recovered from its journal — the next call
+// re-dials it, so a restarted replica rejoins without rebuilding the
+// coordinator. windowM counts replica groups.
+func DialCluster(ctx context.Context, addrs []string, windowM int, opts ...DialOption) (*Cluster, error) {
+	spec := dialSpec{replicas: 1}
+	for _, o := range opts {
+		o(&spec)
+	}
+	if spec.err != nil {
+		return nil, spec.err
+	}
 	clients := make([]transport.NodeClient, len(addrs))
 	errs := make([]error, len(addrs))
 	var wg sync.WaitGroup
@@ -113,7 +174,7 @@ func DialCluster(ctx context.Context, addrs []string, windowM int) (*Cluster, er
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			c, err := transport.Dial(ctx, addr)
+			c, err := transport.NewRedial(ctx, addr)
 			if err != nil {
 				errs[i] = fmt.Errorf("plsh: dial %s: %w", addr, err)
 				return
@@ -135,7 +196,7 @@ func DialCluster(ctx context.Context, addrs []string, windowM int) (*Cluster, er
 			return nil, err
 		}
 	}
-	c, err := cluster.New(ctx, clients, windowM)
+	c, err := cluster.NewReplicated(ctx, clients, windowM, spec.replicas)
 	if err != nil {
 		closeAll()
 		return nil, fmt.Errorf("plsh: %w", err)
@@ -144,9 +205,14 @@ func DialCluster(ctx context.Context, addrs []string, windowM int) (*Cluster, er
 }
 
 // Insert distributes documents over the insert window, expiring the
-// oldest nodes' contents as the window wraps. Returned global IDs
+// oldest groups' contents as the window wraps. Each document is written
+// to every member of its target group — journal-before-ack on each
+// durable member — before its global ID is assigned. Returned global IDs
 // parallel docs. Documents should be unit-normalized; Insert rejects
 // empty vectors, exactly like a Store.
+//
+// A mid-batch failure returns an *InsertError reporting exactly which
+// documents were durably placed (with their IDs) before the error.
 func (cl *Cluster) Insert(ctx context.Context, docs []Vector) ([]uint64, error) {
 	if err := validateDocs(docs); err != nil {
 		return nil, err
@@ -155,12 +221,14 @@ func (cl *Cluster) Insert(ctx context.Context, docs []Vector) ([]uint64, error) 
 }
 
 // Search answers one query under request-scoped options, broadcast to
-// every node: each node applies the effective radius (WithRadius, or the
-// construction Config.Radius) and candidate budget locally — pruned to
-// the k best with WithK — and the coordinator merges the bounded sorted
-// partial lists. Matches come back ascending by (distance, ID).
-// WithNodeTimeout and AllowPartial trade completeness for bounded
-// latency; use SearchBatch to also observe the per-node Report.
+// every replica group: one member answers for its group — failing over
+// to sibling replicas on error, racing one with WithHedge — applying the
+// effective radius (WithRadius, or the construction Config.Radius) and
+// candidate budget locally, pruned to the k best with WithK, and the
+// coordinator merges the bounded sorted partial lists. Matches come back
+// ascending by (distance, ID) and are replica-agnostic. WithNodeTimeout
+// and AllowPartial trade completeness for bounded latency; use
+// SearchBatch to also observe the per-group, per-attempt Report.
 func (cl *Cluster) Search(ctx context.Context, q Vector, opts ...SearchOption) (Result, error) {
 	res, _, err := cl.SearchBatch(ctx, []Vector{q}, opts...)
 	if err != nil {
@@ -170,10 +238,11 @@ func (cl *Cluster) Search(ctx context.Context, q Vector, opts ...SearchOption) (
 }
 
 // SearchBatch answers many queries in one broadcast under one set of
-// request-scoped options and reports per-node wall times and outcomes —
-// the production path when a bounded-latency, possibly-partial answer
-// beats waiting out a straggler (AllowPartial), and the load-balance
-// measure of Fig. 9 either way.
+// request-scoped options and reports per-group wall times, outcomes, and
+// the per-replica attempt trace (who answered, which attempts failed
+// over, which hedges won) — the production path when a bounded-latency,
+// possibly-partial answer beats waiting out a straggler (AllowPartial),
+// and the load-balance measure of Fig. 9 either way.
 func (cl *Cluster) SearchBatch(ctx context.Context, qs []Vector, opts ...SearchOption) ([]Result, Report, error) {
 	spec, err := resolveSearch(opts)
 	if err != nil {
@@ -190,7 +259,7 @@ func (cl *Cluster) SearchBatch(ctx context.Context, qs []Vector, opts ...SearchO
 	return out, report, nil
 }
 
-// Query broadcasts one query to all nodes and merges the answers.
+// Query broadcasts one query to all groups and merges the answers.
 //
 // Deprecated: use Search, which takes request-scoped options and answers
 // with global-ID Matches.
@@ -198,7 +267,7 @@ func (cl *Cluster) Query(ctx context.Context, q Vector) ([]ClusterNeighbor, erro
 	return cl.c.Query(ctx, q)
 }
 
-// QueryBatch broadcasts a batch, all-or-nothing: any node failure fails
+// QueryBatch broadcasts a batch, all-or-nothing: any group failure fails
 // the call (and cancels the rest of the broadcast).
 //
 // Deprecated: use SearchBatch.
@@ -207,7 +276,7 @@ func (cl *Cluster) QueryBatch(ctx context.Context, qs []Vector) ([][]ClusterNeig
 }
 
 // QueryBatchTimed broadcasts a batch under opts' failure policy and
-// reports per-node wall times and outcomes.
+// reports per-group wall times and outcomes.
 //
 // Deprecated: use SearchBatch with WithNodeTimeout/AllowPartial.
 func (cl *Cluster) QueryBatchTimed(ctx context.Context, qs []Vector, opts BatchOptions) ([][]ClusterNeighbor, BatchReport, error) {
@@ -221,16 +290,20 @@ func (cl *Cluster) QueryTopK(ctx context.Context, q Vector, k int) ([]ClusterNei
 	return cl.c.QueryTopK(ctx, q, k)
 }
 
-// Delete removes a document by its global ID. An ID naming a nonexistent
-// node or a never-inserted document returns an error wrapping
-// ErrNotFound.
+// Delete removes a document by its global ID from every member of its
+// replica group (a tombstone reaching only some mirrors would resurrect
+// the document on failover). An ID naming a nonexistent group or a
+// never-inserted document returns an error wrapping ErrNotFound. A
+// member failure fails the call with the tombstone possibly applied on
+// some members only; retry until nil to restore mirror agreement.
 func (cl *Cluster) Delete(ctx context.Context, g uint64) error { return cl.c.Delete(ctx, g) }
 
 // Doc fetches the stored vector for a global ID (shared storage on
-// in-process clusters; do not modify) from the node that holds it, with
-// that node's authoritative answer to whether the local ID was ever
-// inserted. IDs naming a nonexistent node are simply unknown; transport
-// failures are errors.
+// in-process clusters; do not modify) from any live member of the group
+// that holds it — failing over to sibling replicas on transport errors —
+// with that member's authoritative answer to whether the local ID was
+// ever inserted. IDs naming a nonexistent group are simply unknown;
+// failure of every member is an error.
 func (cl *Cluster) Doc(ctx context.Context, id uint64) (Vector, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return Vector{}, false, err
@@ -264,11 +337,20 @@ func (cl *Cluster) Merge(ctx context.Context) error { return cl.c.MergeAll(ctx) 
 // finish without forcing new ones.
 func (cl *Cluster) Flush(ctx context.Context) error { return cl.c.FlushAll(ctx) }
 
-// Stats returns per-node snapshots, gathered in parallel.
+// Stats returns per-node snapshots, gathered in parallel — one entry per
+// endpoint, group-major: the members of group g are entries
+// [g·Replicas, (g+1)·Replicas).
 func (cl *Cluster) Stats(ctx context.Context) ([]Stats, error) { return cl.c.Stats(ctx) }
 
-// NumNodes returns the node count.
+// NumNodes returns the endpoint count (groups × replicas).
 func (cl *Cluster) NumNodes() int { return cl.c.NumNodes() }
+
+// NumGroups returns the replica-group count — the unit of data placement,
+// global IDs, and broadcast reports.
+func (cl *Cluster) NumGroups() int { return cl.c.NumGroups() }
+
+// Replicas returns R, the mirrored members per group.
+func (cl *Cluster) Replicas() int { return cl.c.Replicas() }
 
 // Close releases node connections; durable in-process nodes also release
 // their journals (draining in-flight merges so final checkpoints land).

@@ -9,8 +9,10 @@
 // query-latency-during-merge number from the non-blocking merge pipeline
 // (BenchmarkQueryDuringMerge), the durability subsystem's snapshot save
 // throughput (BenchmarkSave) and journal replay rate (BenchmarkRecover),
-// and the unified Search path's bounded-query latency with and without a
-// request-scoped radius override (BenchmarkSearchTopK).
+// the unified Search path's bounded-query latency with and without a
+// request-scoped radius override (BenchmarkSearchTopK), and the replica
+// layer's broadcast latency — single-copy vs R=2 vs R=2 hedged
+// (BenchmarkSearchReplicated).
 package main
 
 import (
@@ -52,6 +54,16 @@ type snapshot struct {
 	// struct copy rather than a rebuild.
 	SearchTopKNS         float64 `json:"search_topk_ns"`
 	SearchTopKOverrideNS float64 `json:"search_topk_override_radius_ns"`
+	// SearchReplicated*NS are BenchmarkSearchReplicated's per-query
+	// ns/replicated-search metrics: the broadcast path through a
+	// single-copy cluster, an R=2 replica-group cluster, and an R=2
+	// cluster with the tail hedge armed. R1 and R2 should track each
+	// other (one member answers per group either way), and the hedged
+	// number should track R2 (the hedge timer almost never fires on a
+	// healthy cluster); 0 when absent from the run's pattern.
+	SearchReplicatedR1NS     float64 `json:"search_replicated_r1_ns"`
+	SearchReplicatedR2NS     float64 `json:"search_replicated_r2_ns"`
+	SearchReplicatedHedgedNS float64 `json:"search_replicated_r2_hedged_ns"`
 }
 
 func main() {
@@ -106,6 +118,16 @@ func main() {
 				snap.SearchTopKNS = v
 			case strings.HasSuffix(b.Name, "/override"):
 				snap.SearchTopKOverrideNS = v
+			}
+		}
+		if v, ok := b.Metrics["ns/replicated-search"]; ok {
+			switch {
+			case strings.HasSuffix(b.Name, "/replicas=1"):
+				snap.SearchReplicatedR1NS = v
+			case strings.HasSuffix(b.Name, "/replicas=2"):
+				snap.SearchReplicatedR2NS = v
+			case strings.HasSuffix(b.Name, "/replicas=2-hedged"):
+				snap.SearchReplicatedHedgedNS = v
 			}
 		}
 		snap.Benchmarks = append(snap.Benchmarks, b)

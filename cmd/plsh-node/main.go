@@ -19,6 +19,18 @@
 // server down cleanly: the listener and every open connection close,
 // failing in-flight coordinator calls promptly, and a final checkpoint is
 // written so the next boot skips journal replay entirely.
+//
+// Replicated deployments need nothing node-side: replication is purely a
+// coordinator construct. Launch R identical processes per replica group —
+// same -dim/-k/-m/-capacity and, critically, the same -seed, so the
+// mirrors draw identical hyperplanes and answer identically — each with
+// its own -data directory, list each group's members adjacently in the
+// address list, and build the coordinator with plsh.WithReplicas(R). The
+// coordinator mirrors every insert onto the whole group and fails
+// searches over between members, so one process per group can be
+// SIGKILLed without losing answers; restart it with the same -data and
+// it recovers its journal and rejoins automatically (the coordinator
+// re-dials on its next call).
 package main
 
 import (

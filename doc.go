@@ -19,8 +19,9 @@
 //	Delete / Doc / Merge / Flush / Save / Stats / Close
 //
 // Documents are identified by uint64 global IDs everywhere: a Cluster
-// packs (node, local ID) via GlobalID, and a Store is simply node 0, so
-// code written against Index scales from one process to a fleet without
+// packs (group, local ID) via GlobalID — the replica group is the node
+// when Config.Replicas is 1 — and a Store is simply node 0, so code
+// written against Index scales from one process to a fleet without
 // changing a call site.
 //
 // Query behavior is request-scoped, not frozen at construction: Search
@@ -31,6 +32,8 @@
 //	res, _ = idx.Search(ctx, q, plsh.WithRadius(1.1))  // a per-request radius
 //	res, _, _ = idx.SearchBatch(ctx, qs,               // bounded latency, partial ok
 //		plsh.WithNodeTimeout(50*time.Millisecond), plsh.AllowPartial())
+//	res, _ = idx.Search(ctx, q,                        // race a slow replica
+//		plsh.WithHedge(20*time.Millisecond))
 //
 // WithMaxCandidates bounds per-node distance computations for callers
 // that prefer a bounded answer over an exhaustive one. The legacy
@@ -60,6 +63,13 @@
 //     window for cluster-scale corpora and a request-ID-multiplexed,
 //     versioned wire protocol that carries the request-scoped search
 //     parameters to every node;
+//   - R-way replication (Config.Replicas) beyond the paper's single-copy
+//     fleet: endpoints form mirrored replica groups — inserts write to
+//     every member (journal-before-ack), searches pick one member and
+//     fail over to its siblings on error, WithHedge races a slow replica
+//     — so any single member can be SIGKILLed without losing answers,
+//     and a restarted member rejoins from its journal (the Report traces
+//     every attempt: failovers, hedges won, who answered);
 //   - optional durability: a Store opened with a data directory (Open)
 //     journals every acknowledged write ahead of acknowledging it and
 //     checkpoints snapshots on merge, so restarts — graceful or kill -9 —

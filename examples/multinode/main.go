@@ -1,9 +1,13 @@
 // Multinode: an in-process PLSH cluster with the paper's rolling insert
-// window (Fig. 1). Documents stream into M window nodes round-robin;
-// queries broadcast to every node; when the window wraps, the nodes
-// holding the oldest data are erased — giving the stream a well-defined
-// expiration horizon. Swap NewCluster for DialCluster to coordinate real
-// plsh-node servers over TCP.
+// window (Fig. 1) plus R-way replication beyond it. Documents stream
+// into M window groups round-robin, mirrored onto every member of each
+// group; queries broadcast to every group — one member answers, with
+// failover to its sibling on error and an optional latency hedge — and
+// when the window wraps, the groups holding the oldest data are erased,
+// giving the stream a well-defined expiration horizon. Swap NewCluster
+// for DialCluster (with WithReplicas) to coordinate real plsh-node
+// servers over TCP; there, a SIGKILLed replica costs no answers and
+// rejoins after restarting from its journal.
 package main
 
 import (
@@ -16,11 +20,12 @@ import (
 )
 
 const (
-	numNodes    = 6
-	windowM     = 2
+	numNodes    = 6 // endpoints: replicas×groups
+	replicas    = 2 // → 3 groups of 2 mirrored members
+	windowM     = 2 // insert window, in groups
 	nodeCap     = 2000
 	vocabSize   = 20000
-	streamTotal = 14000 // > cluster capacity: forces expiration
+	streamTotal = 14000 // > unique capacity (3×2000): forces expiration
 )
 
 func main() {
@@ -31,6 +36,7 @@ func main() {
 		K:        10,
 		M:        8,
 		Capacity: nodeCap,
+		Replicas: replicas,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -42,20 +48,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("streamed %d docs through %d nodes (capacity %d each, window %d)\n",
-		len(ids), numNodes, nodeCap, windowM)
+	fmt.Printf("streamed %d docs through %d groups × %d replicas (capacity %d each, window %d)\n",
+		len(ids), cluster.NumGroups(), cluster.Replicas(), nodeCap, windowM)
 
 	stats, err := cluster.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	total := 0
-	for i, st := range stats {
-		fmt.Printf("  node %d: %5d docs (%d static / %d delta, %d merges)\n",
-			i, st.StaticLen+st.DeltaLen, st.StaticLen, st.DeltaLen, st.Merges)
+	for g := 0; g < cluster.NumGroups(); g++ {
+		// Stats are per endpoint, group-major; mirrors hold identical
+		// copies, so count each group once.
+		st := stats[g*replicas]
+		fmt.Printf("  group %d: %5d docs ×%d mirrors (%d static / %d delta, %d merges)\n",
+			g, st.StaticLen+st.DeltaLen, replicas, st.StaticLen, st.DeltaLen, st.Merges)
 		total += st.StaticLen + st.DeltaLen
 	}
-	fmt.Printf("cluster holds %d docs — the oldest %d expired with the rolling window\n",
+	fmt.Printf("cluster holds %d unique docs — the oldest %d expired with the rolling window\n",
 		total, streamTotal-total)
 
 	// The most recent documents are always findable... (Search matches
@@ -85,7 +94,7 @@ func main() {
 	}
 	fmt.Printf("newest doc findable: %v; oldest doc expired: %v\n", foundRecent, !foundOld)
 
-	// Top-K across the cluster: each node prunes to its k best and the
+	// Top-K across the cluster: each group prunes to its k best and the
 	// coordinator merges the bounded partial lists — no full concatenation.
 	top, err := cluster.Search(ctx, recent, plsh.WithK(3))
 	if err != nil {
@@ -93,24 +102,29 @@ func main() {
 	}
 	fmt.Println("3 nearest neighbors of the newest doc:")
 	for _, m := range top.Matches {
-		fmt.Printf("  node %d doc %d at %.3f rad\n", m.Node(), m.Local(), m.Dist)
+		fmt.Printf("  group %d doc %d at %.3f rad\n", m.Node(), m.Local(), m.Dist)
 	}
-	// The cluster can also hand back any stored vector by global ID.
+	// The cluster can also hand back any stored vector by global ID (any
+	// live mirror serves it).
 	if v, known, err := cluster.Doc(ctx, top.Matches[0].ID); err != nil {
 		log.Fatal(err)
 	} else if known {
 		fmt.Printf("nearest neighbor has %d non-zero terms\n", v.NNZ())
 	}
 
-	// Production broadcasts can trade completeness for bounded latency:
-	// each node gets a timeout and stragglers are reported, not fatal.
-	// The same options scope radius and k per request — one cluster
-	// serves heterogeneous traffic.
+	// Production broadcasts trade completeness for bounded latency: each
+	// replica attempt gets a timeout, a slow preferred replica is raced by
+	// its sibling after the hedge delay, and anything unanswerable is
+	// reported, not fatal. The report traces every attempt: on a healthy
+	// in-process cluster expect zero failovers and zero hedges won — over
+	// TCP with a killed node, failovers mask it and Complete stays true.
 	_, report, err := cluster.SearchBatch(ctx, docs[:8],
-		plsh.WithNodeTimeout(250*time.Millisecond), plsh.AllowPartial())
+		plsh.WithNodeTimeout(250*time.Millisecond),
+		plsh.WithHedge(100*time.Millisecond),
+		plsh.AllowPartial())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("timed broadcast: complete=%v stragglers=%v\n",
-		report.Complete(), report.Stragglers())
+	fmt.Printf("hedged broadcast: complete=%v stragglers=%v failovers=%d hedges-won=%d attempts=%d\n",
+		report.Complete(), report.Stragglers(), report.Failovers(), report.HedgesWon(), len(report.Attempts))
 }

@@ -1,0 +1,193 @@
+//go:build slow
+
+// The kill/restart fault-injection suite: real plsh-node processes,
+// SIGKILLed at chosen points. Gated behind the `slow` build tag and run
+// by CI's integration job:
+//
+//	go test -tags slow -run '^TestFaultInjection' -timeout 20m .
+//
+// The fast in-process TCP versions of these properties live in
+// replication_test.go; this file proves them against genuine process
+// death (kernel-torn sockets, no Go cleanup, journal-only survival).
+package plsh
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"plsh/internal/clustertest"
+)
+
+// faultNodeArgs are the node parameters every fault-injection fleet
+// shares. K=4 over M=16 (L=120 tables) drives per-neighbor retrieval
+// probability to ~1 and one seed makes every node — and every replica
+// pair — a deterministic mirror, so answers are comparable exactly.
+var faultNodeArgs = []string{
+	"-dim", "2000", "-k", "4", "-m", "16", "-capacity", "1000", "-seed", "42",
+}
+
+// TestFaultInjectionKillAnyReplicaKeepsSearchComplete is the acceptance
+// criterion: with Replicas=2 on a 6-node TCP cluster, SIGKILL of any
+// single node during SearchBatch produces a Complete report whose
+// answers are identical to the no-failure oracle.
+func TestFaultInjectionKillAnyReplicaKeepsSearchComplete(t *testing.T) {
+	fleet := clustertest.Start(t, 6, faultNodeArgs...)
+	cl, err := DialCluster(bg, fleet.Addrs(), 3, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	docs := SyntheticTweets(600, 2000, 81)
+	if _, err := cl.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	queries := docs[:24]
+	oracle, oracleReport, err := cl.SearchBatch(bg, queries)
+	if err != nil || !oracleReport.Complete() {
+		t.Fatalf("pre-kill oracle: err=%v complete=%v", err, oracleReport.Complete())
+	}
+
+	for victim, nd := range fleet.Nodes {
+		type outcome struct {
+			res    []Result
+			report Report
+			err    error
+		}
+		outcomes := make(chan outcome, 6)
+		go func() {
+			for j := 0; j < 6; j++ {
+				res, report, err := cl.SearchBatch(bg, queries)
+				outcomes <- outcome{res, report, err}
+			}
+		}()
+		time.Sleep(5 * time.Millisecond) // land the kill with searches in flight
+		nd.Kill()
+		for j := 0; j < 6; j++ {
+			o := <-outcomes
+			if o.err != nil {
+				t.Fatalf("victim %d search %d failed: %v", victim, j, o.err)
+			}
+			if !o.report.Complete() {
+				t.Fatalf("victim %d search %d: incomplete, stragglers %v",
+					victim, j, o.report.Stragglers())
+			}
+			if !reflect.DeepEqual(o.res, oracle) {
+				t.Fatalf("victim %d search %d: answers diverge from the pre-kill oracle", victim, j)
+			}
+		}
+		// Restart before the next victim so exactly one node is ever down;
+		// Start waits out the journal replay.
+		nd.Start()
+	}
+}
+
+// TestFaultInjectionWholeGroupDegradesToPartial: SIGKILLing both members
+// of one group is unsurvivable for that shard — all-or-nothing fails,
+// and AllowPartial returns the documented partial answer with the dead
+// group named in the report.
+func TestFaultInjectionWholeGroupDegradesToPartial(t *testing.T) {
+	fleet := clustertest.Start(t, 6, faultNodeArgs...)
+	cl, err := DialCluster(bg, fleet.Addrs(), 3, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	docs := SyntheticTweets(600, 2000, 83)
+	if _, err := cl.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	queries := docs[:24]
+	oracle, _, err := cl.SearchBatch(bg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Group 1 is nodes 2 and 3 (group-major placement).
+	fleet.Nodes[2].Kill()
+	fleet.Nodes[3].Kill()
+
+	if _, _, err := cl.SearchBatch(bg, queries); err == nil {
+		t.Fatal("all-or-nothing SearchBatch succeeded with a whole group dead")
+	}
+	res, report, err := cl.SearchBatch(bg, queries, AllowPartial())
+	if err != nil {
+		t.Fatalf("partial SearchBatch with a dead group: %v", err)
+	}
+	if report.Complete() {
+		t.Fatal("report claims completeness with a dead group")
+	}
+	if s := report.Stragglers(); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("stragglers = %v, want [1] (the dead group)", s)
+	}
+	for qi := range queries {
+		var want []Match
+		for _, m := range oracle[qi].Matches {
+			if m.Node() != 1 {
+				want = append(want, m)
+			}
+		}
+		if !reflect.DeepEqual(res[qi].Matches, want) {
+			t.Fatalf("query %d: partial answer is not oracle-minus-group-1", qi)
+		}
+	}
+}
+
+// TestFaultInjectionReplicaRestartsFromWALAndRejoins: a SIGKILLed
+// replica that restarts recovers every acknowledged write from its
+// journal and rejoins the running cluster — proven by killing its
+// sibling afterwards, leaving the recovered node to serve the group
+// alone with answers identical to the pre-kill oracle.
+func TestFaultInjectionReplicaRestartsFromWALAndRejoins(t *testing.T) {
+	fleet := clustertest.Start(t, 2, faultNodeArgs...)
+	cl, err := DialCluster(bg, fleet.Addrs(), 1, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	docs := SyntheticTweets(400, 2000, 85)
+	ids, err := cl.Insert(bg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A delete before the kill must also survive the journal replay.
+	if err := cl.Delete(bg, ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	queries := docs[:24]
+	oracle, _, err := cl.SearchBatch(bg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill replica 0; the group keeps answering through replica 1.
+	fleet.Nodes[0].Kill()
+	masked, report, err := cl.SearchBatch(bg, queries)
+	if err != nil || !report.Complete() {
+		t.Fatalf("search with one replica dead: err=%v complete=%v", err, report.Complete())
+	}
+	if !reflect.DeepEqual(masked, oracle) {
+		t.Fatal("sibling-served answers diverge from the oracle")
+	}
+
+	// Restart replica 0 (journal replay), then kill replica 1: the
+	// recovered node now serves alone and must answer identically —
+	// including the pre-kill delete staying deleted.
+	fleet.Nodes[0].Start()
+	fleet.Nodes[1].Kill()
+	alone, report, err := cl.SearchBatch(bg, queries)
+	if err != nil || !report.Complete() {
+		t.Fatalf("search served by the recovered replica: err=%v complete=%v", err, report.Complete())
+	}
+	if !reflect.DeepEqual(alone, oracle) {
+		t.Fatal("recovered replica's answers diverge from the pre-kill oracle")
+	}
+	for _, m := range alone[3].Matches {
+		if m.ID == ids[3] {
+			t.Fatal("pre-kill delete resurrected by journal replay")
+		}
+	}
+}

@@ -1,19 +1,31 @@
 // Package cluster implements the multi-node PLSH system of §4 and §5.3:
-// a coordinator that broadcasts queries to every node and merges the
-// partial answers, and a rolling window of M insert nodes that gives the
-// system well-defined expiration of the oldest data.
+// a coordinator that broadcasts queries to every replica group and merges
+// the partial answers, and a rolling window of M insert groups that gives
+// the system well-defined expiration of the oldest data.
 //
 // Data is partitioned by document, not by table (§5.3's "second scheme"):
-// each node holds all L tables over its own subset, so queries need no
-// cross-node candidate deduplication and node count scales with data size.
-// Inserts go round-robin to the M window nodes; when the window's nodes
-// reach capacity the window advances, and on wrap-around the nodes it
-// advances onto — necessarily holding the oldest data — are retired
+// each group holds all L tables over its own subset, so queries need no
+// cross-node candidate deduplication and group count scales with data
+// size. Inserts go round-robin to the M window groups; when the window's
+// groups reach capacity the window advances, and on wrap-around the groups
+// it advances onto — necessarily holding the oldest data — are retired
 // (erased) before accepting new inserts (§6, Fig. 1).
+//
+// The paper runs every shard single-copy and simply loses a dead node's
+// documents (§6). This coordinator instead arranges its N endpoints into
+// N/R replica groups of R mirrored members each (R = 1 reproduces the
+// paper exactly): inserts are written to every member of the target group
+// — journal-before-ack on each durable member — while a search sends each
+// group's sub-query to one preferred member, fails over to the next on
+// error or timeout, and can optionally hedge a slow member with a raced
+// second request (BatchOptions.Hedge, the "tail at scale" trade). Answers
+// are replica-agnostic: members are deterministic mirrors (identical
+// batches in identical order under one hash-family seed), so any member
+// of a group returns the same (id, distance) list.
 //
 // Unlike the paper's MPI coordinator, every operation takes a
 // context.Context: a deadline or cancellation aborts a broadcast early
-// instead of waiting on the slowest node, and QueryBatchTimed can trade
+// instead of waiting on the slowest node, and Search can trade
 // completeness for latency with a per-node timeout and a partial-results
 // policy.
 package cluster
@@ -23,7 +35,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"plsh/internal/core"
@@ -32,46 +46,79 @@ import (
 	"plsh/internal/transport"
 )
 
-// Neighbor is a cluster-level query answer: the node that holds the
-// document, its node-local ID, and the angular distance.
+// Neighbor is a cluster-level query answer: the replica group that holds
+// the document, its group-local ID, and the angular distance. With
+// Replicas = 1 the group index is exactly the node index.
 type Neighbor struct {
-	Node int
+	Node int // replica-group index (node index when Replicas = 1)
 	ID   uint32
 	Dist float64
 }
 
-// GlobalID packs (node, local ID) into one opaque identifier.
-func GlobalID(nodeIdx int, local uint32) uint64 {
-	return uint64(nodeIdx)<<32 | uint64(local)
+// GlobalID packs (group, local ID) into one opaque identifier. With
+// Replicas = 1 the group index is the node index, so single-copy IDs are
+// bit-identical to the pre-replication layout.
+func GlobalID(group int, local uint32) uint64 {
+	return uint64(group)<<32 | uint64(local)
 }
 
 // SplitGlobalID inverts GlobalID.
-func SplitGlobalID(g uint64) (nodeIdx int, local uint32) {
+func SplitGlobalID(g uint64) (group int, local uint32) {
 	return int(g >> 32), uint32(g)
 }
 
 // BatchOptions is the failure policy for a broadcast.
 type BatchOptions struct {
-	// PerNodeTimeout bounds each node's RPC in addition to the call's
-	// context deadline; zero means no extra per-node bound.
+	// PerNodeTimeout bounds each replica attempt's RPC in addition to the
+	// call's context deadline; zero means no extra per-attempt bound. A
+	// timed-out attempt fails over to the group's next replica like any
+	// other failure.
 	PerNodeTimeout time.Duration
-	// Partial, when set, returns the merged answers from the nodes that
+	// Partial, when set, returns the merged answers from the groups that
 	// responded instead of failing the whole batch when some did not;
-	// failed or timed-out nodes are reported in the BatchReport. When
-	// unset, the first node error cancels the rest of the broadcast and
-	// fails the call (all-or-nothing).
+	// failed or timed-out groups are reported in the BatchReport. When
+	// unset, the first group failure (every replica exhausted) cancels the
+	// rest of the broadcast and fails the call (all-or-nothing).
 	Partial bool
+	// Hedge, when > 0 on a replicated cluster, arms the tail-latency
+	// hedge: if a group's preferred replica has not answered within Hedge,
+	// the next replica is raced against it and the first complete answer
+	// wins. The loser is canceled. No-op with Replicas = 1.
+	Hedge time.Duration
 }
 
-// BatchReport describes how a broadcast went: per-node wall time (the
-// load-balance measure of Fig. 9; max/avg ≤ 1.3 in the paper) and
-// per-node errors (nil for nodes that answered).
+// Attempt is one replica RPC of a broadcast: which group and member it
+// went to, why it was launched (first try, failover, or hedge), how long
+// it ran, and how it ended. The winning attempt of each group has Won set
+// and a nil Err.
+type Attempt struct {
+	Group   int           // replica group the attempt belongs to
+	Replica int           // member index within the group
+	Node    int           // global endpoint index (Group·R + Replica)
+	Hedged  bool          // launched by the hedge timer, not by a failure
+	Won     bool          // this attempt's answer was used
+	Time    time.Duration // wall time of this attempt's RPC
+	Err     error         // nil for the winner; the failure otherwise
+}
+
+// BatchReport describes how a broadcast went: per-group wall time until
+// the group resolved (the load-balance measure of Fig. 9; max/avg ≤ 1.3
+// in the paper), per-group errors (nil for groups that answered), and the
+// full per-attempt trace — which replica answered, which failed over,
+// which hedges won.
 type BatchReport struct {
 	Times []time.Duration
 	Errs  []error
+	// Attempts lists the replica RPCs observed before each group
+	// resolved, grouped by group. A losing attempt still in flight when
+	// its group's answer lands (a hedged-out primary, a cancellation
+	// casualty) is canceled without being recorded, so this is the trace
+	// of outcomes the broadcast acted on, not an exhaustive RPC log.
+	// With Replicas = 1 it is one attempt per node.
+	Attempts []Attempt
 }
 
-// Complete reports whether every node answered.
+// Complete reports whether every group answered.
 func (r BatchReport) Complete() bool {
 	for _, err := range r.Errs {
 		if err != nil {
@@ -81,7 +128,8 @@ func (r BatchReport) Complete() bool {
 	return true
 }
 
-// Stragglers lists the nodes that failed or timed out.
+// Stragglers lists the groups that failed or timed out (every replica
+// exhausted).
 func (r BatchReport) Stragglers() []int {
 	var out []int
 	for i, err := range r.Errs {
@@ -92,50 +140,146 @@ func (r BatchReport) Stragglers() []int {
 	return out
 }
 
+// Failovers counts attempts launched because an earlier replica of the
+// same group failed (hedges excluded).
+func (r BatchReport) Failovers() int {
+	primary := map[int]bool{}
+	n := 0
+	for _, a := range r.Attempts {
+		if a.Hedged {
+			continue
+		}
+		if primary[a.Group] {
+			n++
+		} else {
+			primary[a.Group] = true
+		}
+	}
+	return n
+}
+
+// HedgesWon counts hedged attempts whose answer won their group — the
+// searches the hedge actually rescued from a slow replica.
+func (r BatchReport) HedgesWon() int {
+	n := 0
+	for _, a := range r.Attempts {
+		if a.Hedged && a.Won {
+			n++
+		}
+	}
+	return n
+}
+
+// InsertError reports a batch insert that failed midway. The documents
+// already written when the failure hit are not lost: Placed[i] is true
+// exactly when docs[i] was durably accepted by every member of its group
+// before the error, and IDs[i] is then its global ID (IDs[i] is
+// meaningless where Placed[i] is false). Unwrap exposes the underlying
+// cause, so errors.Is(err, context.Canceled) and friends keep working.
+type InsertError struct {
+	IDs    []uint64
+	Placed []bool
+	Err    error
+}
+
+func (e *InsertError) Error() string {
+	n := 0
+	for _, p := range e.Placed {
+		if p {
+			n++
+		}
+	}
+	return fmt.Sprintf("cluster: insert failed with %d/%d documents durably placed: %v",
+		n, len(e.Placed), e.Err)
+}
+
+func (e *InsertError) Unwrap() error { return e.Err }
+
 // Cluster is the coordinator. Query methods may run concurrently with each
 // other; Insert/Delete/Retire serialize behind an internal mutex (the
 // paper's coordinator is likewise a single insertion sequencer).
 type Cluster struct {
-	mu    sync.Mutex
-	nodes []transport.NodeClient
-	caps  []int
-	used  []int
-	m     int // insert-window width M
-	start int // first node of the current window
+	mu     sync.Mutex
+	nodes  []transport.NodeClient // group-major: group g is nodes[g·r : (g+1)·r]
+	r      int                    // replicas per group
+	groups int                    // len(nodes) / r
+	caps   []int                  // per group: min member capacity
+	used   []int                  // per group: rows held (mirrored, so one number)
+	m      int                    // insert-window width M, in groups
+	start  int                    // first group of the current window
+
+	// rr rotates the preferred replica across searches so read load
+	// spreads over a group's members.
+	rr atomic.Uint32
 }
 
-// New builds a coordinator over the given nodes with an insert window of
-// windowM nodes (paper: M=4 of 100). Node capacities are read from Stats,
-// in parallel, under ctx.
+// New builds a single-copy coordinator (Replicas = 1) over the given
+// nodes with an insert window of windowM nodes (paper: M=4 of 100).
 func New(ctx context.Context, nodes []transport.NodeClient, windowM int) (*Cluster, error) {
+	return NewReplicated(ctx, nodes, windowM, 1)
+}
+
+// NewReplicated builds a coordinator that arranges the endpoints into
+// len(nodes)/replicas groups of replicas mirrored members each — members
+// of one group are adjacent (group-major), and windowM counts groups.
+// len(nodes) must be divisible by replicas. Group capacities are read
+// from member Stats, in parallel, under ctx: a group's capacity is its
+// smallest member's, and its occupancy the largest member's, so a drifted
+// fleet is never over-filled.
+func NewReplicated(ctx context.Context, nodes []transport.NodeClient, windowM, replicas int) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster: no nodes")
 	}
-	if windowM <= 0 || windowM > len(nodes) {
-		windowM = min(4, len(nodes))
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if len(nodes)%replicas != 0 {
+		return nil, fmt.Errorf("cluster: %d nodes cannot form groups of %d replicas", len(nodes), replicas)
+	}
+	groups := len(nodes) / replicas
+	if windowM <= 0 || windowM > groups {
+		windowM = min(4, groups)
 	}
 	c := &Cluster{
-		nodes: nodes,
-		caps:  make([]int, len(nodes)),
-		used:  make([]int, len(nodes)),
-		m:     windowM,
+		nodes:  nodes,
+		r:      replicas,
+		groups: groups,
+		caps:   make([]int, groups),
+		used:   make([]int, groups),
+		m:      windowM,
 	}
+	memberCaps := make([]int, len(nodes))
+	memberUsed := make([]int, len(nodes))
 	err := c.fanOut(ctx, "stats", func(ctx context.Context, i int) error {
 		st, err := c.nodes[i].Stats(ctx)
 		if err != nil {
 			return err
 		}
-		c.caps[i] = st.Capacity
-		c.used[i] = st.StaticLen + st.DeltaLen
+		memberCaps[i] = st.Capacity
+		memberUsed[i] = st.StaticLen + st.DeltaLen
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	for g := 0; g < groups; g++ {
+		c.caps[g] = memberCaps[g*replicas]
+		c.used[g] = memberUsed[g*replicas]
+		for j := 1; j < replicas; j++ {
+			c.caps[g] = min(c.caps[g], memberCaps[g*replicas+j])
+			c.used[g] = max(c.used[g], memberUsed[g*replicas+j])
+		}
+	}
 	return c, nil
 }
 
-// fanOut runs f for every node concurrently, canceling the remaining
+// member returns group g's j-th replica client.
+func (c *Cluster) member(g, j int) transport.NodeClient { return c.nodes[g*c.r+j] }
+
+// nodeIndex maps (group, replica) to the global endpoint index.
+func (c *Cluster) nodeIndex(g, j int) int { return g*c.r + j }
+
+// fanOut runs f for every endpoint concurrently, canceling the remaining
 // calls on the first failure and reporting that failure (attributed to
 // its node) rather than the cancellations it induced.
 func (c *Cluster) fanOut(ctx context.Context, what string, f func(ctx context.Context, i int) error) error {
@@ -156,14 +300,15 @@ func (c *Cluster) fanOut(ctx context.Context, what string, f func(ctx context.Co
 	if err := ctx.Err(); err != nil {
 		return err // the caller's deadline/cancellation, not a node failure
 	}
-	return firstNodeError(errs, what)
+	return firstError(errs, what, "node")
 }
 
-// firstNodeError classifies a per-node error slice from a broadcast whose
+// firstError classifies a per-unit error slice from a broadcast whose
 // siblings get canceled on the first failure: the first real failure wins
-// over the cancellations it induced. Shared by fanOut and QueryBatchTimed
-// so error blame stays consistent across all broadcast shapes.
-func firstNodeError(errs []error, what string) error {
+// over the cancellations it induced. Shared by fanOut (unit "node") and
+// Search (unit "group") so error blame stays consistent across all
+// broadcast shapes.
+func firstError(errs []error, what, unit string) error {
 	var firstCancel error
 	for i, err := range errs {
 		if err == nil {
@@ -171,19 +316,26 @@ func firstNodeError(errs []error, what string) error {
 		}
 		if errors.Is(err, context.Canceled) {
 			if firstCancel == nil {
-				firstCancel = fmt.Errorf("cluster: %s on node %d: %w", what, i, err)
+				firstCancel = fmt.Errorf("cluster: %s on %s %d: %w", what, unit, i, err)
 			}
 			continue
 		}
-		return fmt.Errorf("cluster: %s on node %d: %w", what, i, err)
+		return fmt.Errorf("cluster: %s on %s %d: %w", what, unit, i, err)
 	}
 	return firstCancel
 }
 
-// NumNodes returns the node count.
+// NumNodes returns the endpoint count (groups × replicas).
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
-// WindowStart returns the index of the first node in the current insert
+// NumGroups returns the replica-group count — the unit of data placement,
+// global IDs, and broadcast reports.
+func (c *Cluster) NumGroups() int { return c.groups }
+
+// Replicas returns R, the mirrored members per group.
+func (c *Cluster) Replicas() int { return c.r }
+
+// WindowStart returns the index of the first group in the current insert
 // window (exposed for tests and monitoring).
 func (c *Cluster) WindowStart() int {
 	c.mu.Lock()
@@ -192,11 +344,15 @@ func (c *Cluster) WindowStart() int {
 }
 
 // Insert distributes the batch round-robin over the insert window,
-// advancing the window — and retiring the oldest nodes on wrap-around —
-// as nodes fill (§6). The returned IDs parallel vs. Cancellation is
-// checked between per-node RPCs; an aborted insert leaves the documents
-// placed so far in the cluster (IDs for them are lost, as with a failed
-// node).
+// advancing the window — and retiring the oldest groups on wrap-around —
+// as groups fill (§6). Every document is written to all members of its
+// target group (journal-before-ack on each durable member), so a later
+// single-member loss costs no answers. The returned IDs parallel vs.
+//
+// A failure midway — a member error, a canceled context between per-group
+// RPCs — returns an *InsertError whose Placed/IDs report exactly which
+// documents were durably accepted by their whole group before the error,
+// so the caller knows what the cluster holds instead of guessing.
 func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, error) {
 	if len(vs) == 0 {
 		return nil, nil
@@ -204,6 +360,8 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ids := make([]uint64, len(vs))
+	placed := make([]bool, len(vs))
+	fail := func(err error) error { return &InsertError{IDs: ids, Placed: placed, Err: err} }
 	// pending holds positions into vs still awaiting placement.
 	pending := make([]int, len(vs))
 	for i := range pending {
@@ -215,28 +373,28 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 	// the cluster has no usable capacity at all.
 	for len(pending) > 0 {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, fail(err)
 		}
-		window := c.windowNodes()
+		window := c.windowGroups()
 		free := 0
 		for _, w := range window {
 			free += c.caps[w] - c.used[w]
 		}
 		if free == 0 {
 			if err := c.advanceWindow(ctx); err != nil {
-				return nil, err
+				return nil, fail(err)
 			}
-			window = c.windowNodes()
+			window = c.windowGroups()
 			free = 0
 			for _, w := range window {
 				free += c.caps[w] - c.used[w]
 			}
 			if free == 0 {
-				return nil, errors.New("cluster: no insertable capacity (all node capacities zero?)")
+				return nil, fail(errors.New("cluster: no insertable capacity (all group capacities zero?)"))
 			}
 		}
 		// Round-robin shares: split what fits evenly over the window's
-		// non-full nodes; anything a node cannot take (its even share
+		// non-full groups; anything a group cannot take (its even share
 		// exceeds its space) stays pending for the next round.
 		fit := min(len(pending), free)
 		batch := pending[:fit]
@@ -248,7 +406,7 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 			}
 		}
 		offset := 0
-		placed := 0
+		placedThisRound := 0
 		var requeue []int
 		for _, w := range window {
 			space := c.caps[w] - c.used[w]
@@ -269,7 +427,7 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 			for _, pos := range part {
 				scratch = append(scratch, vs[pos])
 			}
-			local, err := c.nodes[w].Insert(ctx, scratch)
+			local, err := c.insertGroup(ctx, w, scratch)
 			if errors.Is(err, node.ErrFull) {
 				// Bookkeeping drift (shouldn't happen): resync and retry
 				// this part in a later round.
@@ -278,109 +436,277 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 				continue
 			}
 			if err != nil {
-				return nil, fmt.Errorf("cluster: insert on node %d: %w", w, err)
+				return nil, fail(fmt.Errorf("cluster: insert on group %d: %w", w, err))
 			}
 			c.used[w] += len(part)
-			placed += len(part)
+			placedThisRound += len(part)
 			for i, l := range local {
 				ids[part[i]] = GlobalID(w, l)
+				placed[part[i]] = true
 			}
 		}
 		// Keep the capped tail and any ErrFull retries pending.
 		requeue = append(requeue, batch[offset:]...)
 		pending = append(requeue, rest...)
-		if placed == 0 {
+		if placedThisRound == 0 {
 			// No progress this round despite free > 0: bookkeeping and
 			// reality disagree irrecoverably.
-			return nil, errors.New("cluster: insert made no progress")
+			return nil, fail(errors.New("cluster: insert made no progress"))
 		}
 	}
 	return ids, nil
 }
 
-func (c *Cluster) windowNodes() []int {
+// insertGroup mirrors one batch onto every member of group g in parallel
+// and returns the agreed node-local IDs. Members are deterministic
+// mirrors — each receives identical batches in identical order — so the
+// per-member ID slices must agree; a divergence is replica drift and
+// fails the insert. ErrFull is returned only when every member reports it
+// (mirrors fill in lockstep); any other member failure fails the group
+// insert, and the batch may then be held by some members but not others —
+// the drift Insert's *InsertError makes visible to the caller.
+func (c *Cluster) insertGroup(ctx context.Context, g int, vs []sparse.Vector) ([]uint32, error) {
+	if c.r == 1 {
+		return c.member(g, 0).Insert(ctx, vs)
+	}
+	perMember := make([][]uint32, c.r)
+	errs := make([]error, c.r)
+	var wg sync.WaitGroup
+	for j := 0; j < c.r; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			perMember[j], errs[j] = c.member(g, j).Insert(ctx, vs)
+		}(j)
+	}
+	wg.Wait()
+	allFull := true
+	for _, err := range errs {
+		if !errors.Is(err, node.ErrFull) {
+			allFull = false
+			break
+		}
+	}
+	if allFull {
+		return nil, node.ErrFull
+	}
+	for j, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, node.ErrFull) {
+			// Some members are full but their mirrors are not: replica
+			// drift, not a full group. Hide the ErrFull sentinel (%v, not
+			// %w) so Insert's resync-and-retry path cannot re-send a batch
+			// that the non-full mirrors already accepted and duplicate it.
+			return nil, fmt.Errorf("replica drift: node %d reports full, its mirrors do not (%v)",
+				c.nodeIndex(g, j), err)
+		}
+		return nil, fmt.Errorf("replica %d (node %d): %w", j, c.nodeIndex(g, j), err)
+	}
+	for j := 1; j < c.r; j++ {
+		if !slices.Equal(perMember[j], perMember[0]) {
+			return nil, fmt.Errorf("replica drift: node %d assigned different ids than node %d",
+				c.nodeIndex(g, j), c.nodeIndex(g, 0))
+		}
+	}
+	return perMember[0], nil
+}
+
+func (c *Cluster) windowGroups() []int {
 	out := make([]int, 0, c.m)
 	for i := 0; i < c.m; i++ {
-		out = append(out, (c.start+i)%len(c.nodes))
+		out = append(out, (c.start+i)%c.groups)
 	}
 	return out
 }
 
-// advanceWindow moves the insert window forward by M nodes, retiring any
-// node in the new window that still holds (old) data.
+// advanceWindow moves the insert window forward by M groups, retiring
+// every member of any group in the new window that still holds (old)
+// data. Retirement must reach all members — a member that cannot be
+// retired would keep answering with expired documents — so a dead member
+// fails the advance (and the Insert that triggered it).
 func (c *Cluster) advanceWindow(ctx context.Context) error {
-	c.start = (c.start + c.m) % len(c.nodes)
+	c.start = (c.start + c.m) % c.groups
 	for i := 0; i < c.m; i++ {
-		w := (c.start + i) % len(c.nodes)
-		if c.used[w] > 0 {
-			if err := c.nodes[w].Retire(ctx); err != nil {
-				return fmt.Errorf("cluster: retire node %d: %w", w, err)
-			}
-			c.used[w] = 0
+		w := (c.start + i) % c.groups
+		if c.used[w] == 0 {
+			continue
 		}
+		for j := 0; j < c.r; j++ {
+			if err := c.member(w, j).Retire(ctx); err != nil {
+				return fmt.Errorf("cluster: retire node %d: %w", c.nodeIndex(w, j), err)
+			}
+		}
+		c.used[w] = 0
 	}
 	return nil
 }
 
-func (c *Cluster) resyncUsed(ctx context.Context, w int) {
-	if st, err := c.nodes[w].Stats(ctx); err == nil {
-		c.used[w] = st.StaticLen + st.DeltaLen
+// resyncUsed refreshes a group's occupancy as the maximum over every
+// member that answers — the same rule NewReplicated applies, and it only
+// matters here, on the drift path, where mirrors disagree: counting the
+// emptiest member would keep the group looking insertable while its
+// fullest member keeps rejecting.
+func (c *Cluster) resyncUsed(ctx context.Context, g int) {
+	used, answered := 0, false
+	for j := 0; j < c.r; j++ {
+		if st, err := c.member(g, j).Stats(ctx); err == nil {
+			used = max(used, st.StaticLen+st.DeltaLen)
+			answered = true
+		}
+	}
+	if answered {
+		c.used[g] = used
+	}
+}
+
+// attemptResult carries one replica RPC's outcome back to the group's
+// failover loop.
+type attemptResult struct {
+	replica int
+	hedged  bool
+	res     [][]core.Neighbor
+	dur     time.Duration
+	err     error
+}
+
+// searchGroup answers one group's share of a broadcast through its
+// failover/hedge state machine: the sub-query goes to the preferred
+// replica (rotated across searches for load spread); a failure launches
+// the next replica; with opts.Hedge set, a replica that is merely slow is
+// raced by the next one after the hedge delay and the first complete
+// answer wins. Losers are canceled on resolution. The group fails only
+// when every replica has been tried and failed.
+func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p node.SearchParams, opts BatchOptions) ([][]core.Neighbor, []Attempt, error) {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reap the losing attempts once the group resolves
+	order := make([]int, c.r)
+	pref := 0
+	if c.r > 1 {
+		pref = int(c.rr.Add(1)-1) % c.r
+	}
+	for j := range order {
+		order[j] = (pref + j) % c.r
+	}
+	// Buffered to the maximum attempt count: a late loser's send never
+	// blocks, so no goroutine outlives the group unobserved.
+	results := make(chan attemptResult, c.r)
+	next, inflight := 0, 0
+	launch := func(hedged bool) {
+		replica := order[next]
+		next++
+		inflight++
+		go func() {
+			actx := gctx
+			if opts.PerNodeTimeout > 0 {
+				var acancel context.CancelFunc
+				actx, acancel = context.WithTimeout(gctx, opts.PerNodeTimeout)
+				defer acancel()
+			}
+			t0 := time.Now()
+			res, err := c.member(g, replica).Search(actx, qs, p)
+			results <- attemptResult{replica: replica, hedged: hedged, res: res, dur: time.Since(t0), err: err}
+		}()
+	}
+	launch(false)
+	var hedgeC <-chan time.Time
+	if opts.Hedge > 0 && next < c.r {
+		timer := time.NewTimer(opts.Hedge)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var attempts []Attempt
+	var lastErr error
+	for {
+		select {
+		case ar := <-results:
+			inflight--
+			a := Attempt{
+				Group: g, Replica: ar.replica, Node: c.nodeIndex(g, ar.replica),
+				Hedged: ar.hedged, Time: ar.dur, Err: ar.err,
+			}
+			if ar.err == nil {
+				a.Won = true
+				return ar.res, append(attempts, a), nil
+			}
+			attempts = append(attempts, a)
+			lastErr = ar.err
+			if err := ctx.Err(); err != nil {
+				return nil, attempts, err // the caller gave up; failing over is pointless
+			}
+			if next < c.r {
+				launch(false) // failover to the next replica
+			} else if inflight == 0 {
+				return nil, attempts, lastErr // every replica tried and failed
+			}
+		case <-hedgeC:
+			hedgeC = nil // one hedge per group
+			if next < c.r {
+				launch(true)
+			}
+		case <-ctx.Done():
+			return nil, attempts, ctx.Err()
+		}
 	}
 }
 
 // Search broadcasts a batch under request-scoped parameters and opts'
-// failure policy, and reports each node's wall time and outcome. It is
-// the one query path of the coordinator: every node answers the whole
-// batch through its Search entry point (per-query radius and candidate
-// budget applied node-side, answers pruned to p.K per node when bounded),
-// and the coordinator k-way-merges the per-node sorted partial lists per
-// query — bounded-heap selection of the global k best when p.K is set,
-// a full ordered merge otherwise. Answers come back in canonical
-// ascending (distance, node, id) order.
+// failure policy, and reports each group's wall time and outcome. It is
+// the one query path of the coordinator: every group answers the whole
+// batch through one member's Search entry point (per-query radius and
+// candidate budget applied node-side, answers pruned to p.K per group
+// when bounded) — with failover to sibling replicas on error/timeout and
+// an optional hedge against slow ones (see searchGroup) — and the
+// coordinator k-way-merges the per-group sorted partial lists per query:
+// bounded-heap selection of the global k best when p.K is set, a full
+// ordered merge otherwise. Answers come back in canonical ascending
+// (distance, group, id) order and are replica-agnostic (mirrors answer
+// identically, so which member won is visible only in the report).
 //
 // Cancellation of ctx aborts the whole broadcast early with ctx.Err().
-// Under the default all-or-nothing policy the first node failure cancels
-// the remaining in-flight RPCs; with opts.Partial the broadcast runs to
-// completion (each node bounded by opts.PerNodeTimeout, if set), answers
-// from responding nodes are merged, and stragglers show up only in the
-// report — the production trade of a complete answer for bounded latency.
+// Under the default all-or-nothing policy the first group failure (every
+// replica exhausted) cancels the remaining in-flight work; with
+// opts.Partial the broadcast runs to completion (each attempt bounded by
+// opts.PerNodeTimeout, if set), answers from responding groups are
+// merged, and stragglers show up only in the report — the production
+// trade of a complete answer for bounded latency.
 func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams, opts BatchOptions) ([][]Neighbor, BatchReport, error) {
 	report := BatchReport{
-		Times: make([]time.Duration, len(c.nodes)),
-		Errs:  make([]error, len(c.nodes)),
+		Times: make([]time.Duration, c.groups),
+		Errs:  make([]error, c.groups),
 	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	perNode := make([][][]core.Neighbor, len(c.nodes))
+	perGroup := make([][][]core.Neighbor, c.groups)
+	attempts := make([][]Attempt, c.groups)
 	var wg sync.WaitGroup
-	for i := range c.nodes {
+	for g := 0; g < c.groups; g++ {
 		wg.Add(1)
-		go func(i int) {
+		go func(g int) {
 			defer wg.Done()
-			nctx := bctx
-			if opts.PerNodeTimeout > 0 {
-				var ncancel context.CancelFunc
-				nctx, ncancel = context.WithTimeout(bctx, opts.PerNodeTimeout)
-				defer ncancel()
-			}
 			t0 := time.Now()
-			res, err := c.nodes[i].Search(nctx, qs, p)
-			report.Times[i] = time.Since(t0)
+			res, atts, err := c.searchGroup(bctx, g, qs, p, opts)
+			report.Times[g] = time.Since(t0)
+			attempts[g] = atts
 			if err != nil {
-				report.Errs[i] = err
+				report.Errs[g] = err
 				if !opts.Partial {
 					cancel() // abort the rest of the broadcast
 				}
 				return
 			}
-			perNode[i] = res
-		}(i)
+			perGroup[g] = res
+		}(g)
 	}
 	wg.Wait()
+	for _, atts := range attempts {
+		report.Attempts = append(report.Attempts, atts...)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, report, err
 	}
-	firstErr := firstNodeError(report.Errs, "search")
+	firstErr := firstError(report.Errs, "search", "group")
 	answered := 0
 	realFailure := false
 	for _, err := range report.Errs {
@@ -392,7 +718,7 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 	}
 	// In all-or-nothing mode the first failure cancels its siblings; those
 	// induced cancellations are casualties, not stragglers — drop them so
-	// the report blames only the node that actually failed.
+	// the report blames only the group that actually failed.
 	if !opts.Partial && realFailure {
 		for i, err := range report.Errs {
 			if err != nil && errors.Is(err, context.Canceled) {
@@ -404,14 +730,14 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 		return nil, report, firstErr
 	}
 	out := make([][]Neighbor, len(qs))
-	lists := make([][]core.Neighbor, len(c.nodes))
+	lists := make([][]core.Neighbor, c.groups)
 	for qi := range qs {
 		total := 0
-		for i := range c.nodes {
-			lists[i] = nil
-			if perNode[i] != nil {
-				lists[i] = perNode[i][qi]
-				total += len(lists[i])
+		for g := 0; g < c.groups; g++ {
+			lists[g] = nil
+			if perGroup[g] != nil {
+				lists[g] = perGroup[g][qi]
+				total += len(lists[g])
 			}
 		}
 		if total == 0 {
@@ -437,8 +763,8 @@ func (c *Cluster) Query(ctx context.Context, q sparse.Vector) ([]Neighbor, error
 	return res[0], nil
 }
 
-// QueryBatch broadcasts the batch to every node in parallel and merges
-// the per-node answers, all-or-nothing.
+// QueryBatch broadcasts the batch to every group in parallel and merges
+// the per-group answers, all-or-nothing.
 //
 // Deprecated: use Search.
 func (c *Cluster) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]Neighbor, error) {
@@ -447,7 +773,7 @@ func (c *Cluster) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]Neigh
 }
 
 // QueryBatchTimed broadcasts the batch under opts' failure policy and
-// reports each node's wall time and outcome.
+// reports each group's wall time and outcome.
 //
 // Deprecated: use Search, which carries the same policy plus the
 // request-scoped query parameters.
@@ -470,33 +796,41 @@ func (c *Cluster) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]Neig
 	return res[0], nil
 }
 
-// Doc fetches the stored vector for a global ID from the node that holds
-// it, with the node's authoritative answer to whether the local id was
-// ever inserted. A global ID naming a nonexistent node is simply unknown
-// — (zero, false, nil), matching an unknown local id — while a transport
-// failure is an error.
-func (c *Cluster) Doc(ctx context.Context, g uint64) (sparse.Vector, bool, error) {
-	nodeIdx, local := SplitGlobalID(g)
-	if nodeIdx < 0 || nodeIdx >= len(c.nodes) {
+// Doc fetches the stored vector for a global ID from the group that holds
+// it — any live member, failing over to the next on a transport error —
+// with the member's authoritative answer to whether the local id was ever
+// inserted. A global ID naming a nonexistent group is simply unknown —
+// (zero, false, nil), matching an unknown local id — while failure of
+// every member is an error.
+func (c *Cluster) Doc(ctx context.Context, gid uint64) (sparse.Vector, bool, error) {
+	group, local := SplitGlobalID(gid)
+	if group < 0 || group >= c.groups {
 		return sparse.Vector{}, false, nil
 	}
-	v, known, err := c.nodes[nodeIdx].Doc(ctx, local)
-	if err != nil {
-		return sparse.Vector{}, false, fmt.Errorf("cluster: doc on node %d: %w", nodeIdx, err)
+	var lastErr error
+	for j := 0; j < c.r; j++ {
+		v, known, err := c.member(group, j).Doc(ctx, local)
+		if err == nil {
+			return v, known, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the caller gave up; trying siblings is pointless
+		}
 	}
-	return v, known, nil
+	return sparse.Vector{}, false, fmt.Errorf("cluster: doc on group %d: %w", group, lastErr)
 }
 
-// topkCursor walks one node's sorted partial list during the merge.
+// topkCursor walks one group's sorted partial list during the merge.
 type topkCursor struct {
-	node int
-	list []core.Neighbor
-	pos  int
+	group int
+	list  []core.Neighbor
+	pos   int
 }
 
 func (c *topkCursor) head() core.Neighbor { return c.list[c.pos] }
 
-// topkHeap is a min-heap of cursors ordered by their heads' (Dist, Node,
+// topkHeap is a min-heap of cursors ordered by their heads' (Dist, Group,
 // ID) — the cluster-wide presentation order.
 type topkHeap []*topkCursor
 
@@ -506,8 +840,8 @@ func (h topkHeap) Less(i, j int) bool {
 	if a.Dist != b.Dist {
 		return a.Dist < b.Dist
 	}
-	if h[i].node != h[j].node {
-		return h[i].node < h[j].node
+	if h[i].group != h[j].group {
+		return h[i].group < h[j].group
 	}
 	return a.ID < b.ID
 }
@@ -515,12 +849,12 @@ func (h topkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *topkHeap) Push(x any)   { *h = append(*h, x.(*topkCursor)) }
 func (h *topkHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
 
-// mergeTopK k-way-merges per-node ascending lists into the global top k.
-func mergeTopK(perNode [][]core.Neighbor, k int) []Neighbor {
-	h := make(topkHeap, 0, len(perNode))
-	for i, list := range perNode {
+// mergeTopK k-way-merges per-group ascending lists into the global top k.
+func mergeTopK(perGroup [][]core.Neighbor, k int) []Neighbor {
+	h := make(topkHeap, 0, len(perGroup))
+	for g, list := range perGroup {
 		if len(list) > 0 {
-			h = append(h, &topkCursor{node: i, list: list})
+			h = append(h, &topkCursor{group: g, list: list})
 		}
 	}
 	heap.Init(&h)
@@ -528,7 +862,7 @@ func mergeTopK(perNode [][]core.Neighbor, k int) []Neighbor {
 	for len(h) > 0 && len(out) < k {
 		cur := h[0]
 		nb := cur.head()
-		out = append(out, Neighbor{Node: cur.node, ID: nb.ID, Dist: nb.Dist})
+		out = append(out, Neighbor{Node: cur.group, ID: nb.ID, Dist: nb.Dist})
 		cur.pos++
 		if cur.pos == len(cur.list) {
 			heap.Pop(&h)
@@ -539,16 +873,47 @@ func mergeTopK(perNode [][]core.Neighbor, k int) []Neighbor {
 	return out
 }
 
-// Delete removes a document by global ID. A global ID that names a
-// nonexistent node or a never-inserted local ID returns an error wrapping
-// node.ErrNotFound, so callers can tell a bad ID from a transport
-// failure.
-func (c *Cluster) Delete(ctx context.Context, g uint64) error {
-	nodeIdx, local := SplitGlobalID(g)
-	if nodeIdx < 0 || nodeIdx >= len(c.nodes) {
-		return fmt.Errorf("cluster: no node %d: %w", nodeIdx, node.ErrNotFound)
+// Delete removes a document by global ID from every member of its group
+// (a tombstone that reached only some mirrors would resurrect the
+// document on a failover to the others). A global ID that names a
+// nonexistent group, or a local ID no member ever inserted, returns an
+// error wrapping node.ErrNotFound, so callers can tell a bad ID from a
+// transport failure. A member failure fails the call — the tombstone may
+// then be applied on some members only; retry until nil to restore
+// mirror agreement.
+func (c *Cluster) Delete(ctx context.Context, gid uint64) error {
+	group, local := SplitGlobalID(gid)
+	if group < 0 || group >= c.groups {
+		return fmt.Errorf("cluster: no group %d: %w", group, node.ErrNotFound)
 	}
-	return c.nodes[nodeIdx].Delete(ctx, local)
+	if c.r == 1 {
+		return c.member(group, 0).Delete(ctx, local)
+	}
+	errs := make([]error, c.r)
+	var wg sync.WaitGroup
+	for j := 0; j < c.r; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			errs[j] = c.member(group, j).Delete(ctx, local)
+		}(j)
+	}
+	wg.Wait()
+	notFound := 0
+	for j, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, node.ErrNotFound) {
+			notFound++
+			continue
+		}
+		return fmt.Errorf("cluster: delete on node %d: %w", c.nodeIndex(group, j), err)
+	}
+	if notFound == c.r {
+		return fmt.Errorf("cluster: %w", node.ErrNotFound)
+	}
+	return nil
 }
 
 // MergeAll drives every node to a fully static state in parallel. Under
@@ -581,7 +946,8 @@ func (c *Cluster) SaveAll(ctx context.Context) error {
 	})
 }
 
-// Stats gathers per-node snapshots in parallel.
+// Stats gathers per-endpoint snapshots in parallel (one entry per node,
+// group-major: members of group g are entries [g·R, (g+1)·R)).
 func (c *Cluster) Stats(ctx context.Context) ([]node.Stats, error) {
 	out := make([]node.Stats, len(c.nodes))
 	err := c.fanOut(ctx, "stats", func(ctx context.Context, i int) error {

@@ -1,0 +1,198 @@
+// Package clustertest runs real multi-process PLSH clusters for
+// fault-injection tests: it builds cmd/plsh-node once per test run,
+// spawns N node processes — each with its own TCP address and data
+// directory — and lets a test SIGKILL chosen nodes at chosen points and
+// restart them (recovering from their write-ahead journals) to verify
+// the cluster-level failover and rejoin guarantees.
+//
+// Unlike the in-process killable servers used by the fast tests, a node
+// killed here dies the way a machine does: no Go cleanup runs, sockets
+// are torn down by the kernel, and the only state that survives is what
+// the durability layer journaled before the acknowledgment. The suite
+// that drives this package is gated behind the `slow` build tag and runs
+// in CI's integration job.
+package clustertest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"plsh/internal/transport"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// nodeBinary builds cmd/plsh-node once per test-binary run and returns
+// its path. Tests are skipped when no go toolchain is available (the
+// same policy as the root package's kill -9 recovery test).
+func nodeBinary(t testing.TB) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		goBin, err := exec.LookPath("go")
+		if err != nil {
+			buildErr = fmt.Errorf("go toolchain unavailable: %w", err)
+			return
+		}
+		out, err := exec.Command(goBin, "env", "GOMOD").Output()
+		if err != nil {
+			buildErr = fmt.Errorf("go env GOMOD: %w", err)
+			return
+		}
+		root := filepath.Dir(strings.TrimSpace(string(out)))
+		dir, err := os.MkdirTemp("", "plsh-clustertest-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "plsh-node")
+		cmd := exec.Command(goBin, "build", "-o", bin, "./cmd/plsh-node")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("build plsh-node: %v\n%s", err, out)
+			return
+		}
+		buildBin = bin
+	})
+	if buildErr != nil {
+		if strings.Contains(buildErr.Error(), "toolchain unavailable") {
+			t.Skip(buildErr)
+		}
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// Node is one plsh-node process of a Fleet. Addr and Dir are stable
+// across Kill/Start cycles, so a restarted node recovers its own journal
+// and rejoins at the address the coordinator already knows.
+type Node struct {
+	Addr string
+	Dir  string
+
+	t    testing.TB
+	bin  string
+	args []string
+	cmd  *exec.Cmd
+}
+
+// Start launches (or relaunches) the node process and waits until it
+// answers RPCs — after a kill, that includes its snapshot load and
+// journal replay.
+func (n *Node) Start() {
+	n.t.Helper()
+	if n.cmd != nil {
+		n.t.Fatal("clustertest: Start on a running node (Kill it first)")
+	}
+	args := append([]string{"-addr", n.Addr, "-data", n.Dir}, n.args...)
+	cmd := exec.Command(n.bin, args...)
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		n.t.Fatalf("clustertest: start plsh-node: %v", err)
+	}
+	n.cmd = cmd
+	n.waitReady(15 * time.Second)
+}
+
+// Kill SIGKILLs the node process and reaps it — no shutdown path runs,
+// exactly like a machine loss. Idempotent on an already-dead node.
+func (n *Node) Kill() {
+	n.t.Helper()
+	if n.cmd == nil {
+		return
+	}
+	n.cmd.Process.Kill()
+	n.cmd.Wait()
+	n.cmd = nil
+}
+
+// Running reports whether the node process is currently up (as far as
+// this harness knows — a crash the test did not inject is not tracked).
+func (n *Node) Running() bool { return n.cmd != nil }
+
+// waitReady polls the node with real RPCs until it answers (the listener
+// may be up before Serve is wired, and a restart replays its journal
+// first).
+func (n *Node) waitReady(timeout time.Duration) {
+	n.t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		c, err := transport.Dial(ctx, n.Addr)
+		if err == nil {
+			_, serr := c.Stats(ctx)
+			c.Close()
+			if serr == nil {
+				return
+			}
+			err = serr
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			n.t.Fatalf("clustertest: node at %s not ready: %v", n.Addr, lastErr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Fleet is a set of plsh-node processes under one test's control.
+type Fleet struct {
+	Nodes []*Node
+}
+
+// Start builds the node binary, reserves n TCP addresses, and launches n
+// durable node processes, each with its own data directory under the
+// test's temp space plus the given extra flags (dimensions, seed, ...).
+// Every process still running at test end is SIGKILLed by cleanup.
+func Start(t testing.TB, n int, extraArgs ...string) *Fleet {
+	t.Helper()
+	bin := nodeBinary(t)
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		f.Nodes = append(f.Nodes, &Node{
+			Addr: addr,
+			Dir:  t.TempDir(),
+			t:    t,
+			bin:  bin,
+			args: extraArgs,
+		})
+	}
+	t.Cleanup(func() {
+		for _, nd := range f.Nodes {
+			nd.Kill()
+		}
+	})
+	for _, nd := range f.Nodes {
+		nd.Start()
+	}
+	return f
+}
+
+// Addrs returns every node's address, in fleet order (group-major when
+// the coordinator is built with replicas).
+func (f *Fleet) Addrs() []string {
+	out := make([]string, len(f.Nodes))
+	for i, nd := range f.Nodes {
+		out[i] = nd.Addr
+	}
+	return out
+}

@@ -627,6 +627,17 @@ func (c *Client) Stats(ctx context.Context) (node.Stats, error) {
 	return resp.Stats, nil
 }
 
+// Broken reports whether the connection has failed terminally — every
+// future call on this Client will fail without touching the network.
+// Redial uses it to decide when a fresh dial is needed; a call that
+// merely hit its context deadline leaves the connection healthy and
+// Broken false.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil || c.closed
+}
+
 // Close implements NodeClient. In-flight calls fail with a closed-client
 // error; Close is idempotent.
 func (c *Client) Close() error {

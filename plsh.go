@@ -67,8 +67,19 @@ type Config struct {
 	DeltaFraction float64
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
-	// Seed makes hashing deterministic (default 1).
+	// Seed makes hashing deterministic (default 1). In a replicated
+	// cluster every node must share the seed: mirrored members answer
+	// replica-agnostically only when they draw identical hyperplanes.
 	Seed uint64
+	// Replicas is R, the mirrored members per replica group of a Cluster
+	// (default 1, the paper's single-copy layout — bit-stable with
+	// clusters built before replication existed). OpenCluster arranges
+	// its nodes into nodes/R groups of R mirrors each: inserts are
+	// written to every member of the target group, searches pick one
+	// member and fail over to its siblings on error (see WithHedge for
+	// the latency hedge), so any single member can die without losing
+	// answers. Ignored by a Store.
+	Replicas int
 	// Dir, when non-empty, makes the Store durable: state is recovered
 	// from Dir on open (snapshot + journal replay), every acknowledged
 	// Insert/Delete is journaled there before the call returns, and
@@ -111,6 +122,12 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.DeltaFraction < 0 || c.DeltaFraction > 1 {
 		return c, fmt.Errorf("plsh: Config.DeltaFraction = %v outside [0, 1]", c.DeltaFraction)
+	}
+	if c.Replicas < 0 {
+		return c, fmt.Errorf("plsh: Config.Replicas = %d must not be negative", c.Replicas)
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
 	}
 	if c.K == 0 {
 		c.K = 16
@@ -275,6 +292,7 @@ func (s *Store) searchBatch(ctx context.Context, qs []Vector, spec searchSpec) (
 	t0 := time.Now()
 	res, err := s.n.SearchBatch(nctx, qs, spec.params)
 	report.Times[0] = time.Since(t0)
+	report.Attempts = []Attempt{{Time: report.Times[0], Won: err == nil, Err: err}}
 	if err != nil {
 		report.Errs[0] = err
 		if cerr := ctx.Err(); cerr != nil {
@@ -375,10 +393,13 @@ func (s *Store) Merge(ctx context.Context) error { return s.n.MergeNow(ctx) }
 func (s *Store) Flush(ctx context.Context) error { return s.n.Flush(ctx) }
 
 // Reset erases all content, keeping configuration and hash functions. Any
-// in-flight background merge is drained first, so Reset returns with the
-// store settled and empty. On a durable Store the erasure is journaled;
-// a journal failure leaves the store untouched and is returned.
-func (s *Store) Reset() error { return s.n.Retire(context.Background()) }
+// in-flight background merge is drained first — honoring ctx while
+// waiting, like every other mutating call on the unified surface; a
+// canceled drain returns ctx.Err() with the store untouched — so a nil
+// return means the store is settled and empty. On a durable Store the
+// erasure is journaled; a journal failure leaves the store untouched and
+// is returned.
+func (s *Store) Reset(ctx context.Context) error { return s.n.Retire(ctx) }
 
 // Len returns the number of stored documents (including deleted ones,
 // which still occupy capacity until Reset).

@@ -137,9 +137,22 @@ func TestStoreDeleteMergeReset(t *testing.T) {
 	if st := s.StatsNow(); st.DeltaLen != 0 || st.StaticLen != 200 {
 		t.Fatalf("merge state: %+v", st)
 	}
-	s.Reset()
+	s.Reset(bg)
 	if s.Len() != 0 {
 		t.Fatal("Reset did not empty store")
+	}
+	// Reset takes a context like every other mutating call: a canceled one
+	// rejects the erasure outright.
+	if _, err := s.Insert(bg, docs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(bg)
+	cancel()
+	if err := s.Reset(canceled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Reset with canceled ctx: %v", err)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("canceled Reset mutated the store: Len = %d", s.Len())
 	}
 }
 

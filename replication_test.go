@@ -1,0 +1,462 @@
+package plsh
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"plsh/internal/core"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/transport"
+)
+
+// killableTCPNode is an in-process plsh node served over real TCP whose
+// "process death" is simulated by tearing down its listener and every
+// open connection; restart re-listens on the same address over the same
+// backend (a real SIGKILL plus journal recovery is exercised by the slow
+// fault-injection suite in faultinjection_slow_test.go).
+type killableTCPNode struct {
+	t    *testing.T
+	addr string
+	n    *node.Node
+	stop context.CancelFunc
+	done chan struct{}
+}
+
+func startKillableTCPNode(t *testing.T, capacity int) *killableTCPNode {
+	t.Helper()
+	nd, err := node.New(node.Config{
+		Params:   lshhash.Params{Dim: 2000, K: 4, M: 16, Seed: 42},
+		Capacity: capacity,
+		Build:    core.Defaults(),
+		Query:    core.QueryDefaults(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &killableTCPNode{t: t, addr: l.Addr().String(), n: nd}
+	k.serve(l)
+	t.Cleanup(func() { k.stop() })
+	return k
+}
+
+func (k *killableTCPNode) serve(l net.Listener) {
+	ctx, cancel := context.WithCancel(context.Background())
+	k.stop = cancel
+	done := make(chan struct{})
+	k.done = done
+	go func() {
+		defer close(done)
+		transport.Serve(ctx, l, transport.NewLocal(k.n), nil)
+	}()
+}
+
+func (k *killableTCPNode) kill() {
+	k.stop()
+	<-k.done
+}
+
+func (k *killableTCPNode) restart() {
+	k.t.Helper()
+	var l net.Listener
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		l, err = net.Listen("tcp", k.addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			k.t.Fatalf("re-listen on %s: %v", k.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	k.serve(l)
+}
+
+// TestReplicatedFailoverTCP is the fast (in-process servers, real TCP)
+// version of the acceptance criterion: on a 6-node Replicas=2 cluster,
+// killing any single node leaves every SearchBatch Complete with answers
+// identical to the no-failure oracle; a killed node that comes back
+// rejoins (the Redial transport re-dials it) and serves the group alone
+// when its sibling dies next.
+func TestReplicatedFailoverTCP(t *testing.T) {
+	servers := make([]*killableTCPNode, 6)
+	addrs := make([]string, 6)
+	for i := range servers {
+		servers[i] = startKillableTCPNode(t, 200)
+		addrs[i] = servers[i].addr
+	}
+	cl, err := DialCluster(bg, addrs, 3, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.NumNodes() != 6 || cl.NumGroups() != 3 || cl.Replicas() != 2 {
+		t.Fatalf("cluster shape: nodes=%d groups=%d replicas=%d",
+			cl.NumNodes(), cl.NumGroups(), cl.Replicas())
+	}
+
+	docs := SyntheticTweets(300, 2000, 63)
+	ids, err := cl.Insert(bg, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := docs[:16]
+	oracle, oracleReport, err := cl.SearchBatch(bg, queries)
+	if err != nil || !oracleReport.Complete() {
+		t.Fatalf("pre-kill oracle: err=%v complete=%v", err, oracleReport.Complete())
+	}
+
+	// Kill each node in turn; searches issued while it is down — including
+	// ones racing the kill itself — must stay Complete and answer exactly
+	// the oracle, masked by the sibling replica.
+	for victim := range servers {
+		type outcome struct {
+			res    []Result
+			report Report
+			err    error
+		}
+		outcomes := make(chan outcome, 4)
+		go func() {
+			for j := 0; j < 4; j++ {
+				res, report, err := cl.SearchBatch(bg, queries)
+				outcomes <- outcome{res, report, err}
+			}
+		}()
+		time.Sleep(2 * time.Millisecond)
+		servers[victim].kill()
+		for j := 0; j < 4; j++ {
+			o := <-outcomes
+			if o.err != nil {
+				t.Fatalf("victim %d racing search %d failed: %v", victim, j, o.err)
+			}
+			if !o.report.Complete() {
+				t.Fatalf("victim %d racing search %d: incomplete report, stragglers %v",
+					victim, j, o.report.Stragglers())
+			}
+			if !reflect.DeepEqual(o.res, oracle) {
+				t.Fatalf("victim %d racing search %d: answers diverge from the pre-kill oracle", victim, j)
+			}
+		}
+		// Post-kill, the dead replica is certainly dead: keep searching
+		// until the rotating preference routes its group to it and the
+		// failover is recorded (a handful of searches in practice — the
+		// winning member is asserted every time regardless).
+		sawFailover := false
+		for j := 0; j < 50 && !sawFailover; j++ {
+			res, report, err := cl.SearchBatch(bg, queries)
+			if err != nil {
+				t.Fatalf("victim %d post-kill search %d failed: %v", victim, j, err)
+			}
+			if !report.Complete() {
+				t.Fatalf("victim %d post-kill search %d: incomplete, stragglers %v",
+					victim, j, report.Stragglers())
+			}
+			if !reflect.DeepEqual(res, oracle) {
+				t.Fatalf("victim %d post-kill search %d: answers diverge from the oracle", victim, j)
+			}
+			for _, a := range report.Attempts {
+				if a.Won && a.Node == victim {
+					t.Fatalf("victim %d post-kill search %d: dead replica recorded as winner", victim, j)
+				}
+			}
+			sawFailover = report.Failovers() > 0
+		}
+		if !sawFailover {
+			t.Fatalf("victim %d: no failover recorded across 50 searches with a dead replica", victim)
+		}
+		servers[victim].restart()
+	}
+
+	// Rejoin: node 0 was killed and restarted above. Kill its sibling
+	// (node 1) — group 0 is now served solely by the rejoined node 0, and
+	// the answers must still be the oracle's.
+	servers[1].kill()
+	res, report, err := cl.SearchBatch(bg, queries)
+	if err != nil || !report.Complete() {
+		t.Fatalf("search with rejoined node serving alone: err=%v complete=%v", err, report.Complete())
+	}
+	if !reflect.DeepEqual(res, oracle) {
+		t.Fatal("rejoined replica answers diverge from the oracle")
+	}
+	servers[1].restart()
+
+	// Whole group down: kill both members of group 2 (nodes 4 and 5).
+	// All-or-nothing fails; AllowPartial degrades to the documented
+	// partial answer with the dead group named in the report.
+	servers[4].kill()
+	servers[5].kill()
+	if _, _, err := cl.SearchBatch(bg, queries); err == nil {
+		t.Fatal("all-or-nothing SearchBatch succeeded with a whole group dead")
+	}
+	pres, preport, err := cl.SearchBatch(bg, queries, AllowPartial())
+	if err != nil {
+		t.Fatalf("partial SearchBatch with a dead group: %v", err)
+	}
+	if s := preport.Stragglers(); len(s) != 1 || s[0] != 2 {
+		t.Fatalf("stragglers = %v, want [2] (the dead group)", s)
+	}
+	// The partial answer is the oracle minus the dead group's documents.
+	for qi := range queries {
+		var want []Match
+		for _, m := range oracle[qi].Matches {
+			if m.Node() != 2 {
+				want = append(want, m)
+			}
+		}
+		if !reflect.DeepEqual(pres[qi].Matches, want) {
+			t.Fatalf("query %d: partial answer is not oracle-minus-group-2", qi)
+		}
+	}
+
+	// Deletes route to all mirrors; with one restarted earlier and all
+	// live again, a delete stays deleted from every replica.
+	servers[4].restart()
+	servers[5].restart()
+	waitHealthy := func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, _, err := cl.SearchBatch(bg, queries[:1]); err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("cluster never healed after restarts")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitHealthy()
+	if err := cl.Delete(bg, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ { // rotation: both replicas serve
+		got, err := cl.Search(bg, docs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range got.Matches {
+			if m.ID == ids[0] {
+				t.Fatalf("pass %d: deleted doc served by a mirror", pass)
+			}
+		}
+	}
+}
+
+// TestWithHedgeTCP: a hedged search against a healthy TCP cluster is a
+// clean no-op (no hedges needed, identical answers), pinning that the
+// hedge path does not perturb results.
+func TestWithHedgeTCP(t *testing.T) {
+	servers := make([]*killableTCPNode, 4)
+	addrs := make([]string, 4)
+	for i := range servers {
+		servers[i] = startKillableTCPNode(t, 200)
+		addrs[i] = servers[i].addr
+	}
+	cl, err := DialCluster(bg, addrs, 2, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	docs := SyntheticTweets(200, 2000, 65)
+	if _, err := cl.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	plain, _, err := cl.SearchBatch(bg, docs[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged, report, err := cl.SearchBatch(bg, docs[:8], WithHedge(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, hedged) {
+		t.Fatal("hedged search answers differ from plain search")
+	}
+	if !report.Complete() {
+		t.Fatal("hedged search incomplete on a healthy cluster")
+	}
+}
+
+// TestReplicatedClusterEquivalence is the seeded randomized property
+// test: sweeping (radius, k, max-candidates, replicas ∈ {1,2,3}), Search
+// on a replicated cluster must equal the single-copy cluster and the
+// exhaustive-scan oracle. The whole suite runs under -race in CI, so the
+// replicated fan-out is exercised for data races too. Replica placement
+// moves documents between groups, so results are compared by document
+// identity (via each cluster's own ID map) and by distance sequence, both
+// of which are placement-invariant.
+func TestReplicatedClusterEquivalence(t *testing.T) {
+	docs := SyntheticTweets(240, 2000, 67)
+	var queries []Vector
+	for i := 0; i < len(docs); i += 29 {
+		queries = append(queries, docs[i])
+	}
+	rng := rand.New(rand.NewSource(71))
+	type trial struct {
+		radius  float64
+		k       int
+		maxCand int // 0 = unbounded; len(docs) = roomy (provably a no-op)
+	}
+	trials := []trial{{0.9, 0, 0}} // the default shape, always covered
+	for i := 0; i < 5; i++ {
+		trials = append(trials, trial{
+			radius:  0.8 + 0.4*rng.Float64(),
+			k:       []int{0, 1, 5, 20}[rng.Intn(4)],
+			maxCand: []int{0, len(docs)}[rng.Intn(2)],
+		})
+	}
+
+	// signature flattens one cluster's answers placement-invariantly:
+	// document positions (by that cluster's own IDs) for unbounded
+	// searches, distance sequences when k bounds the answer (a distance
+	// tie at the k boundary may legitimately pick a different — equally
+	// near — document under a different placement).
+	signature := func(res []Result, pos map[uint64]int, k int) [][]float64 {
+		out := make([][]float64, len(res))
+		for i, r := range res {
+			for _, m := range r.Matches {
+				if k > 0 {
+					out[i] = append(out[i], m.Dist)
+				} else {
+					out[i] = append(out[i], float64(pos[m.ID]))
+				}
+			}
+			if k == 0 {
+				sort.Float64s(out[i])
+			}
+		}
+		return out
+	}
+
+	var baseline [][][]float64 // per trial, from the replicas=1 cluster
+	for _, replicas := range []int{1, 2, 3} {
+		cl, err := OpenCluster(bg, 6, 0, Config{
+			Dim: 2000, K: 4, M: 16, Radius: 0.9, Capacity: 200,
+			Replicas: replicas, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := cl.Insert(bg, docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make(map[uint64]int, len(ids))
+		for i, id := range ids {
+			pos[id] = i
+		}
+		for ti, tr := range trials {
+			opts := []SearchOption{WithRadius(tr.radius)}
+			if tr.k > 0 {
+				opts = append(opts, WithK(tr.k))
+			}
+			if tr.maxCand > 0 {
+				opts = append(opts, WithMaxCandidates(tr.maxCand))
+			}
+			res, report, err := cl.SearchBatch(bg, queries, opts...)
+			if err != nil {
+				t.Fatalf("replicas=%d trial %d: %v", replicas, ti, err)
+			}
+			if !report.Complete() {
+				t.Fatalf("replicas=%d trial %d: incomplete on a healthy cluster", replicas, ti)
+			}
+			// ≡ exhaustive-scan oracle, in this cluster's own ID space.
+			for qi, q := range queries {
+				requireMatchesEqual(t, "replicated vs oracle", res[qi].Matches,
+					oracleMatches(docs, ids, q, tr.radius, tr.k))
+			}
+			// ≡ the single-copy cluster, placement-invariantly.
+			sig := signature(res, pos, tr.k)
+			if replicas == 1 {
+				baseline = append(baseline, sig)
+			} else if !reflect.DeepEqual(sig, baseline[ti]) {
+				t.Fatalf("replicas=%d trial %d (r=%.3f k=%d cand=%d): diverges from single-copy cluster",
+					replicas, ti, tr.radius, tr.k, tr.maxCand)
+			}
+		}
+		// A tight candidate budget cannot be placement-invariant (it is
+		// per-node), but it must stay a subset of the unbounded answer.
+		full, _, err := cl.SearchBatch(bg, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tight, _, err := cl.SearchBatch(bg, queries, WithMaxCandidates(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range queries {
+			in := map[uint64]bool{}
+			for _, m := range full[qi].Matches {
+				in[m.ID] = true
+			}
+			for _, m := range tight[qi].Matches {
+				if !in[m.ID] {
+					t.Fatalf("replicas=%d: budgeted search invented match %d", replicas, m.ID)
+				}
+			}
+		}
+		cl.Close()
+	}
+}
+
+// TestReplicasConfigValidation: bad replica shapes fail construction
+// loudly instead of mis-grouping endpoints.
+func TestReplicasConfigValidation(t *testing.T) {
+	if _, err := NewCluster(5, 2, Config{Dim: 2000, Replicas: 2}); err == nil {
+		t.Fatal("5 nodes accepted for groups of 2")
+	}
+	if _, err := NewCluster(4, 2, Config{Dim: 2000, Replicas: -1}); err == nil {
+		t.Fatal("negative Replicas accepted")
+	}
+	if _, err := DialCluster(bg, []string{"127.0.0.1:1"}, 1, WithReplicas(0)); err == nil {
+		t.Fatal("WithReplicas(0) accepted")
+	}
+}
+
+// TestInsertErrorSurfacesThroughPublicAPI: the mid-batch insert contract
+// crosses the public wrapper intact.
+func TestInsertErrorSurfacesThroughPublicAPI(t *testing.T) {
+	servers := make([]*killableTCPNode, 2)
+	addrs := make([]string, 2)
+	for i := range servers {
+		servers[i] = startKillableTCPNode(t, 1000)
+		addrs[i] = servers[i].addr
+	}
+	cl, err := DialCluster(bg, addrs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	servers[1].kill()
+	docs := SyntheticTweets(100, 2000, 69)
+	_, err = cl.Insert(bg, docs)
+	if err == nil {
+		t.Fatal("insert succeeded with a dead window node")
+	}
+	var ie *InsertError
+	if !errors.As(err, &ie) {
+		t.Fatalf("public insert error is not an *InsertError: %v", err)
+	}
+	placed := 0
+	for i, p := range ie.Placed {
+		if p {
+			placed++
+			if g, _ := SplitGlobalID(ie.IDs[i]); g != 0 {
+				t.Fatalf("doc %d reported placed on dead group %d", i, g)
+			}
+		}
+	}
+	if placed == 0 || placed == len(docs) {
+		t.Fatalf("placed = %d of %d, want a strict mid-batch prefix", placed, len(docs))
+	}
+}

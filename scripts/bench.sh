@@ -11,6 +11,7 @@
 #   scripts/bench.sh QueryDuringMerge # just the non-blocking-merge metric
 #   scripts/bench.sh SearchTopK     # just the unified-Search top-k metric
 #   scripts/bench.sh 'Save|Recover'   # just the durability metrics
+#   scripts/bench.sh SearchReplicated # replicas=1 vs 2, hedged vs not
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -82,9 +82,10 @@ type Result struct {
 	Matches []Match
 }
 
-// Report describes how a Search/SearchBatch broadcast went: per-node wall
-// times and errors, with Complete/Stragglers helpers. A Store reports
-// itself as the single node 0.
+// Report describes how a Search/SearchBatch broadcast went: per-group
+// wall times and errors plus the per-replica attempt trace, with
+// Complete/Stragglers/Failovers/HedgesWon helpers. A Store reports
+// itself as the single group 0 with one attempt.
 type Report = BatchReport
 
 // searchSpec is the resolved form of a SearchOption list: the per-query
@@ -147,10 +148,11 @@ func WithMaxCandidates(n int) SearchOption {
 	}
 }
 
-// WithNodeTimeout bounds each node's share of the broadcast (d > 0), in
-// addition to the call's context deadline. Combine with AllowPartial to
-// trade completeness for bounded latency; without it, one node timing out
-// fails the whole call.
+// WithNodeTimeout bounds each replica attempt of the broadcast (d > 0),
+// in addition to the call's context deadline. On a replicated cluster a
+// timed-out attempt fails over to the group's next replica; combine with
+// AllowPartial to trade completeness for bounded latency when a whole
+// group times out — without it, one group timing out fails the call.
 func WithNodeTimeout(d time.Duration) SearchOption {
 	return func(s *searchSpec) {
 		if d <= 0 {
@@ -161,10 +163,29 @@ func WithNodeTimeout(d time.Duration) SearchOption {
 	}
 }
 
+// WithHedge arms the tail-latency hedge on a replicated cluster (d > 0):
+// if a group's preferred replica has not answered within d, the next
+// replica is raced against it and the first complete answer wins — Dean &
+// Barroso's hedged request, hiding a slow replica without waiting for it
+// to fail. Pick d around the expected p99 so hedges fire only on genuine
+// stragglers. A no-op on a Store or a Replicas=1 cluster (there is no
+// second copy to race); the Report's HedgesWon counts the searches the
+// hedge rescued.
+func WithHedge(d time.Duration) SearchOption {
+	return func(s *searchSpec) {
+		if d <= 0 {
+			s.fail(fmt.Errorf("plsh: WithHedge(%v): delay must be positive", d))
+			return
+		}
+		s.policy.Hedge = d
+	}
+}
+
 // AllowPartial makes a Search succeed with the merged answers from the
-// nodes that responded instead of failing when some did not; stragglers
-// are visible in the Report. Without it the first node failure fails the
-// call (all-or-nothing). A search no node answered still fails.
+// replica groups that responded instead of failing when some did not
+// (a group fails only once every member has been tried); stragglers are
+// visible in the Report. Without it the first group failure fails the
+// call (all-or-nothing). A search no group answered still fails.
 func AllowPartial() SearchOption {
 	return func(s *searchSpec) { s.policy.Partial = true }
 }

@@ -292,6 +292,8 @@ func TestSearchOptionValidation(t *testing.T) {
 		"negative k":        WithK(-3),
 		"zero candidates":   WithMaxCandidates(0),
 		"zero node timeout": WithNodeTimeout(0),
+		"zero hedge":        WithHedge(0),
+		"negative hedge":    WithHedge(-time.Second),
 	} {
 		if _, err := s.Search(bg, docs[0], opt); err == nil {
 			t.Errorf("%s accepted by Search", name)
