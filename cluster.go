@@ -252,10 +252,8 @@ func (cl *Cluster) SearchBatch(ctx context.Context, qs []Vector, opts ...SearchO
 	if err != nil {
 		return nil, report, err
 	}
-	out := make([]Result, len(res))
-	for i, ns := range res {
-		out[i] = Result{Matches: matchesFromCluster(ns)}
-	}
+	out := resultsFromCluster(res)
+	cl.c.ReleaseResults(res) // results fully copied into out's Match arena
 	return out, report, nil
 }
 

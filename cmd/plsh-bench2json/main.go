@@ -64,6 +64,18 @@ type snapshot struct {
 	SearchReplicatedR1NS     float64 `json:"search_replicated_r1_ns"`
 	SearchReplicatedR2NS     float64 `json:"search_replicated_r2_ns"`
 	SearchReplicatedHedgedNS float64 `json:"search_replicated_r2_hedged_ns"`
+	// Allocation headlines for the zero-allocation hot path: B/op and
+	// allocs/op of the steady-state query benchmarks (the whole batch, not
+	// per query). Fig5Query/Arena prices the core engine's append API
+	// with a held destination; SearchTopK the public single-query Search;
+	// SearchReplicated/replicas=1 the full broadcast-and-merge path.
+	// 0 when the benchmark was absent from the run's pattern.
+	Fig5QueryArenaBytes      float64 `json:"fig5_query_arena_bytes_per_op"`
+	Fig5QueryArenaAllocs     float64 `json:"fig5_query_arena_allocs_per_op"`
+	SearchTopKBytes          float64 `json:"search_topk_bytes_per_op"`
+	SearchTopKAllocs         float64 `json:"search_topk_allocs_per_op"`
+	SearchReplicatedR1Bytes  float64 `json:"search_replicated_r1_bytes_per_op"`
+	SearchReplicatedR1Allocs float64 `json:"search_replicated_r1_allocs_per_op"`
 }
 
 func main() {
@@ -129,6 +141,17 @@ func main() {
 			case strings.HasSuffix(b.Name, "/replicas=2-hedged"):
 				snap.SearchReplicatedHedgedNS = v
 			}
+		}
+		switch b.Name {
+		case "Fig5Query/Arena":
+			snap.Fig5QueryArenaBytes = b.Metrics["B/op"]
+			snap.Fig5QueryArenaAllocs = b.Metrics["allocs/op"]
+		case "SearchTopK/construction":
+			snap.SearchTopKBytes = b.Metrics["B/op"]
+			snap.SearchTopKAllocs = b.Metrics["allocs/op"]
+		case "SearchReplicated/replicas=1":
+			snap.SearchReplicatedR1Bytes = b.Metrics["B/op"]
+			snap.SearchReplicatedR1Allocs = b.Metrics["allocs/op"]
 		}
 		snap.Benchmarks = append(snap.Benchmarks, b)
 	}

@@ -1,0 +1,110 @@
+// plsh-benchcmp is the benchmark regression gate: it compares the
+// headline metrics of benchmarks/latest.json against the promoted
+// benchmarks/baseline.json and exits nonzero when any tracked metric —
+// latency (ns), allocation bytes (B/op), or allocation count (allocs/op)
+// — regressed by more than BENCH_MAX_REGRESSION_PCT percent (default 5).
+//
+// Tracked metrics are the snapshot's top-level scalar fields, the ones
+// plsh-bench2json promotes out of the raw benchmark entries. Direction is
+// inferred from the field name: throughput fields (*_mb_per_s,
+// *_docs_per_s) regress by going down, everything else (latency in ns,
+// bytes, allocation counts) by going up. A metric absent (zero) on either
+// side is skipped, so a narrowed benchmark run gates only what it ran.
+//
+//	plsh-benchcmp [baseline.json latest.json]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	basePath, latestPath := "benchmarks/baseline.json", "benchmarks/latest.json"
+	if len(os.Args) == 3 {
+		basePath, latestPath = os.Args[1], os.Args[2]
+	} else if len(os.Args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: plsh-benchcmp [baseline.json latest.json]")
+		os.Exit(2)
+	}
+
+	maxPct := 5.0
+	if env := os.Getenv("BENCH_MAX_REGRESSION_PCT"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil || v < 0 {
+			fmt.Fprintf(os.Stderr, "plsh-benchcmp: bad BENCH_MAX_REGRESSION_PCT %q\n", env)
+			os.Exit(2)
+		}
+		maxPct = v
+	}
+
+	base, err := loadMetrics(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plsh-benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	latest, err := loadMetrics(latestPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plsh-benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failed := false
+	for _, k := range keys {
+		b, l := base[k], latest[k]
+		if b == 0 || l == 0 {
+			continue // absent from one run's pattern
+		}
+		var pct float64 // positive = regression
+		if higherIsBetter(k) {
+			pct = (b - l) / b * 100
+		} else {
+			pct = (l - b) / b * 100
+		}
+		status := "ok"
+		if pct > maxPct {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-44s %14.1f -> %14.1f  %+7.1f%%  %s\n", k, b, l, pct, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "plsh-benchcmp: regression beyond %.1f%% (set BENCH_MAX_REGRESSION_PCT to adjust)\n", maxPct)
+		os.Exit(1)
+	}
+}
+
+// loadMetrics returns the snapshot's top-level scalar metrics: every
+// numeric field except bookkeeping like iterations.
+func loadMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for k, v := range top {
+		var f float64
+		if err := json.Unmarshal(v, &f); err == nil {
+			out[k] = f
+		}
+	}
+	return out, nil
+}
+
+func higherIsBetter(field string) bool {
+	return strings.HasSuffix(field, "_mb_per_s") || strings.HasSuffix(field, "_docs_per_s")
+}

@@ -115,13 +115,16 @@ func main() {
 	// Production broadcasts trade completeness for bounded latency: each
 	// replica attempt gets a timeout, a slow preferred replica is raced by
 	// its sibling after the hedge delay, and anything unanswerable is
-	// reported, not fatal. The report traces every attempt: on a healthy
-	// in-process cluster expect zero failovers and zero hedges won — over
-	// TCP with a killed node, failovers mask it and Complete stays true.
+	// reported, not fatal. WithTrace opts into the per-attempt trace
+	// (off by default — materializing it costs an allocation per group):
+	// on a healthy in-process cluster expect zero failovers and zero
+	// hedges won — over TCP with a killed node, failovers mask it and
+	// Complete stays true.
 	_, report, err := cluster.SearchBatch(ctx, docs[:8],
 		plsh.WithNodeTimeout(250*time.Millisecond),
 		plsh.WithHedge(100*time.Millisecond),
-		plsh.AllowPartial())
+		plsh.AllowPartial(),
+		plsh.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -85,6 +85,12 @@ type BatchOptions struct {
 	// the next replica is raced against it and the first complete answer
 	// wins. The loser is canceled. No-op with Replicas = 1.
 	Hedge time.Duration
+	// Trace, when set, materializes BatchReport.Attempts — the per-replica
+	// RPC trace behind Failovers and HedgesWon. Off (the default) the
+	// broadcast records nothing per attempt, keeping the hot path free of
+	// bookkeeping allocations; failover and hedging behave identically
+	// either way.
+	Trace bool
 }
 
 // Attempt is one replica RPC of a broadcast: which group and member it
@@ -110,11 +116,13 @@ type BatchReport struct {
 	Times []time.Duration
 	Errs  []error
 	// Attempts lists the replica RPCs observed before each group
-	// resolved, grouped by group. A losing attempt still in flight when
-	// its group's answer lands (a hedged-out primary, a cancellation
-	// casualty) is canceled without being recorded, so this is the trace
-	// of outcomes the broadcast acted on, not an exhaustive RPC log.
-	// With Replicas = 1 it is one attempt per node.
+	// resolved, grouped by group — recorded only when the request asked
+	// for it (BatchOptions.Trace; WithTrace at the public surface), nil
+	// otherwise. A losing attempt still in flight when its group's answer
+	// lands (a hedged-out primary, a cancellation casualty) is canceled
+	// without being recorded, so this is the trace of outcomes the
+	// broadcast acted on, not an exhaustive RPC log. With Replicas = 1 it
+	// is one attempt per node.
 	Attempts []Attempt
 }
 
@@ -141,7 +149,8 @@ func (r BatchReport) Stragglers() []int {
 }
 
 // Failovers counts attempts launched because an earlier replica of the
-// same group failed (hedges excluded).
+// same group failed (hedges excluded). It reads the Attempts trace, so it
+// reports 0 unless the broadcast ran with Trace set.
 func (r BatchReport) Failovers() int {
 	primary := map[int]bool{}
 	n := 0
@@ -159,7 +168,8 @@ func (r BatchReport) Failovers() int {
 }
 
 // HedgesWon counts hedged attempts whose answer won their group — the
-// searches the hedge actually rescued from a slow replica.
+// searches the hedge actually rescued from a slow replica. It reads the
+// Attempts trace, so it reports 0 unless the broadcast ran with Trace set.
 func (r BatchReport) HedgesWon() int {
 	n := 0
 	for _, a := range r.Attempts {
@@ -211,7 +221,24 @@ type Cluster struct {
 	// rr rotates the preferred replica across searches so read load
 	// spreads over a group's members.
 	rr atomic.Uint32
+
+	// batchPool recycles Search answer buffers (the [][]Neighbor and the
+	// per-query backing arrays inside) between broadcasts; see
+	// ReleaseResults for the ownership contract.
+	batchPool sync.Pool
 }
+
+// bcastScratch is the per-call fan-out state of Search — per-group
+// answer pointers and winning clients — recycled across broadcasts so a
+// warmed coordinator fans out without allocating. Entries are zeroed
+// before the scratch returns to the pool, so no node answer buffer is
+// retained past its release.
+type bcastScratch struct {
+	perGroup [][][]core.Neighbor
+	winners  []transport.NodeClient
+}
+
+var bcastPool = sync.Pool{New: func() any { return new(bcastScratch) }}
 
 // New builds a single-copy coordinator (Replicas = 1) over the given
 // nodes with an insert window of windowM nodes (paper: M=4 of 100).
@@ -577,8 +604,33 @@ type attemptResult struct {
 // the next replica; with opts.Hedge set, a replica that is merely slow is
 // raced by the next one after the hedge delay and the first complete
 // answer wins. Losers are canceled on resolution. The group fails only
-// when every replica has been tried and failed.
-func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p node.SearchParams, opts BatchOptions) ([][]core.Neighbor, []Attempt, error) {
+// when every replica has been tried and failed. On success the winning
+// member's client is returned alongside its answer so the caller can hand
+// the answer buffers back to it (transport.Releaser) after the merge; the
+// attempt trace is recorded only under opts.Trace.
+func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p node.SearchParams, opts BatchOptions) ([][]core.Neighbor, transport.NodeClient, []Attempt, error) {
+	if c.r == 1 && opts.Hedge <= 0 {
+		// Single-copy fast path: no failover state machine to run, so the
+		// member is called inline — no extra goroutine, channel, or cancel
+		// context per group.
+		actx := ctx
+		if opts.PerNodeTimeout > 0 {
+			var acancel context.CancelFunc
+			actx, acancel = context.WithTimeout(ctx, opts.PerNodeTimeout)
+			defer acancel()
+		}
+		member := c.member(g, 0)
+		t0 := time.Now()
+		res, err := member.Search(actx, qs, p)
+		var attempts []Attempt
+		if opts.Trace {
+			attempts = []Attempt{{Group: g, Node: g, Won: err == nil, Time: time.Since(t0), Err: err}}
+		}
+		if err != nil {
+			return nil, nil, attempts, err
+		}
+		return res, member, attempts, nil
+	}
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reap the losing attempts once the group resolves
 	order := make([]int, c.r)
@@ -617,6 +669,11 @@ func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p 
 		hedgeC = timer.C
 	}
 	var attempts []Attempt
+	record := func(a Attempt) {
+		if opts.Trace {
+			attempts = append(attempts, a)
+		}
+	}
 	var lastErr error
 	for {
 		select {
@@ -628,17 +685,18 @@ func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p 
 			}
 			if ar.err == nil {
 				a.Won = true
-				return ar.res, append(attempts, a), nil
+				record(a)
+				return ar.res, c.member(g, ar.replica), attempts, nil
 			}
-			attempts = append(attempts, a)
+			record(a)
 			lastErr = ar.err
 			if err := ctx.Err(); err != nil {
-				return nil, attempts, err // the caller gave up; failing over is pointless
+				return nil, nil, attempts, err // the caller gave up; failing over is pointless
 			}
 			if next < c.r {
 				launch(false) // failover to the next replica
 			} else if inflight == 0 {
-				return nil, attempts, lastErr // every replica tried and failed
+				return nil, nil, attempts, lastErr // every replica tried and failed
 			}
 		case <-hedgeC:
 			hedgeC = nil // one hedge per group
@@ -646,7 +704,7 @@ func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p 
 				launch(true)
 			}
 		case <-ctx.Done():
-			return nil, attempts, ctx.Err()
+			return nil, nil, attempts, ctx.Err()
 		}
 	}
 }
@@ -678,17 +736,39 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	perGroup := make([][][]core.Neighbor, c.groups)
-	attempts := make([][]Attempt, c.groups)
+	bs := bcastPool.Get().(*bcastScratch)
+	for cap(bs.perGroup) < c.groups {
+		bs.perGroup = append(bs.perGroup[:cap(bs.perGroup)], nil)
+	}
+	for cap(bs.winners) < c.groups {
+		bs.winners = append(bs.winners[:cap(bs.winners)], nil)
+	}
+	perGroup := bs.perGroup[:c.groups]
+	winners := bs.winners[:c.groups]
+	// Registered before the ReleaseResults defer below, so it runs after
+	// it: answer buffers go back to their nodes first, then the (zeroed)
+	// scratch returns to its pool.
+	defer func() {
+		for g := range perGroup {
+			perGroup[g], winners[g] = nil, nil
+		}
+		bcastPool.Put(bs)
+	}()
+	var attempts [][]Attempt
+	if opts.Trace {
+		attempts = make([][]Attempt, c.groups)
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < c.groups; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			t0 := time.Now()
-			res, atts, err := c.searchGroup(bctx, g, qs, p, opts)
+			res, winner, atts, err := c.searchGroup(bctx, g, qs, p, opts)
 			report.Times[g] = time.Since(t0)
-			attempts[g] = atts
+			if opts.Trace {
+				attempts[g] = atts
+			}
 			if err != nil {
 				report.Errs[g] = err
 				if !opts.Partial {
@@ -696,13 +776,26 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 				}
 				return
 			}
-			perGroup[g] = res
+			perGroup[g], winners[g] = res, winner
 		}(g)
 	}
 	wg.Wait()
 	for _, atts := range attempts {
 		report.Attempts = append(report.Attempts, atts...)
 	}
+	// Whatever happens below, answered groups' result buffers go back to
+	// the members that produced them (a no-op for transports that don't
+	// pool) once the merge has copied what it needs.
+	defer func() {
+		for g, res := range perGroup {
+			if res == nil {
+				continue
+			}
+			if rel, ok := winners[g].(transport.Releaser); ok {
+				rel.ReleaseResults(res)
+			}
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return nil, report, err
 	}
@@ -729,16 +822,23 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 	if firstErr != nil && (!opts.Partial || answered == 0) {
 		return nil, report, firstErr
 	}
-	out := make([][]Neighbor, len(qs))
-	lists := make([][]core.Neighbor, c.groups)
+	// Merge into recycled per-query buffers: each out entry keeps the
+	// backing capacity it grew to in earlier broadcasts, so a warmed
+	// coordinator merges a batch without allocating result storage. The
+	// caller may hand the batch back with ReleaseResults once done.
+	out := c.getBatchOut(len(qs))
+	ms := mergePool.Get().(*mergeState)
 	for qi := range qs {
+		ms.lists = ms.lists[:0]
+		ms.groups = ms.groups[:0]
 		total := 0
 		for g := 0; g < c.groups; g++ {
-			lists[g] = nil
-			if perGroup[g] != nil {
-				lists[g] = perGroup[g][qi]
-				total += len(lists[g])
+			if perGroup[g] == nil || len(perGroup[g][qi]) == 0 {
+				continue
 			}
+			ms.lists = append(ms.lists, perGroup[g][qi])
+			ms.groups = append(ms.groups, g)
+			total += len(perGroup[g][qi])
 		}
 		if total == 0 {
 			continue
@@ -747,9 +847,41 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 		if k <= 0 {
 			k = total // unbounded: a full ordered merge
 		}
-		out[qi] = mergeTopK(lists, k)
+		out[qi] = ms.mergeAppend(out[qi][:0], k)
 	}
+	mergePool.Put(ms)
 	return out, report, nil
+}
+
+// getBatchOut fetches a recycled broadcast answer buffer of exactly nq
+// entries, each truncated to length 0 but keeping its grown capacity.
+func (c *Cluster) getBatchOut(nq int) [][]Neighbor {
+	var out [][]Neighbor
+	if p, _ := c.batchPool.Get().(*[][]Neighbor); p != nil {
+		out = *p
+	}
+	for cap(out) < nq {
+		out = append(out[:cap(out)], nil)
+	}
+	out = out[:nq]
+	for i := range out {
+		out[i] = out[i][:0]
+	}
+	return out
+}
+
+// ReleaseResults recycles a batch answer returned by Search. It is
+// optional — an un-released batch is simply garbage collected — but a
+// caller that releases once per batch, after it has finished reading
+// every entry, lets the coordinator reuse the buffers for the next
+// broadcast. The caller must not touch the slices afterwards and must
+// not release a batch twice. Neighbors hold no pointers, so recycling
+// retains no document memory.
+func (c *Cluster) ReleaseResults(out [][]Neighbor) {
+	if out == nil {
+		return
+	}
+	c.batchPool.Put(&out)
 }
 
 // Query answers one query by broadcast.
@@ -849,27 +981,63 @@ func (h topkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *topkHeap) Push(x any)   { *h = append(*h, x.(*topkCursor)) }
 func (h *topkHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
 
-// mergeTopK k-way-merges per-group ascending lists into the global top k.
-func mergeTopK(perGroup [][]core.Neighbor, k int) []Neighbor {
-	h := make(topkHeap, 0, len(perGroup))
-	for g, list := range perGroup {
-		if len(list) > 0 {
-			h = append(h, &topkCursor{group: g, list: list})
-		}
+// mergeState is the recycled scratch of one k-way merge: the non-empty
+// input lists with their group indexes, the cursor arena, and the heap of
+// cursor pointers. One state serves a whole batch, query after query, and
+// returns to mergePool when the batch's Search call finishes.
+type mergeState struct {
+	lists   [][]core.Neighbor
+	groups  []int
+	cursors []topkCursor
+	h       topkHeap
+}
+
+var mergePool = sync.Pool{New: func() any { return new(mergeState) }}
+
+// mergeAppend k-way-merges ms.lists (per-group ascending partial lists,
+// parallel to ms.groups) into dst, emitting at most k entries, and
+// returns the extended slice. It allocates only if dst or the recycled
+// scratch must grow.
+func (ms *mergeState) mergeAppend(dst []Neighbor, k int) []Neighbor {
+	// Fill the cursor arena first, then point the heap at it — appending
+	// could move the arena, so pointers are taken only once it is sized.
+	ms.cursors = ms.cursors[:0]
+	for i, list := range ms.lists {
+		ms.cursors = append(ms.cursors, topkCursor{group: ms.groups[i], list: list})
 	}
-	heap.Init(&h)
-	out := make([]Neighbor, 0, k)
-	for len(h) > 0 && len(out) < k {
-		cur := h[0]
+	ms.h = ms.h[:0]
+	for i := range ms.cursors {
+		ms.h = append(ms.h, &ms.cursors[i])
+	}
+	heap.Init(&ms.h)
+	emitted := 0
+	for len(ms.h) > 0 && emitted < k {
+		cur := ms.h[0]
 		nb := cur.head()
-		out = append(out, Neighbor{Node: cur.group, ID: nb.ID, Dist: nb.Dist})
+		dst = append(dst, Neighbor{Node: cur.group, ID: nb.ID, Dist: nb.Dist})
+		emitted++
 		cur.pos++
 		if cur.pos == len(cur.list) {
-			heap.Pop(&h)
+			heap.Pop(&ms.h)
 		} else {
-			heap.Fix(&h, 0)
+			heap.Fix(&ms.h, 0)
 		}
 	}
+	return dst
+}
+
+// mergeTopK k-way-merges per-group ascending lists into the global top k.
+func mergeTopK(perGroup [][]core.Neighbor, k int) []Neighbor {
+	ms := mergePool.Get().(*mergeState)
+	ms.lists, ms.groups = ms.lists[:0], ms.groups[:0]
+	for g, list := range perGroup {
+		if len(list) > 0 {
+			ms.lists = append(ms.lists, list)
+			ms.groups = append(ms.groups, g)
+		}
+	}
+	out := ms.mergeAppend(make([]Neighbor, 0, min(k, 1024)), k)
+	mergePool.Put(ms)
 	return out
 }
 

@@ -99,7 +99,7 @@ func TestReplicatedSearchFailsOver(t *testing.T) {
 	qs := testDocs(3, 43)
 	failovers := 0
 	for i := 0; i < 2; i++ { // rotation covers both preference orders
-		res, report, err := c.Search(bg, qs, node.SearchParams{}, BatchOptions{})
+		res, report, err := c.Search(bg, qs, node.SearchParams{}, BatchOptions{Trace: true})
 		if err != nil {
 			t.Fatalf("search %d with one dead replica: %v", i, err)
 		}
@@ -151,7 +151,7 @@ func TestReplicatedSearchWholeGroupDown(t *testing.T) {
 	qs := testDocs(2, 45)
 
 	// All-or-nothing: the dead group fails the whole batch, blamed on it.
-	_, report, err := c.Search(bg, qs, node.SearchParams{}, BatchOptions{})
+	_, report, err := c.Search(bg, qs, node.SearchParams{}, BatchOptions{Trace: true})
 	if err == nil {
 		t.Fatal("all-or-nothing broadcast succeeded with a whole group dead")
 	}
@@ -161,7 +161,7 @@ func TestReplicatedSearchWholeGroupDown(t *testing.T) {
 
 	// Partial: group 1 answers; group 0 is the straggler, having tried
 	// both replicas.
-	res, report, err := c.Search(bg, qs, node.SearchParams{}, BatchOptions{Partial: true})
+	res, report, err := c.Search(bg, qs, node.SearchParams{}, BatchOptions{Partial: true, Trace: true})
 	if err != nil {
 		t.Fatalf("partial broadcast failed: %v", err)
 	}
@@ -202,7 +202,7 @@ func TestHedgeRacesSlowReplica(t *testing.T) {
 	hedgesWon := 0
 	t0 := time.Now()
 	for i := 0; i < 2; i++ { // rotation: one search prefers the slow replica
-		res, report, err := c.Search(bg, qs, node.SearchParams{}, BatchOptions{Hedge: 10 * time.Millisecond})
+		res, report, err := c.Search(bg, qs, node.SearchParams{}, BatchOptions{Hedge: 10 * time.Millisecond, Trace: true})
 		if err != nil {
 			t.Fatalf("hedged search %d: %v", i, err)
 		}

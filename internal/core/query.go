@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -206,8 +206,19 @@ func (e *Engine) Search(q sparse.Vector, p SearchParams) []Neighbor {
 // SearchWithStats answers a single query under request-scoped parameters
 // and reports work counts.
 func (e *Engine) SearchWithStats(q sparse.Vector, p SearchParams) ([]Neighbor, QueryStats) {
+	return e.SearchAppend(nil, q, p)
+}
+
+// SearchAppend answers a single query under request-scoped parameters,
+// appending the answers to dst and returning the extended slice (the
+// append contract of strconv.AppendInt and friends). Passing a slice with
+// spare capacity makes the call allocation-free once the engine's pooled
+// workspace is warm; the caller owns dst and everything returned. Answers
+// are in bucket-scan order — callers wanting the canonical order apply
+// SortNeighbors or TopK to the appended suffix.
+func (e *Engine) SearchAppend(dst []Neighbor, q sparse.Vector, p SearchParams) ([]Neighbor, QueryStats) {
 	ws := e.wsPool.Get().(*workspace)
-	res, stats := e.queryOn(q, ws, p)
+	res, stats := e.queryOn(dst, q, ws, p)
 	e.wsPool.Put(ws)
 	return res, stats
 }
@@ -233,11 +244,30 @@ func (e *Engine) QueryBatchStats(qs []sparse.Vector) ([][]Neighbor, []QueryStats
 	return out, stats
 }
 
-// queryOn runs the full Q1–Q4 pipeline on a private workspace.
-func (e *Engine) queryOn(q sparse.Vector, ws *workspace, p SearchParams) ([]Neighbor, QueryStats) {
+// SearchBatchAppend answers a batch in parallel, reusing dst: entry i is
+// rewritten in place as append(dst[i][:0], answers...), so a caller that
+// holds one dst across batches reaches a zero-allocation steady state once
+// every entry has grown to its working capacity. dst is extended with nil
+// entries if shorter than qs; the returned slice (always len(qs)) and its
+// entries are owned by the caller. Workers write disjoint entries, so the
+// usual batch parallelism applies unchanged.
+func (e *Engine) SearchBatchAppend(dst [][]Neighbor, qs []sparse.Vector, p SearchParams) [][]Neighbor {
+	for len(dst) < len(qs) {
+		dst = append(dst, nil)
+	}
+	dst = dst[:len(qs)]
+	e.pool.Run(len(qs), func(task, worker int) {
+		dst[task], _ = e.SearchAppend(dst[task][:0], qs[task], p)
+	})
+	return dst
+}
+
+// queryOn runs the full Q1–Q4 pipeline on a private workspace, appending
+// answers to dst.
+func (e *Engine) queryOn(dst []Neighbor, q sparse.Vector, ws *workspace, p SearchParams) ([]Neighbor, QueryStats) {
 	var stats QueryStats
 	if e.st.Len() == 0 || q.NNZ() == 0 {
-		return nil, stats
+		return dst, stats
 	}
 	hp := e.st.fam.Params()
 	half := uint(hp.K / 2)
@@ -316,7 +346,7 @@ func (e *Engine) queryOn(q sparse.Vector, ws *workspace, p SearchParams) ([]Neig
 	}
 	thr := sparse.CosThreshold(radius)
 	evaluated := 0
-	var out []Neighbor
+	base := len(dst)
 	if e.opts.OptimizedDP {
 		ws.mask.Scatter(q)
 	}
@@ -336,7 +366,7 @@ func (e *Engine) queryOn(q sparse.Vector, ws *workspace, p SearchParams) ([]Neig
 			dot = sparse.Dot(q, sparse.Vector{Idx: idx, Val: val})
 		}
 		if dot >= thr {
-			out = append(out, Neighbor{ID: id, Dist: sparse.AngularDistance(dot)})
+			dst = append(dst, Neighbor{ID: id, Dist: sparse.AngularDistance(dot)})
 		}
 	}
 	stats.Unique = evaluated
@@ -346,18 +376,30 @@ func (e *Engine) queryOn(q sparse.Vector, ws *workspace, p SearchParams) ([]Neig
 	if e.opts.CollectPhases {
 		e.q3ns.Add(now() - t0)
 	}
-	stats.Results = len(out)
-	return out, stats
+	stats.Results = len(dst) - base
+	return dst, stats
 }
 
 // SortNeighbors orders neighbors by ascending distance, breaking ties by ID
-// — a stable presentation order for callers and tests.
+// — a stable presentation order for callers and tests. slices.SortFunc
+// rather than sort.Slice: the generic path sorts in place with no
+// per-call allocation, which matters on the hot path (one sort per query
+// per node).
 func SortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
-			return ns[i].Dist < ns[j].Dist
+	slices.SortFunc(ns, func(a, b Neighbor) int {
+		if a.Dist != b.Dist {
+			if a.Dist < b.Dist {
+				return -1
+			}
+			return 1
 		}
-		return ns[i].ID < ns[j].ID
+		if a.ID < b.ID {
+			return -1
+		}
+		if a.ID > b.ID {
+			return 1
+		}
+		return 0
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 	"errors"
 
 	"plsh/internal/lshhash"
+	"plsh/internal/rng"
 	"plsh/internal/sched"
 	"plsh/internal/sparse"
 )
@@ -113,6 +114,45 @@ func (s *Static) Compact(drop func(id uint32) bool, workers int) {
 					w++
 				}
 			}
+		}
+		t.Offsets[len(t.Offsets)-1] = w
+		t.Items = t.Items[:w]
+	})
+}
+
+// CapBuckets bounds every bucket to at most r items, in place, choosing
+// the survivors of an oversized bucket by reservoir sampling over the
+// bucket's insertion order — the SLASH-style bound that keeps the cost of
+// scanning a skew-heavy bucket O(r) instead of O(bucket). Sampling is
+// deterministic in (seed, table index), so two builds over the same rows
+// cap identically. Like Compact, CapBuckets must run before the index is
+// published to readers; r <= 0 is a no-op.
+func (s *Static) CapBuckets(r int, seed uint64, workers int) {
+	if r <= 0 {
+		return
+	}
+	pool := sched.NewPool(workers)
+	pool.Run(len(s.tables), func(l, _ int) {
+		t := &s.tables[l]
+		src := rng.New(seed + uint64(l)*0x9e3779b97f4a7c15)
+		var w uint32
+		for b := 0; b < len(t.Offsets)-1; b++ {
+			lo, hi := t.Offsets[b], t.Offsets[b+1]
+			t.Offsets[b] = w
+			bucket := t.Items[lo:hi]
+			if len(bucket) > r {
+				// Reservoir over the bucket: slot j of the first r is
+				// replaced by item i with probability r/(i+1).
+				res := bucket[:r]
+				for i := r; i < len(bucket); i++ {
+					if j := src.Intn(i + 1); j < r {
+						res[j] = bucket[i]
+					}
+				}
+				bucket = res
+			}
+			// w never exceeds the read cursor, so the in-place copy is safe.
+			w += uint32(copy(t.Items[w:], bucket))
 		}
 		t.Offsets[len(t.Offsets)-1] = w
 		t.Items = t.Items[:w]

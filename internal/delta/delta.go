@@ -22,6 +22,7 @@ package delta
 import (
 	"plsh/internal/bitvec"
 	"plsh/internal/lshhash"
+	"plsh/internal/rng"
 	"plsh/internal/sched"
 	"plsh/internal/sparse"
 )
@@ -39,6 +40,17 @@ type Table struct {
 	sk      *lshhash.Sketches     // retained so merges reuse hashing work
 	n       int
 	frozen  bool
+
+	// Reservoir bucket bound (SLASH-style): when resCap > 0, every bucket
+	// holds at most resCap items, the survivors chosen by streaming
+	// reservoir sampling so each offered item is retained with equal
+	// probability regardless of skew. offers[l][key] counts items ever
+	// offered to a bucket once it is full; rngs[l] is the table's private
+	// deterministic sampling stream.
+	resCap  int
+	resSeed uint64
+	offers  []map[uint32]int
+	rngs    []*rng.Source
 }
 
 // New returns an empty delta table over the family.
@@ -54,6 +66,52 @@ func New(fam *lshhash.Family, workers int) *Table {
 		d.buckets[l] = make(map[uint32][]uint32)
 	}
 	return d
+}
+
+// SetReservoir bounds every bucket to at most r items via reservoir
+// sampling (r <= 0 disables the bound, the default). Sampling is
+// deterministic in (seed, table index). Must be called before the first
+// Insert; panics on a non-empty or frozen table so a bound can never be
+// applied retroactively to half of a stream.
+func (d *Table) SetReservoir(r int, seed uint64) {
+	if d.n > 0 || d.frozen {
+		panic("delta: SetReservoir on non-empty table")
+	}
+	d.resCap = r
+	d.resSeed = seed
+	if r <= 0 {
+		d.offers = nil
+		d.rngs = nil
+		return
+	}
+	L := d.fam.Params().L()
+	d.offers = make([]map[uint32]int, L)
+	d.rngs = make([]*rng.Source, L)
+	for l := 0; l < L; l++ {
+		d.offers[l] = make(map[uint32]int)
+		d.rngs[l] = rng.New(seed + uint64(l)*0x9e3779b97f4a7c15)
+	}
+}
+
+// offer appends id to table l's bucket under the reservoir discipline:
+// plain append while the bucket is under resCap, then replacement with
+// probability resCap/t for the t-th offered item. With no bound set it is
+// a plain append.
+func (d *Table) offer(l int, m map[uint32][]uint32, key uint32, id uint32) {
+	ids := m[key]
+	if d.resCap <= 0 || len(ids) < d.resCap {
+		m[key] = append(ids, id)
+		return
+	}
+	t := d.offers[l][key]
+	if t == 0 {
+		t = d.resCap // first overflow: resCap items offered so far
+	}
+	t++
+	if j := d.rngs[l].Intn(t); j < d.resCap {
+		ids[j] = id
+	}
+	d.offers[l][key] = t
 }
 
 // Len returns the number of inserted documents.
@@ -87,7 +145,7 @@ func (d *Table) Insert(vs []sparse.Vector) int {
 		for i := range vs {
 			id := first + i
 			key := d.sk.TableKey(id, a, b, p.K)
-			m[key] = append(m[key], uint32(id))
+			d.offer(l, m, key, uint32(id))
 		}
 	})
 	d.n += len(vs)
@@ -126,7 +184,18 @@ func (d *Table) Candidates(sketch []uint32, seen *bitvec.Vector, cand []uint32) 
 // This is the segment-coalescing path: rebucketing reuses the hashing work
 // retained in the source tables' sketches instead of rehashing documents.
 func FromSketches(fam *lshhash.Family, sk *lshhash.Sketches, workers int, skip func(localID int) bool) *Table {
+	return fromSketches(fam, sk, workers, skip, 0, 0)
+}
+
+// fromSketches is FromSketches with an optional reservoir bound, applied
+// per bucket over the rows' ID order — the rebucketing analogue of the
+// streaming bound, so a coalesced segment obeys the same cap as the
+// segments it replaces.
+func fromSketches(fam *lshhash.Family, sk *lshhash.Sketches, workers int, skip func(localID int) bool, resCap int, resSeed uint64) *Table {
 	d := New(fam, workers)
+	if resCap > 0 {
+		d.SetReservoir(resCap, resSeed)
+	}
 	d.sk = sk
 	d.n = sk.N()
 	p := fam.Params()
@@ -138,7 +207,7 @@ func FromSketches(fam *lshhash.Family, sk *lshhash.Sketches, workers int, skip f
 				continue
 			}
 			key := sk.TableKey(i, a, b, p.K)
-			m[key] = append(m[key], uint32(i))
+			d.offer(l, m, key, uint32(i))
 		}
 	})
 	d.Freeze()
@@ -157,7 +226,11 @@ func Coalesce(fam *lshhash.Family, a, b *Table, workers int, skip func(localID i
 	data := make([]uint32, 0, len(a.sk.Data)+len(b.sk.Data))
 	data = append(data, a.sk.Data...)
 	data = append(data, b.sk.Data...)
-	return FromSketches(fam, &lshhash.Sketches{M: m, Data: data}, workers, skip)
+	// The merged segment inherits a's reservoir bound (segments under one
+	// node always share a configuration), reseeded by the combined length
+	// so repeated coalesces don't replay one sampling stream.
+	return fromSketches(fam, &lshhash.Sketches{M: m, Data: data}, workers, skip,
+		a.resCap, a.resSeed+uint64(a.n+b.n))
 }
 
 // Buckets iterates table l's buckets (key, delta-local IDs) in unspecified
@@ -177,6 +250,10 @@ func (d *Table) Buckets(l int, fn func(key uint32, ids []uint32) bool) {
 func (d *Table) Reset() {
 	for l := range d.buckets {
 		clear(d.buckets[l])
+	}
+	for l := range d.offers {
+		clear(d.offers[l])
+		d.rngs[l] = rng.New(d.resSeed + uint64(l)*0x9e3779b97f4a7c15)
 	}
 	d.sk = &lshhash.Sketches{M: d.fam.Params().M}
 	d.n = 0

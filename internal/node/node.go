@@ -97,6 +97,13 @@ type Config struct {
 	Query core.QueryOptions
 	// Seed feeds the hash family if Params.Seed is zero.
 	Seed uint64
+	// BucketReservoir, when > 0, bounds every hash bucket (static and
+	// delta) to at most this many entries, keeping the survivors by
+	// reservoir sampling — the SLASH-style cap that makes per-insert and
+	// per-bucket-scan cost independent of stream skew. Sampling is
+	// deterministic in the node's seed. 0 (the default) keeps buckets
+	// exact and unbounded.
+	BucketReservoir int
 	// Dir, when non-empty, makes the node durable: Open recovers its state
 	// from Dir (latest snapshot + journal-tail replay), acknowledged
 	// writes are journaled there first, and background merges checkpoint
@@ -225,6 +232,10 @@ type Node struct {
 	// dwsPool recycles delta-side query workspaces, mirroring the static
 	// engine's private-bitvector-per-query design.
 	dwsPool sync.Pool
+	// batchPool recycles SearchBatch answer buffers (the [][]Neighbor and
+	// each per-query entry's backing array) between batches; see
+	// ReleaseResults for the ownership contract.
+	batchPool sync.Pool
 }
 
 type deltaWorkspace struct {
@@ -376,7 +387,7 @@ func (n *Node) applyRecordLocked(rec *persist.Record) error {
 				}
 			}
 		}
-		t := delta.New(n.fam, n.cfg.Build.Workers)
+		t := n.newDelta()
 		t.Insert(rec.Docs)
 		t.Freeze()
 		for _, v := range rec.Docs {
@@ -395,6 +406,18 @@ func (n *Node) applyRecordLocked(rec *persist.Record) error {
 		return fmt.Errorf("node: journal replay: unknown record kind %d", rec.Kind)
 	}
 	return nil
+}
+
+// newDelta builds an empty delta segment under the node's configuration,
+// bucket-reservoir bound included. Segments share one sampling seed: the
+// stream each segment's reservoir sees is its own insert order, so the
+// bound stays deterministic for a given insert sequence.
+func (n *Node) newDelta() *delta.Table {
+	t := delta.New(n.fam, n.cfg.Build.Workers)
+	if n.cfg.BucketReservoir > 0 {
+		t.SetReservoir(n.cfg.BucketReservoir, n.cfg.Params.Seed^0xd6e8feb86659fd93)
+	}
+	return t
 }
 
 // initStaticLocked (re)builds the static index and engine over the current
@@ -420,6 +443,11 @@ func (n *Node) buildStatic(prefix *sparse.Matrix, del *bitvec.Vector) (*core.Sta
 		// candidates again. Later deletions are caught by the engine's
 		// per-query tombstone filter.
 		st.Compact(func(id uint32) bool { return del.TestAtomic(int(id)) }, n.cfg.Build.Workers)
+	}
+	if n.cfg.BucketReservoir > 0 {
+		// Cap after compaction so tombstoned rows never consume reservoir
+		// slots that live rows could have kept.
+		st.CapBuckets(n.cfg.BucketReservoir, n.cfg.Params.Seed^0xa5a3564e06f8e3c1, n.cfg.Build.Workers)
 	}
 	eng := core.NewEngine(st, prefix, n.cfg.Query)
 	eng.SetDeleted(del)
@@ -480,7 +508,7 @@ func (n *Node) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error)
 	// they land, so the expensive per-batch work never blocks concurrent
 	// Stats/Flush/MergeNow or other inserts. (A batch that then fails the
 	// capacity check wastes this work — rare and terminal for the node.)
-	t := delta.New(n.fam, n.cfg.Build.Workers)
+	t := n.newDelta()
 	t.Insert(vs)
 	t.Freeze()
 	n.mu.Lock()
@@ -973,7 +1001,21 @@ func (n *Node) Search(ctx context.Context, q sparse.Vector, p SearchParams) ([]c
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return finishSearch(n.searchOn(n.snap.Load(), q, p), p), nil
+	res, err := n.SearchAppend(ctx, nil, q, p)
+	return res, err
+}
+
+// SearchAppend is Search with the append contract of
+// core.Engine.SearchAppend: answers are appended to dst (finished — top-k
+// bounded and canonically ordered — over the appended suffix only) and
+// the extended slice is returned. A caller that reuses dst across calls
+// makes the whole node-level search allocation-free in steady state; the
+// caller owns dst and everything returned.
+func (n *Node) SearchAppend(ctx context.Context, dst []core.Neighbor, q sparse.Vector, p SearchParams) ([]core.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return finishSearch(n.searchOn(dst, n.snap.Load(), q, p), len(dst), p), nil
 }
 
 // SearchBatch answers a batch under one set of request-scoped parameters,
@@ -986,27 +1028,62 @@ func (n *Node) SearchBatch(ctx context.Context, qs []sparse.Vector, p SearchPara
 		return nil, err
 	}
 	s := n.snap.Load()
-	out := make([][]core.Neighbor, len(qs))
+	out := n.getBatchOut(len(qs))
 	s.eng.Pool().Run(len(qs), func(task, _ int) {
 		if ctx.Err() != nil {
 			return
 		}
-		out[task] = finishSearch(n.searchOn(s, qs[task], p), p)
+		out[task] = finishSearch(n.searchOn(out[task][:0], s, qs[task], p), 0, p)
 	})
 	if err := ctx.Err(); err != nil {
+		n.ReleaseResults(out)
 		return nil, err
 	}
 	return out, nil
 }
 
-// finishSearch imposes the answer contract of Search on a raw candidate
-// list: top-k selection when bounded, canonical (distance, id) order
-// either way.
-func finishSearch(res []core.Neighbor, p SearchParams) []core.Neighbor {
-	if p.K > 0 {
-		return core.TopK(res, p.K)
+// getBatchOut fetches a recycled batch answer buffer of exactly nq
+// entries. Entries keep the backing-array capacity they grew to in
+// earlier batches (truncated to length 0), so a warmed node answers
+// batches without allocating result storage.
+func (n *Node) getBatchOut(nq int) [][]core.Neighbor {
+	var out [][]core.Neighbor
+	if p, _ := n.batchPool.Get().(*[][]core.Neighbor); p != nil {
+		out = *p
 	}
-	core.SortNeighbors(res)
+	for cap(out) < nq {
+		out = append(out[:cap(out)], nil)
+	}
+	out = out[:nq]
+	for i := range out {
+		out[i] = out[i][:0]
+	}
+	return out
+}
+
+// ReleaseResults recycles a batch answer returned by SearchBatch (and by
+// transport.Local.Search over it). It is optional — an un-released batch
+// is simply garbage collected — but a caller on the hot path that calls
+// it once per batch, after it has finished reading every entry, lets the
+// node reuse the buffers for the next batch. The caller must not touch
+// the slices afterwards, and must not release a batch twice. Neighbors
+// hold no pointers, so recycling retains no document memory.
+func (n *Node) ReleaseResults(out [][]core.Neighbor) {
+	if out == nil {
+		return
+	}
+	n.batchPool.Put(&out)
+}
+
+// finishSearch imposes the answer contract of Search on the raw
+// candidates appended past res[:base]: top-k selection when bounded,
+// canonical (distance, id) order either way. Entries before base are the
+// caller's and are left untouched.
+func finishSearch(res []core.Neighbor, base int, p SearchParams) []core.Neighbor {
+	if p.K > 0 {
+		return res[:base+len(core.TopK(res[base:], p.K))]
+	}
+	core.SortNeighbors(res[base:])
 	return res
 }
 
@@ -1019,7 +1096,7 @@ func (n *Node) Query(ctx context.Context, q sparse.Vector) ([]core.Neighbor, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return n.searchOn(n.snap.Load(), q, SearchParams{}), nil
+	return n.searchOn(nil, n.snap.Load(), q, SearchParams{}), nil
 }
 
 // QueryBatch answers a batch in parallel with the node's configured
@@ -1036,7 +1113,7 @@ func (n *Node) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Nei
 		if ctx.Err() != nil {
 			return
 		}
-		out[task] = n.searchOn(s, qs[task], SearchParams{})
+		out[task] = n.searchOn(nil, s, qs[task], SearchParams{})
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -1060,16 +1137,17 @@ func (n *Node) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Ne
 }
 
 // searchOn runs the combined static+delta query against one immutable
-// snapshot under request-scoped parameters. It takes no locks: the engine,
-// segments and arena prefix are frozen, and tombstones are read
-// atomically. p.MaxCandidates bounds the total distance computations
-// across the static engine and the delta segments combined; p.K is left
-// to the caller (finishSearch) so the R-near set stays intact for reuse.
-func (n *Node) searchOn(s *snapshot, q sparse.Vector, p SearchParams) []core.Neighbor {
+// snapshot under request-scoped parameters, appending raw answers to dst.
+// It takes no locks: the engine, segments and arena prefix are frozen,
+// and tombstones are read atomically. p.MaxCandidates bounds the total
+// distance computations across the static engine and the delta segments
+// combined; p.K is left to the caller (finishSearch) so the R-near set
+// stays intact for reuse.
+func (n *Node) searchOn(dst []core.Neighbor, s *snapshot, q sparse.Vector, p SearchParams) []core.Neighbor {
 	if q.NNZ() == 0 {
-		return nil
+		return dst
 	}
-	res, stats := s.eng.SearchWithStats(q, core.SearchParams{Radius: p.Radius, MaxCandidates: p.MaxCandidates})
+	res, stats := s.eng.SearchAppend(dst, q, core.SearchParams{Radius: p.Radius, MaxCandidates: p.MaxCandidates})
 	if len(s.segs) == 0 {
 		return res
 	}

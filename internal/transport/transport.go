@@ -75,6 +75,17 @@ type NodeClient interface {
 	Close() error
 }
 
+// Releaser is the optional buffer-recycling extension of NodeClient: a
+// transport whose Search answers come from a pool implements it, and a
+// caller that has finished reading a Search result may hand the buffers
+// back — exactly once, touching nothing afterwards. Callers must treat it
+// as best-effort (type-assert and skip when absent): Local implements it
+// by returning the node's pooled batch buffers; the TCP client does not,
+// since its decoded results are ordinary garbage-collected memory.
+type Releaser interface {
+	ReleaseResults(res [][]core.Neighbor)
+}
+
 // Local adapts a *node.Node to NodeClient with direct calls. Context is
 // checked on entry even for the constant-time operations so a canceled
 // coordinator sees uniform behavior across transports.
@@ -94,6 +105,10 @@ func (l *Local) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error
 func (l *Local) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
 	return l.N.SearchBatch(ctx, qs, p)
 }
+
+// ReleaseResults implements Releaser: buffers go back to the node's
+// batch pool for the next Search.
+func (l *Local) ReleaseResults(res [][]core.Neighbor) { l.N.ReleaseResults(res) }
 
 // QueryBatch implements NodeClient.
 func (l *Local) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
@@ -155,7 +170,10 @@ func (l *Local) Stats(ctx context.Context) (node.Stats, error) {
 // are untouched. Idempotent.
 func (l *Local) Close() error { return l.N.Close() }
 
-var _ NodeClient = (*Local)(nil)
+var (
+	_ NodeClient = (*Local)(nil)
+	_ Releaser   = (*Local)(nil)
+)
 
 // errClosed is returned by remote clients after Close.
 var errClosed = errors.New("transport: client closed")

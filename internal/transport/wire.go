@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -91,6 +92,11 @@ type request struct {
 	// never arrives. Assumes loosely synchronized clocks; skew only moves
 	// when the server gives up, never the client-side outcome.
 	Deadline int64
+
+	// sp is client-side scratch: Search points at it so an opSearch frame
+	// costs no separate searchParams allocation. Unexported, so gob never
+	// sees it — the wire encoding is unchanged (pinned by the golden test).
+	sp searchParams
 }
 
 // respCode distinguishes sentinel errors across the wire.
@@ -118,6 +124,36 @@ type response struct {
 	// Doc and Known answer an opDoc request.
 	Doc   sparse.Vector
 	Known bool
+}
+
+// Frame structs are pooled on both ends of the connection: every RPC
+// reuses a request and a response instead of allocating fresh ones. The
+// invariant is "pool contents are zeroed" — put* clears the struct before
+// Put, so a Get always hands gob a blank frame and decoded slices that
+// escaped into the backend (inserted vectors, returned answer lists) are
+// never aliased by a later decode: gob allocates fresh backing arrays
+// into zeroed fields.
+var (
+	reqPool  = sync.Pool{New: func() any { return new(request) }}
+	respPool = sync.Pool{New: func() any { return new(response) }}
+	// respChPool recycles the per-call response channel. Only channels
+	// that completed a normal receive are returned: a channel closed by
+	// connection failure, or one a canceled call abandoned (a late
+	// response may still land in it), is left to the GC.
+	respChPool = sync.Pool{New: func() any { return make(chan *response, 1) }}
+)
+
+func getRequest() *request   { return reqPool.Get().(*request) }
+func getResponse() *response { return respPool.Get().(*response) }
+
+func putRequest(r *request) {
+	*r = request{}
+	reqPool.Put(r)
+}
+
+func putResponse(r *response) {
+	*r = response{}
+	respPool.Put(r)
 }
 
 // Serve answers requests for backend on l until ctx is canceled (clean
@@ -160,8 +196,15 @@ func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError f
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	// One decoder, one encoder, one write buffer per connection — frames
+	// reuse them for the connection's whole life instead of paying
+	// per-RPC setup. The decoder reads through its own buffer (gob wraps
+	// non-ByteReaders in one); the encoder writes through bw, flushed
+	// per frame under writeMu so a response hits the wire as soon as its
+	// frame is complete.
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
 	var writeMu sync.Mutex // gob encoders are stateful: one frame at a time
 	// inflight maps request Seq → cancel func, so an opCancel frame from
 	// the client aborts the matching backend call.
@@ -169,8 +212,9 @@ func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError f
 	inflight := map[uint64]context.CancelFunc{}
 	var wg sync.WaitGroup
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		req := getRequest()
+		if err := dec.Decode(req); err != nil {
+			putRequest(req)
 			// EOF is a clean client close and shutdown races are expected;
 			// anything else is a protocol/peer failure worth surfacing.
 			if err != io.EOF && ctx.Err() == nil && !errors.Is(err, net.ErrClosed) && onError != nil {
@@ -185,6 +229,7 @@ func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError f
 			if cancel != nil {
 				cancel()
 			}
+			putRequest(req)
 			continue
 		}
 		var rctx context.Context
@@ -198,18 +243,32 @@ func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError f
 		inflight[req.Seq] = rcancel
 		inflightMu.Unlock()
 		wg.Add(1)
-		go func(req request, rctx context.Context) {
+		go func(req *request, rctx context.Context) {
 			defer wg.Done()
+			seq := req.Seq // survives the frame's return to the pool
 			defer func() {
 				inflightMu.Lock()
-				delete(inflight, req.Seq)
+				delete(inflight, seq)
 				inflightMu.Unlock()
 				rcancel()
 			}()
-			resp := handle(rctx, backend, &req)
+			resp := getResponse()
+			resp.Seq = seq
+			handle(rctx, backend, req, resp)
 			writeMu.Lock()
 			err := enc.Encode(resp)
+			if err == nil {
+				err = bw.Flush()
+			}
 			writeMu.Unlock()
+			// The answer lists are on the wire; hand them back to the
+			// backend's buffer pool when it recycles (the in-process
+			// Local does), then recycle both frames.
+			if rel, ok := backend.(Releaser); ok && resp.Results != nil {
+				rel.ReleaseResults(resp.Results)
+			}
+			putResponse(resp)
+			putRequest(req)
 			if err != nil && ctx.Err() == nil && !errors.Is(err, net.ErrClosed) && onError != nil {
 				onError(fmt.Errorf("transport: encode to %v: %w", conn.RemoteAddr(), err))
 			}
@@ -225,8 +284,7 @@ func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError f
 	wg.Wait()
 }
 
-func handle(ctx context.Context, backend NodeClient, req *request) *response {
-	resp := &response{Seq: req.Seq}
+func handle(ctx context.Context, backend NodeClient, req *request, resp *response) {
 	fail := func(err error) {
 		if errors.Is(err, node.ErrFull) {
 			resp.Code = codeFull
@@ -337,7 +395,6 @@ func handle(ctx context.Context, backend NodeClient, req *request) *response {
 	default:
 		fail(fmt.Errorf("transport: unknown op %d", req.Op))
 	}
-	return resp
 }
 
 // Client is a NodeClient over one TCP connection. Any number of calls may
@@ -376,19 +433,28 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 		dead:    make(chan struct{}),
 		pending: map[uint64]chan *response{},
 	}
-	go c.writeLoop(gob.NewEncoder(conn))
-	go c.readLoop(gob.NewDecoder(conn))
+	bw := bufio.NewWriter(conn)
+	go c.writeLoop(gob.NewEncoder(bw), bw)
+	go c.readLoop(gob.NewDecoder(bufio.NewReader(conn)))
 	return c, nil
 }
 
 // writeLoop is the single writer: it drains queued frames onto the gob
-// encoder until the connection dies. Callers never block on a slow send —
-// they wait on their response channel (or their context) instead.
-func (c *Client) writeLoop(enc *gob.Encoder) {
+// encoder until the connection dies, recycling each frame once it is
+// encoded. Callers never block on a slow send — they wait on their
+// response channel (or their context) instead. The write buffer is
+// flushed only when the queue drains, so a burst of concurrent calls
+// coalesces into fewer, larger writes.
+func (c *Client) writeLoop(enc *gob.Encoder, bw *bufio.Writer) {
 	for {
 		select {
 		case req := <-c.writeCh:
-			if err := enc.Encode(req); err != nil {
+			err := enc.Encode(req)
+			putRequest(req)
+			if err == nil && len(c.writeCh) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
 				c.fail(fmt.Errorf("transport: send: %w", err))
 				return
 			}
@@ -399,11 +465,14 @@ func (c *Client) writeLoop(enc *gob.Encoder) {
 }
 
 // readLoop dispatches response frames to pending calls until the
-// connection dies, then fails whatever is still waiting.
+// connection dies, then fails whatever is still waiting. Each frame is a
+// pooled response struct; ownership passes to the waiting call, which
+// recycles it after extracting the answer.
 func (c *Client) readLoop(dec *gob.Decoder) {
 	for {
-		var resp response
-		if err := dec.Decode(&resp); err != nil {
+		resp := getResponse()
+		if err := dec.Decode(resp); err != nil {
+			putResponse(resp)
 			c.fail(fmt.Errorf("transport: receive: %w", err))
 			return
 		}
@@ -412,9 +481,11 @@ func (c *Client) readLoop(dec *gob.Decoder) {
 		delete(c.pending, resp.Seq)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- &resp // buffered; never blocks
+			ch <- resp // buffered; never blocks
+		} else {
+			// The call was canceled or the frame is stray — recycle it.
+			putResponse(resp)
 		}
-		// else: the call was canceled or the frame is stray — drop it.
 	}
 }
 
@@ -450,24 +521,34 @@ func (c *Client) terminalErr() error {
 	return errClosed
 }
 
+// do sends req — a pooled frame the caller filled via getRequest — and
+// waits for its answer. Ownership of req passes to writeLoop on a
+// successful enqueue (it recycles the frame after encoding); on the early
+// abort paths do recycles it itself. A successful return hands the caller
+// a pooled response to release with putResponse once the answer is
+// extracted.
 func (c *Client) do(ctx context.Context, req *request) (*response, error) {
 	if err := ctx.Err(); err != nil {
+		putRequest(req)
 		return nil, err
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		putRequest(req)
 		return nil, errClosed
 	}
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		putRequest(req)
 		return nil, err
 	}
 	c.seq++
-	req.Seq = c.seq
-	ch := make(chan *response, 1)
-	c.pending[req.Seq] = ch
+	seq := c.seq
+	req.Seq = seq
+	ch := respChPool.Get().(chan *response)
+	c.pending[seq] = ch
 	c.mu.Unlock()
 
 	// Carry the caller's deadline to the server so abandoned work is
@@ -479,30 +560,39 @@ func (c *Client) do(ctx context.Context, req *request) (*response, error) {
 	select {
 	case c.writeCh <- req:
 	case <-ctx.Done():
-		c.forget(req.Seq)
+		c.forget(seq)
+		putRequest(req)
 		return nil, ctx.Err()
 	case <-c.dead:
-		c.forget(req.Seq)
+		c.forget(seq)
+		putRequest(req)
 		return nil, c.terminalErr()
 	}
 
 	select {
 	case resp, ok := <-ch:
 		if !ok {
+			// Closed by fail(); a closed channel cannot be reused.
 			return nil, c.terminalErr()
 		}
+		respChPool.Put(ch) // drained, and seq is out of pending: safe to reuse
 		switch resp.Code {
 		case codeFull:
+			putResponse(resp)
 			return nil, node.ErrFull
 		case codeNotFound:
+			putResponse(resp)
 			return nil, node.ErrNotFound
 		case codeError:
-			return nil, fmt.Errorf("transport: remote: %s", resp.Err)
+			err := fmt.Errorf("transport: remote: %s", resp.Err)
+			putResponse(resp)
+			return nil, err
 		}
 		return resp, nil
 	case <-ctx.Done():
-		c.forget(req.Seq)
-		c.sendCancel(req.Seq)
+		// A late response may still land in ch; leave both to the GC.
+		c.forget(seq)
+		c.sendCancel(seq)
 		return nil, ctx.Err()
 	}
 }
@@ -520,111 +610,164 @@ func (c *Client) forget(seq uint64) {
 // the deadline carried in the original request still bounds the
 // server-side work.
 func (c *Client) sendCancel(seq uint64) {
+	req := getRequest()
+	req.Op = opCancel
+	req.Seq = seq
 	select {
-	case c.writeCh <- &request{Op: opCancel, Seq: seq}:
+	case c.writeCh <- req:
 	case <-c.dead:
+		putRequest(req)
 	default:
+		putRequest(req)
 	}
+}
+
+// doEmpty runs an RPC whose response carries no payload beyond its code.
+func (c *Client) doEmpty(ctx context.Context, req *request) error {
+	resp, err := c.do(ctx, req)
+	if err != nil {
+		return err
+	}
+	putResponse(resp)
+	return nil
 }
 
 // Insert implements NodeClient.
 func (c *Client) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error) {
-	resp, err := c.do(ctx, &request{Op: opInsert, Vectors: vs})
+	req := getRequest()
+	req.Op = opInsert
+	req.Vectors = vs
+	resp, err := c.do(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return resp.IDs, nil
+	ids := resp.IDs
+	putResponse(resp)
+	return ids, nil
 }
 
 // QueryBatch implements NodeClient.
 func (c *Client) QueryBatch(ctx context.Context, qs []sparse.Vector) ([][]core.Neighbor, error) {
-	resp, err := c.do(ctx, &request{Op: opQueryBatch, Vectors: qs})
+	req := getRequest()
+	req.Op = opQueryBatch
+	req.Vectors = qs
+	resp, err := c.do(ctx, req)
 	if err != nil {
 		return nil, err
 	}
+	res := resp.Results
+	putResponse(resp)
 	// The server guarantees one answer list per query; a mismatch means a
 	// corrupt or non-conforming peer, not something to paper over.
-	if len(resp.Results) != len(qs) {
+	if len(res) != len(qs) {
 		return nil, fmt.Errorf("transport: reply carries %d answer lists for %d queries",
-			len(resp.Results), len(qs))
+			len(res), len(qs))
 	}
-	return resp.Results, nil
+	return res, nil
 }
 
 // Search implements NodeClient: one frame carries the batch and the
 // versioned request-scoped parameter struct.
 func (c *Client) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
-	resp, err := c.do(ctx, &request{Op: opSearch, Vectors: qs, Search: &searchParams{
+	req := getRequest()
+	req.Op = opSearch
+	req.Vectors = qs
+	req.sp = searchParams{
 		Version:       searchVersion,
 		Radius:        p.Radius,
 		K:             p.K,
 		MaxCandidates: p.MaxCandidates,
-	}})
+	}
+	req.Search = &req.sp
+	resp, err := c.do(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	if len(resp.Results) != len(qs) {
+	res := resp.Results
+	putResponse(resp)
+	if len(res) != len(qs) {
 		return nil, fmt.Errorf("transport: reply carries %d answer lists for %d queries",
-			len(resp.Results), len(qs))
+			len(res), len(qs))
 	}
-	return resp.Results, nil
+	return res, nil
 }
 
 // Doc implements NodeClient.
 func (c *Client) Doc(ctx context.Context, id uint32) (sparse.Vector, bool, error) {
-	resp, err := c.do(ctx, &request{Op: opDoc, ID: id})
+	req := getRequest()
+	req.Op = opDoc
+	req.ID = id
+	resp, err := c.do(ctx, req)
 	if err != nil {
 		return sparse.Vector{}, false, err
 	}
-	return resp.Doc, resp.Known, nil
+	v, known := resp.Doc, resp.Known
+	putResponse(resp)
+	return v, known, nil
 }
 
 // QueryTopK implements NodeClient.
 func (c *Client) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]core.Neighbor, error) {
-	resp, err := c.do(ctx, &request{Op: opQueryTopK, Vectors: []sparse.Vector{q}, K: k})
+	req := getRequest()
+	req.Op = opQueryTopK
+	req.Vectors = []sparse.Vector{q}
+	req.K = k
+	resp, err := c.do(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return resp.TopK, nil
+	res := resp.TopK
+	putResponse(resp)
+	return res, nil
 }
 
 // Delete implements NodeClient.
 func (c *Client) Delete(ctx context.Context, id uint32) error {
-	_, err := c.do(ctx, &request{Op: opDelete, ID: id})
-	return err
+	req := getRequest()
+	req.Op = opDelete
+	req.ID = id
+	return c.doEmpty(ctx, req)
 }
 
 // MergeNow implements NodeClient.
 func (c *Client) MergeNow(ctx context.Context) error {
-	_, err := c.do(ctx, &request{Op: opMerge})
-	return err
+	req := getRequest()
+	req.Op = opMerge
+	return c.doEmpty(ctx, req)
 }
 
 // Flush implements NodeClient.
 func (c *Client) Flush(ctx context.Context) error {
-	_, err := c.do(ctx, &request{Op: opFlush})
-	return err
+	req := getRequest()
+	req.Op = opFlush
+	return c.doEmpty(ctx, req)
 }
 
 // Retire implements NodeClient.
 func (c *Client) Retire(ctx context.Context) error {
-	_, err := c.do(ctx, &request{Op: opRetire})
-	return err
+	req := getRequest()
+	req.Op = opRetire
+	return c.doEmpty(ctx, req)
 }
 
 // Save implements NodeClient.
 func (c *Client) Save(ctx context.Context) error {
-	_, err := c.do(ctx, &request{Op: opSave})
-	return err
+	req := getRequest()
+	req.Op = opSave
+	return c.doEmpty(ctx, req)
 }
 
 // Stats implements NodeClient.
 func (c *Client) Stats(ctx context.Context) (node.Stats, error) {
-	resp, err := c.do(ctx, &request{Op: opStats})
+	req := getRequest()
+	req.Op = opStats
+	resp, err := c.do(ctx, req)
 	if err != nil {
 		return node.Stats{}, err
 	}
-	return resp.Stats, nil
+	st := resp.Stats
+	putResponse(resp)
+	return st, nil
 }
 
 // Broken reports whether the connection has failed terminally — every

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"plsh/internal/core"
@@ -67,6 +68,15 @@ type Config struct {
 	DeltaFraction float64
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
+	// BucketReservoir, when > 0, bounds every hash bucket (static and
+	// streaming delta) to at most this many entries, keeping a uniform
+	// reservoir sample of the bucket's documents — the SLASH-style cap
+	// that makes insert and bucket-scan cost independent of stream skew.
+	// A document evicted from a bucket in one table usually survives in
+	// others (there are L = M(M−1)/2 of them), so modest caps cost little
+	// recall; exact-recall guarantees hold only at the default 0
+	// (unbounded, the paper's layout). Sampling is deterministic in Seed.
+	BucketReservoir int
 	// Seed makes hashing deterministic (default 1). In a replicated
 	// cluster every node must share the seed: mirrored members answer
 	// replica-agnostically only when they draw identical hyperplanes.
@@ -126,6 +136,9 @@ func (c Config) normalize() (Config, error) {
 	if c.Replicas < 0 {
 		return c, fmt.Errorf("plsh: Config.Replicas = %d must not be negative", c.Replicas)
 	}
+	if c.BucketReservoir < 0 {
+		return c, fmt.Errorf("plsh: Config.BucketReservoir = %d must not be negative", c.BucketReservoir)
+	}
 	if c.Replicas == 0 {
 		c.Replicas = 1
 	}
@@ -161,14 +174,15 @@ func (c Config) nodeConfig() node.Config {
 	query.Radius = c.Radius
 	query.Workers = c.Workers
 	return node.Config{
-		Params:        lshhash.Params{Dim: c.Dim, K: c.K, M: c.M, Seed: c.Seed},
-		Capacity:      c.Capacity,
-		DeltaFraction: c.DeltaFraction,
-		AutoMerge:     true,
-		Build:         build,
-		Query:         query,
-		Dir:           c.Dir,
-		SyncWrites:    c.SyncWrites,
+		Params:          lshhash.Params{Dim: c.Dim, K: c.K, M: c.M, Seed: c.Seed},
+		Capacity:        c.Capacity,
+		DeltaFraction:   c.DeltaFraction,
+		AutoMerge:       true,
+		Build:           build,
+		Query:           query,
+		BucketReservoir: c.BucketReservoir,
+		Dir:             c.Dir,
+		SyncWrites:      c.SyncWrites,
 	}
 }
 
@@ -196,6 +210,10 @@ func (c Config) nodeConfig() node.Config {
 type Store struct {
 	cfg Config
 	n   *node.Node
+	// resPool recycles the single-query Search scratch buffer (the raw
+	// []core.Neighbor the node appends into); the only per-call result
+	// allocation left is the []Match handed to the caller.
+	resPool sync.Pool
 }
 
 // NewStore creates a Store: empty when cfg.Dir is unset, recovered from
@@ -258,11 +276,29 @@ func (s *Store) Search(ctx context.Context, q Vector, opts ...SearchOption) (Res
 	if err != nil {
 		return Result{}, err
 	}
-	res, _, err := s.searchBatch(ctx, []Vector{q}, spec)
+	// Single-query fast path: no batch wrapper, no Report machinery —
+	// the node appends into a recycled scratch buffer and the only result
+	// allocation is the caller's []Match.
+	nctx := ctx
+	if spec.policy.PerNodeTimeout > 0 {
+		var cancel context.CancelFunc
+		nctx, cancel = context.WithTimeout(ctx, spec.policy.PerNodeTimeout)
+		defer cancel()
+	}
+	var buf []core.Neighbor
+	if p, _ := s.resPool.Get().(*[]core.Neighbor); p != nil {
+		buf = (*p)[:0]
+	}
+	ns, err := s.n.SearchAppend(nctx, buf, q, spec.params)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, cerr
+		}
 		return Result{}, err
 	}
-	return res[0], nil
+	matches := matchesFromLocal(0, ns)
+	s.resPool.Put(&ns)
+	return Result{Matches: matches}, nil
 }
 
 // SearchBatch answers many queries in one parallel batch under one set of
@@ -292,7 +328,9 @@ func (s *Store) searchBatch(ctx context.Context, qs []Vector, spec searchSpec) (
 	t0 := time.Now()
 	res, err := s.n.SearchBatch(nctx, qs, spec.params)
 	report.Times[0] = time.Since(t0)
-	report.Attempts = []Attempt{{Time: report.Times[0], Won: err == nil, Err: err}}
+	if spec.policy.Trace {
+		report.Attempts = []Attempt{{Time: report.Times[0], Won: err == nil, Err: err}}
+	}
 	if err != nil {
 		report.Errs[0] = err
 		if cerr := ctx.Err(); cerr != nil {
@@ -300,10 +338,8 @@ func (s *Store) searchBatch(ctx context.Context, qs []Vector, spec searchSpec) (
 		}
 		return nil, report, err
 	}
-	out := make([]Result, len(res))
-	for i, ns := range res {
-		out[i] = Result{Matches: matchesFromLocal(0, ns)}
-	}
+	out := resultsFromLocal(0, res)
+	s.n.ReleaseResults(res)
 	return out, report, nil
 }
 

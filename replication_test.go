@@ -154,7 +154,7 @@ func TestReplicatedFailoverTCP(t *testing.T) {
 		// winning member is asserted every time regardless).
 		sawFailover := false
 		for j := 0; j < 50 && !sawFailover; j++ {
-			res, report, err := cl.SearchBatch(bg, queries)
+			res, report, err := cl.SearchBatch(bg, queries, WithTrace())
 			if err != nil {
 				t.Fatalf("victim %d post-kill search %d failed: %v", victim, j, err)
 			}

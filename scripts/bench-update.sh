@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Promote the latest benchmark snapshot as the regression baseline.
+# Run scripts/bench.sh first, eyeball benchmarks/latest.txt, then run this
+# to make benchmarks/baseline.json the reference plsh-benchcmp (and the CI
+# bench-regression job) compares future runs against. Regressions beyond
+# BENCH_MAX_REGRESSION_PCT percent (default 5) of any tracked headline
+# metric then fail the gate until either the code is fixed or a new
+# baseline is deliberately promoted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f benchmarks/latest.json ]; then
+  echo "benchmarks/latest.json not found; run scripts/bench.sh first" >&2
+  exit 1
+fi
+cp benchmarks/latest.json benchmarks/baseline.json
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.{json,txt} -> benchmarks/baseline.{json,txt}"

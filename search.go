@@ -83,9 +83,10 @@ type Result struct {
 }
 
 // Report describes how a Search/SearchBatch broadcast went: per-group
-// wall times and errors plus the per-replica attempt trace, with
-// Complete/Stragglers/Failovers/HedgesWon helpers. A Store reports
-// itself as the single group 0 with one attempt.
+// wall times and errors plus — when the request opted in with WithTrace —
+// the per-replica attempt trace, with Complete/Stragglers/Failovers/
+// HedgesWon helpers. A Store reports itself as the single group 0 (with
+// one attempt when traced).
 type Report = BatchReport
 
 // searchSpec is the resolved form of a SearchOption list: the per-query
@@ -181,6 +182,16 @@ func WithHedge(d time.Duration) SearchOption {
 	}
 }
 
+// WithTrace materializes the Report's per-replica Attempts trace for this
+// call — which member answered each group, which attempts failed over,
+// which hedges won (the inputs of Failovers and HedgesWon). Off by
+// default: an untraced broadcast records nothing per attempt, so the hot
+// path carries no bookkeeping allocations for a trace nobody reads.
+// Failover and hedging behave identically either way.
+func WithTrace() SearchOption {
+	return func(s *searchSpec) { s.policy.Trace = true }
+}
+
 // AllowPartial makes a Search succeed with the merged answers from the
 // replica groups that responded instead of failing when some did not
 // (a group fails only once every member has been tried); stragglers are
@@ -212,14 +223,53 @@ func matchesFromLocal(nodeIdx int, ns []core.Neighbor) []Match {
 	return out
 }
 
-// matchesFromCluster converts coordinator answers to Matches.
-func matchesFromCluster(ns []cluster.Neighbor) []Match {
-	if len(ns) == 0 {
-		return nil
+// resultsFromLocal converts a node's batch answers to Results, carving
+// every query's Matches from one flat arena sized by a counting pass — a
+// 200-query batch costs two allocations of result storage, not 200.
+func resultsFromLocal(nodeIdx int, res [][]core.Neighbor) []Result {
+	out := make([]Result, len(res))
+	total := 0
+	for _, ns := range res {
+		total += len(ns)
 	}
-	out := make([]Match, len(ns))
-	for i, nb := range ns {
-		out[i] = Match{ID: GlobalID(nb.Node, nb.ID), Dist: nb.Dist}
+	if total == 0 {
+		return out
+	}
+	arena := make([]Match, 0, total)
+	for i, ns := range res {
+		if len(ns) == 0 {
+			continue
+		}
+		base := len(arena)
+		for _, nb := range ns {
+			arena = append(arena, Match{ID: GlobalID(nodeIdx, nb.ID), Dist: nb.Dist})
+		}
+		out[i] = Result{Matches: arena[base:len(arena):len(arena)]}
+	}
+	return out
+}
+
+// resultsFromCluster converts coordinator batch answers to Results with
+// the same flat-arena carving as resultsFromLocal.
+func resultsFromCluster(res [][]cluster.Neighbor) []Result {
+	out := make([]Result, len(res))
+	total := 0
+	for _, ns := range res {
+		total += len(ns)
+	}
+	if total == 0 {
+		return out
+	}
+	arena := make([]Match, 0, total)
+	for i, ns := range res {
+		if len(ns) == 0 {
+			continue
+		}
+		base := len(arena)
+		for _, nb := range ns {
+			arena = append(arena, Match{ID: GlobalID(nb.Node, nb.ID), Dist: nb.Dist})
+		}
+		out[i] = Result{Matches: arena[base:len(arena):len(arena)]}
 	}
 	return out
 }
