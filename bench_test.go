@@ -422,6 +422,64 @@ func BenchmarkSearchReplicated(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchRouted prices data-aware query routing against the
+// scatter broadcast on the same fleet shapes: 4 and 16 single-copy
+// groups, same corpus, same top-10 queries. The partitioned arms place
+// by LSH signature and probe only the groups the router proves can hold
+// in-radius candidates (RoutingRecall 0.7 at the default radius), so
+// they should beat their scatter twins on both ns and B/op — the win
+// grows with the group count, since scatter pays every group on every
+// query. Tracked in benchmarks/latest.json as search_routed_*.
+func BenchmarkSearchRouted(b *testing.B) {
+	f := benchFixture(b)
+	const docsN = 8000
+	queries := f.queries[:64]
+	arms := []struct {
+		name   string
+		groups int
+		part   bool
+	}{
+		{"scatter-g4", 4, false},
+		{"part-g4", 4, true},
+		{"scatter-g16", 16, false},
+		{"part-g16", 16, true},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			cfg := Config{
+				Dim: benchDim, K: 12, M: 10, Capacity: docsN, Seed: benchSeed,
+			}
+			if arm.part {
+				cfg.Placement = PlacementPartitioned
+				cfg.RoutingRecall = 0.7
+			}
+			// windowM = groups: the scatter arms spread the corpus over the
+			// whole fleet (the default 4-group window would leave most groups
+			// empty and make the broadcast artificially cheap); partitioned
+			// placement ignores the window.
+			cl, err := NewCluster(arm.groups, arm.groups, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			if _, err := cl.Insert(bg, docsSlice(f.col, docsN)); err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.Merge(bg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.SearchBatch(bg, queries, WithK(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/routed-search")
+		})
+	}
+}
+
 func docsSlice(c *corpus.Collection, n int) []sparse.Vector {
 	out := make([]sparse.Vector, 0, n)
 	for i := 0; i < n; i++ {

@@ -7,9 +7,52 @@ import (
 	"sync"
 
 	"plsh/internal/cluster"
+	"plsh/internal/lshhash"
 	"plsh/internal/node"
 	"plsh/internal/transport"
 )
+
+// Placement selects how a Cluster places documents onto replica groups
+// and which groups a search contacts — see Config.Placement.
+type Placement = cluster.Placement
+
+const (
+	// PlacementScatter is the default: inserts round-robin over the
+	// rolling window, searches broadcast to every group (the paper's
+	// layout, bit-stable with pre-placement clusters).
+	PlacementScatter = cluster.PlacementScatter
+	// PlacementPartitioned routes inserts by LSH bucket signature and
+	// searches to the recall-bounded probe set of groups that can hold
+	// each query's in-radius neighbors.
+	PlacementPartitioned = cluster.PlacementPartitioned
+)
+
+// clusterOptions translates a normalized Config into coordinator
+// options, building the signature router when placement is partitioned —
+// one shared construction so OpenCluster and DialCluster cannot drift.
+func clusterOptions(cfg Config, windowM, groups int) (cluster.Options, error) {
+	opts := cluster.Options{
+		WindowM:   windowM,
+		Replicas:  cfg.Replicas,
+		Placement: cfg.Placement,
+	}
+	if cfg.Placement != PlacementPartitioned {
+		return opts, nil
+	}
+	fam, err := lshhash.NewFamily(lshhash.Params{Dim: cfg.Dim, K: cfg.K, M: cfg.M, Seed: cfg.Seed})
+	if err != nil {
+		return opts, fmt.Errorf("plsh: %w", err)
+	}
+	opts.Router, err = cluster.NewRouter(fam, cluster.RouterConfig{
+		Groups: groups,
+		Radius: cfg.Radius,
+		Recall: cfg.RoutingRecall,
+	})
+	if err != nil {
+		return opts, fmt.Errorf("plsh: %w", err)
+	}
+	return opts, nil
+}
 
 // ClusterNeighbor is a legacy cluster query answer: the replica-group
 // index (the node index when Replicas is 1), the group-local document ID,
@@ -118,7 +161,12 @@ func OpenCluster(ctx context.Context, nodes int, windowM int, cfg Config) (*Clus
 		}
 		clients[i] = transport.NewLocal(n)
 	}
-	c, err := cluster.NewReplicated(ctx, clients, windowM, cfg.Replicas)
+	copts, err := clusterOptions(cfg, windowM, nodes/cfg.Replicas)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	c, err := cluster.NewWithOptions(ctx, clients, copts)
 	if err != nil {
 		closeAll()
 		return nil, fmt.Errorf("plsh: %w", err)
@@ -130,8 +178,10 @@ func OpenCluster(ctx context.Context, nodes int, windowM int, cfg Config) (*Clus
 type DialOption func(*dialSpec)
 
 type dialSpec struct {
-	replicas int
-	err      error
+	replicas    int
+	partitioned bool
+	routeCfg    Config
+	err         error
 }
 
 // WithReplicas arranges the dialed endpoints into groups of r mirrored
@@ -146,6 +196,27 @@ func WithReplicas(r int) DialOption {
 			return
 		}
 		s.replicas = r
+	}
+}
+
+// WithPartitioned switches the dialed cluster to partitioned placement
+// (see Config.Placement): the coordinator routes inserts and searches by
+// LSH bucket signature instead of broadcasting. Remote node stats do not
+// carry hash parameters, so cfg must restate the fleet's LSH geometry —
+// Dim, K, M, and above all Seed exactly as the plsh-node servers were
+// launched with (mismatched parameters break placement silently), plus
+// optional Radius and RoutingRecall for the probe-set construction.
+// cfg.Replicas is ignored here; grouping stays with WithReplicas.
+func WithPartitioned(cfg Config) DialOption {
+	return func(s *dialSpec) {
+		cfg, err := cfg.normalize()
+		if err != nil {
+			s.err = err
+			return
+		}
+		cfg.Placement = PlacementPartitioned
+		s.partitioned = true
+		s.routeCfg = cfg
 	}
 }
 
@@ -196,7 +267,22 @@ func DialCluster(ctx context.Context, addrs []string, windowM int, opts ...DialO
 			return nil, err
 		}
 	}
-	c, err := cluster.NewReplicated(ctx, clients, windowM, spec.replicas)
+	copts := cluster.Options{WindowM: windowM, Replicas: spec.replicas}
+	if spec.partitioned {
+		if len(addrs)%spec.replicas != 0 {
+			closeAll()
+			return nil, fmt.Errorf("plsh: %d nodes cannot form groups of %d replicas", len(addrs), spec.replicas)
+		}
+		rcfg := spec.routeCfg
+		rcfg.Replicas = spec.replicas
+		o, cerr := clusterOptions(rcfg, windowM, len(addrs)/spec.replicas)
+		if cerr != nil {
+			closeAll()
+			return nil, cerr
+		}
+		copts = o
+	}
+	c, err := cluster.NewWithOptions(ctx, clients, copts)
 	if err != nil {
 		closeAll()
 		return nil, fmt.Errorf("plsh: %w", err)

@@ -10,9 +10,11 @@
 // (BenchmarkQueryDuringMerge), the durability subsystem's snapshot save
 // throughput (BenchmarkSave) and journal replay rate (BenchmarkRecover),
 // the unified Search path's bounded-query latency with and without a
-// request-scoped radius override (BenchmarkSearchTopK), and the replica
+// request-scoped radius override (BenchmarkSearchTopK), the replica
 // layer's broadcast latency — single-copy vs R=2 vs R=2 hedged
-// (BenchmarkSearchReplicated).
+// (BenchmarkSearchReplicated) — and the placement layer's routed-vs-
+// scatter per-query cost at 4 and 16 replica groups
+// (BenchmarkSearchRouted).
 package main
 
 import (
@@ -64,6 +66,18 @@ type snapshot struct {
 	SearchReplicatedR1NS     float64 `json:"search_replicated_r1_ns"`
 	SearchReplicatedR2NS     float64 `json:"search_replicated_r2_ns"`
 	SearchReplicatedHedgedNS float64 `json:"search_replicated_r2_hedged_ns"`
+	// SearchRouted*NS are BenchmarkSearchRouted's per-query
+	// ns/routed-search metrics over identical corpora: the scatter
+	// broadcast vs hash-partitioned placement with routed probing, at 4
+	// and 16 replica groups. The partitioned numbers should sit well
+	// under their scatter twins — that margin is the point of routing —
+	// and the gap should widen with the group count, since scatter pays
+	// every group on every query while the routed probe set tracks the
+	// recall target. 0 when absent from the run's pattern.
+	SearchRoutedScatterG4NS  float64 `json:"search_routed_scatter_g4_ns"`
+	SearchRoutedPartG4NS     float64 `json:"search_routed_part_g4_ns"`
+	SearchRoutedScatterG16NS float64 `json:"search_routed_scatter_g16_ns"`
+	SearchRoutedPartG16NS    float64 `json:"search_routed_part_g16_ns"`
 	// Allocation headlines for the zero-allocation hot path: B/op and
 	// allocs/op of the steady-state query benchmarks (the whole batch, not
 	// per query). Fig5Query/Arena prices the core engine's append API
@@ -76,6 +90,14 @@ type snapshot struct {
 	SearchTopKAllocs         float64 `json:"search_topk_allocs_per_op"`
 	SearchReplicatedR1Bytes  float64 `json:"search_replicated_r1_bytes_per_op"`
 	SearchReplicatedR1Allocs float64 `json:"search_replicated_r1_allocs_per_op"`
+	// SearchRouted/…-g16 allocation twins: routed probing must not buy
+	// its latency win with per-query garbage, so the partitioned arm's
+	// B/op and allocs/op are tracked against scatter's at the widest
+	// fan-out. Per batch, not per query; 0 when absent.
+	SearchRoutedScatterG16Bytes  float64 `json:"search_routed_scatter_g16_bytes_per_op"`
+	SearchRoutedScatterG16Allocs float64 `json:"search_routed_scatter_g16_allocs_per_op"`
+	SearchRoutedPartG16Bytes     float64 `json:"search_routed_part_g16_bytes_per_op"`
+	SearchRoutedPartG16Allocs    float64 `json:"search_routed_part_g16_allocs_per_op"`
 }
 
 func main() {
@@ -142,6 +164,18 @@ func main() {
 				snap.SearchReplicatedHedgedNS = v
 			}
 		}
+		if v, ok := b.Metrics["ns/routed-search"]; ok {
+			switch {
+			case strings.HasSuffix(b.Name, "/scatter-g4"):
+				snap.SearchRoutedScatterG4NS = v
+			case strings.HasSuffix(b.Name, "/part-g4"):
+				snap.SearchRoutedPartG4NS = v
+			case strings.HasSuffix(b.Name, "/scatter-g16"):
+				snap.SearchRoutedScatterG16NS = v
+			case strings.HasSuffix(b.Name, "/part-g16"):
+				snap.SearchRoutedPartG16NS = v
+			}
+		}
 		switch b.Name {
 		case "Fig5Query/Arena":
 			snap.Fig5QueryArenaBytes = b.Metrics["B/op"]
@@ -152,6 +186,12 @@ func main() {
 		case "SearchReplicated/replicas=1":
 			snap.SearchReplicatedR1Bytes = b.Metrics["B/op"]
 			snap.SearchReplicatedR1Allocs = b.Metrics["allocs/op"]
+		case "SearchRouted/scatter-g16":
+			snap.SearchRoutedScatterG16Bytes = b.Metrics["B/op"]
+			snap.SearchRoutedScatterG16Allocs = b.Metrics["allocs/op"]
+		case "SearchRouted/part-g16":
+			snap.SearchRoutedPartG16Bytes = b.Metrics["B/op"]
+			snap.SearchRoutedPartG16Allocs = b.Metrics["allocs/op"]
 		}
 		snap.Benchmarks = append(snap.Benchmarks, b)
 	}

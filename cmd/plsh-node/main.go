@@ -31,6 +31,17 @@
 // SIGKILLed without losing answers; restart it with the same -data and
 // it recovers its journal and rejoins automatically (the coordinator
 // re-dials on its next call).
+//
+// Partitioned placement is likewise coordinator-only: build the
+// coordinator with plsh.WithPartitioned, passing a Config that restates
+// the fleet's -dim, -k, -m, and -seed (the routing hyperplanes are
+// derived from them, so the coordinator and every future coordinator of
+// this fleet must agree). Inserts then land on the group chosen by each
+// document's routing signature and searches probe only the groups that
+// can hold their in-radius neighbors — nodes just see fewer search
+// frames. Note that partitioned clusters have no rolling insert window:
+// documents live where their signature says, so size -capacity for the
+// whole stream.
 package main
 
 import (

@@ -70,6 +70,15 @@
 //     — so any single member can be SIGKILLed without losing answers,
 //     and a restarted member rejoins from its journal (the Report traces
 //     every attempt: failovers, hedges won, who answered);
+//   - data-aware placement (Config.Placement = PlacementPartitioned):
+//     instead of broadcasting every search to every replica group,
+//     documents are placed by a short LSH routing signature and each
+//     query probes only the groups that can hold its in-radius
+//     neighbors, to a configurable recall target (RoutingRecall) —
+//     falling back to the exact broadcast per query when routing cannot
+//     help (WithTrace reports RoutedGroups/PrunedGroups per batch; the
+//     default PlacementScatter stays bit-identical to the paper's
+//     layout);
 //   - optional durability: a Store opened with a data directory (Open)
 //     journals every acknowledged write ahead of acknowledging it and
 //     checkpoints snapshots on merge, so restarts — graceful or kill -9 —

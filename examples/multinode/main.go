@@ -8,6 +8,12 @@
 // for DialCluster (with WithReplicas) to coordinate real plsh-node
 // servers over TCP; there, a SIGKILLed replica costs no answers and
 // rejoins after restarting from its journal.
+//
+// The second half opts a cluster into partitioned placement
+// (Config.Placement): documents are placed by an LSH routing signature
+// instead of round-robin, and each search probes only the groups that
+// can hold its in-radius neighbors — the trace's RoutedGroups /
+// PrunedGroups counters show the fan-out a broadcast would have paid.
 package main
 
 import (
@@ -130,4 +136,37 @@ func main() {
 	}
 	fmt.Printf("hedged broadcast: complete=%v stragglers=%v failovers=%d hedges-won=%d attempts=%d\n",
 		report.Complete(), report.Stragglers(), report.Failovers(), report.HedgesWon(), len(report.Attempts))
+
+	// Partitioned placement: the same corpus on an 8-group cluster that
+	// routes instead of broadcasting. Inserts land on the group chosen by
+	// each document's routing signature (so there is no rolling window —
+	// capacity covers the whole stream here), and each query contacts
+	// only the groups its in-radius neighbors could occupy, to the
+	// RoutingRecall target. Under WithTrace the batch counts the (query,
+	// group) pairs it contacted vs pruned; scatter would have contacted
+	// all of them.
+	routed, err := plsh.NewCluster(8, 0, plsh.Config{
+		Dim:           vocabSize,
+		K:             10,
+		M:             8,
+		Capacity:      streamTotal,
+		Placement:     plsh.PlacementPartitioned,
+		RoutingRecall: 0.7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer routed.Close()
+	if _, err := routed.Insert(ctx, docs); err != nil {
+		log.Fatal(err)
+	}
+	queries := docs[len(docs)-16:]
+	_, rreport, err := routed.SearchBatch(ctx, queries, plsh.WithTrace())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := len(queries) * routed.NumGroups()
+	fmt.Printf("routed search: contacted %d of %d (query, group) pairs, pruned %d (%.0f%% of the broadcast fan-out avoided)\n",
+		rreport.RoutedGroups, pairs, rreport.PrunedGroups,
+		100*float64(rreport.PrunedGroups)/float64(pairs))
 }

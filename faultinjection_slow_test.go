@@ -135,6 +135,100 @@ func TestFaultInjectionWholeGroupDegradesToPartial(t *testing.T) {
 	}
 }
 
+// TestFaultInjectionRoutedGroupFailover: partitioned placement against
+// genuine process death. SIGKILLing one member of a group the router
+// actually probes leaves routed searches Complete and identical to the
+// pre-kill baseline — failover runs inside the routed set, never by
+// widening it. SIGKILLing the whole routed-to group fails all-or-nothing
+// and AllowPartial names exactly that group.
+func TestFaultInjectionRoutedGroupFailover(t *testing.T) {
+	fleet := clustertest.Start(t, 8, faultNodeArgs...)
+	cl, err := DialCluster(bg, fleet.Addrs(), 0, WithReplicas(2),
+		WithPartitioned(Config{Dim: 2000, K: 4, M: 16, Seed: 42, RoutingRecall: 0.7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	docs := SyntheticTweets(600, 2000, 87)
+	if _, err := cl.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	queries := docs[:24]
+	oracle, report, err := cl.SearchBatch(bg, queries, WithTrace())
+	if err != nil || !report.Complete() {
+		t.Fatalf("pre-kill routed baseline: err=%v complete=%v", err, report.Complete())
+	}
+	if report.RoutedGroups == 0 {
+		t.Fatal("routing never engaged; the trace recorded no probes")
+	}
+
+	// Kill the member that just won for a routed-to group: routing is
+	// deterministic, so every rerun probes that group again and must now
+	// fail over to the sibling.
+	victim, dead := -1, -1
+	for _, a := range report.Attempts {
+		if a.Won {
+			victim, dead = a.Group, a.Node
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("trace recorded no winning attempt")
+	}
+	fleet.Nodes[dead].Kill()
+	sawFailover := false
+	for j := 0; j < 50; j++ {
+		res, rep, err := cl.SearchBatch(bg, queries, WithTrace())
+		if err != nil {
+			t.Fatalf("routed search %d with a dead member: %v", j, err)
+		}
+		if !rep.Complete() {
+			t.Fatalf("routed search %d: incomplete, stragglers %v", j, rep.Stragglers())
+		}
+		if !reflect.DeepEqual(res, oracle) {
+			t.Fatalf("routed search %d: answers diverge from the pre-kill baseline", j)
+		}
+		for _, a := range rep.Attempts {
+			if a.Won && a.Node == dead {
+				t.Fatalf("routed search %d: dead member recorded as winner", j)
+			}
+		}
+		if sawFailover = rep.Failovers() > 0; sawFailover {
+			break
+		}
+	}
+	if !sawFailover {
+		t.Fatal("no failover recorded across 50 routed searches with a dead member")
+	}
+
+	// Whole routed-to group down (contiguous pairs: sibling is dead^1):
+	// the routed search cannot satisfy its probe set, so all-or-nothing
+	// fails and AllowPartial degrades to baseline minus that group.
+	fleet.Nodes[dead^1].Kill()
+	if _, _, err := cl.SearchBatch(bg, queries); err == nil {
+		t.Fatal("all-or-nothing routed SearchBatch succeeded with a whole routed-to group dead")
+	}
+	pres, preport, err := cl.SearchBatch(bg, queries, AllowPartial())
+	if err != nil {
+		t.Fatalf("partial routed SearchBatch with a dead group: %v", err)
+	}
+	if s := preport.Stragglers(); len(s) != 1 || s[0] != victim {
+		t.Fatalf("stragglers = %v, want [%d] (the dead routed-to group)", s, victim)
+	}
+	for qi := range queries {
+		var want []Match
+		for _, m := range oracle[qi].Matches {
+			if m.Node() != victim {
+				want = append(want, m)
+			}
+		}
+		if !reflect.DeepEqual(pres[qi].Matches, want) {
+			t.Fatalf("query %d: partial routed answer is not baseline-minus-group-%d", qi, victim)
+		}
+	}
+}
+
 // TestFaultInjectionReplicaRestartsFromWALAndRejoins: a SIGKILLed
 // replica that restarts recovers every acknowledged write from its
 // journal and rejoins the running cluster — proven by killing its

@@ -124,6 +124,17 @@ type BatchReport struct {
 	// broadcast acted on, not an exhaustive RPC log. With Replicas = 1 it
 	// is one attempt per node.
 	Attempts []Attempt
+	// RoutedGroups and PrunedGroups measure data-aware routing on a
+	// partitioned-placement cluster, recorded only when the request asked
+	// for the trace (BatchOptions.Trace): summed over the batch's queries,
+	// RoutedGroups counts the (query, group) probe pairs the router
+	// contacted and PrunedGroups the pairs it proved unnecessary — they
+	// always sum to len(queries)·groups. A query whose probe set
+	// degenerated falls back to the full broadcast and contributes every
+	// group to RoutedGroups. Both are zero on a scatter-placement cluster
+	// (a broadcast probes everything by definition) and on untraced calls.
+	RoutedGroups int
+	PrunedGroups int
 }
 
 // Complete reports whether every group answered.
@@ -218,6 +229,12 @@ type Cluster struct {
 	m      int                    // insert-window width M, in groups
 	start  int                    // first group of the current window
 
+	// placement/router select the data-placement mode; router is non-nil
+	// exactly when placement is PlacementPartitioned. Both are immutable
+	// after construction, so the search path reads them without the lock.
+	placement Placement
+	router    *Router
+
 	// rr rotates the preferred replica across searches so read load
 	// spreads over a group's members.
 	rr atomic.Uint32
@@ -254,9 +271,35 @@ func New(ctx context.Context, nodes []transport.NodeClient, windowM int) (*Clust
 // smallest member's, and its occupancy the largest member's, so a drifted
 // fleet is never over-filled.
 func NewReplicated(ctx context.Context, nodes []transport.NodeClient, windowM, replicas int) (*Cluster, error) {
+	return NewWithOptions(ctx, nodes, Options{WindowM: windowM, Replicas: replicas})
+}
+
+// Options configures a coordinator beyond the basic replicated layout.
+// The zero value reproduces New's defaults: scatter placement, one
+// replica per group, a window of min(4, groups).
+type Options struct {
+	// WindowM is the rolling insert window width, in groups; out-of-range
+	// values fall back to min(4, groups). Unused under partitioned
+	// placement, where documents live where their signature says.
+	WindowM int
+	// Replicas is R, the mirrored members per group; 0 means 1.
+	Replicas int
+	// Placement selects the data-placement / query-routing mode; see the
+	// Placement constants. PlacementScatter is the default.
+	Placement Placement
+	// Router computes signature→group placement and per-query probe sets.
+	// Required when Placement is PlacementPartitioned (its group count
+	// must match the layout), ignored otherwise.
+	Router *Router
+}
+
+// NewWithOptions builds a coordinator under opts; see NewReplicated for
+// the layout and capacity-discovery rules it shares.
+func NewWithOptions(ctx context.Context, nodes []transport.NodeClient, opts Options) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster: no nodes")
 	}
+	replicas := opts.Replicas
 	if replicas <= 0 {
 		replicas = 1
 	}
@@ -264,16 +307,33 @@ func NewReplicated(ctx context.Context, nodes []transport.NodeClient, windowM, r
 		return nil, fmt.Errorf("cluster: %d nodes cannot form groups of %d replicas", len(nodes), replicas)
 	}
 	groups := len(nodes) / replicas
+	windowM := opts.WindowM
 	if windowM <= 0 || windowM > groups {
 		windowM = min(4, groups)
 	}
 	c := &Cluster{
-		nodes:  nodes,
-		r:      replicas,
-		groups: groups,
-		caps:   make([]int, groups),
-		used:   make([]int, groups),
-		m:      windowM,
+		nodes:     nodes,
+		r:         replicas,
+		groups:    groups,
+		caps:      make([]int, groups),
+		used:      make([]int, groups),
+		m:         windowM,
+		placement: opts.Placement,
+		router:    opts.Router,
+	}
+	switch opts.Placement {
+	case PlacementScatter:
+		c.router = nil // scatter never routes, whatever the caller passed
+	case PlacementPartitioned:
+		if opts.Router == nil {
+			return nil, errors.New("cluster: partitioned placement needs a Router")
+		}
+		if opts.Router.Groups() != groups {
+			return nil, fmt.Errorf("cluster: router placed for %d groups, cluster has %d",
+				opts.Router.Groups(), groups)
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement %d", opts.Placement)
 	}
 	memberCaps := make([]int, len(nodes))
 	memberUsed := make([]int, len(nodes))
@@ -362,6 +422,9 @@ func (c *Cluster) NumGroups() int { return c.groups }
 // Replicas returns R, the mirrored members per group.
 func (c *Cluster) Replicas() int { return c.r }
 
+// Placement returns the cluster's data-placement mode.
+func (c *Cluster) Placement() Placement { return c.placement }
+
 // WindowStart returns the index of the first group in the current insert
 // window (exposed for tests and monitoring).
 func (c *Cluster) WindowStart() int {
@@ -386,6 +449,9 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.placement == PlacementPartitioned {
+		return c.insertPartitioned(ctx, vs)
+	}
 	ids := make([]uint64, len(vs))
 	placed := make([]bool, len(vs))
 	fail := func(err error) error { return &InsertError{IDs: ids, Placed: placed, Err: err} }
@@ -479,6 +545,61 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 			// No progress this round despite free > 0: bookkeeping and
 			// reality disagree irrecoverably.
 			return nil, fail(errors.New("cluster: insert made no progress"))
+		}
+	}
+	return ids, nil
+}
+
+// insertPartitioned places each document on the group its LSH signature
+// names (Router.GroupFor) instead of round-robin over the window — the
+// invariant routed searches depend on, so there is no spill-over: a full
+// target group fails the insert with an *InsertError wrapping
+// node.ErrFull that names the group, and already-written groups stay
+// placed (Placed/IDs report them exactly). Partitioned placement has no
+// rolling window and never retires old groups; capacity is per group,
+// so provision headroom above the expected hash balance. Called with
+// c.mu held.
+func (c *Cluster) insertPartitioned(ctx context.Context, vs []sparse.Vector) ([]uint64, error) {
+	ids := make([]uint64, len(vs))
+	placed := make([]bool, len(vs))
+	fail := func(err error) error { return &InsertError{IDs: ids, Placed: placed, Err: err} }
+	// Route first — placement is a pure function of each document — then
+	// write group by group so each mirrored batch is one insertGroup call.
+	perGroup := make([][]int, c.groups)
+	for i := range vs {
+		g := c.router.GroupFor(vs[i])
+		perGroup[g] = append(perGroup[g], i)
+	}
+	scratch := make([]sparse.Vector, 0, len(vs))
+	for g, part := range perGroup {
+		if len(part) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fail(err)
+		}
+		if c.used[g]+len(part) > c.caps[g] {
+			return nil, fail(fmt.Errorf(
+				"cluster: group %d cannot take %d routed documents (%d/%d used): %w",
+				g, len(part), c.used[g], c.caps[g], node.ErrFull))
+		}
+		scratch = scratch[:0]
+		for _, pos := range part {
+			scratch = append(scratch, vs[pos])
+		}
+		local, err := c.insertGroup(ctx, g, scratch)
+		if errors.Is(err, node.ErrFull) {
+			// Bookkeeping drift: the group holds more than we thought.
+			c.resyncUsed(ctx, g)
+			return nil, fail(fmt.Errorf("cluster: insert on group %d: %w", g, err))
+		}
+		if err != nil {
+			return nil, fail(fmt.Errorf("cluster: insert on group %d: %w", g, err))
+		}
+		c.used[g] += len(part)
+		for i, l := range local {
+			ids[part[i]] = GlobalID(g, l)
+			placed[part[i]] = true
 		}
 	}
 	return ids, nil
@@ -730,6 +851,9 @@ func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p 
 // merged, and stragglers show up only in the report — the production
 // trade of a complete answer for bounded latency.
 func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams, opts BatchOptions) ([][]Neighbor, BatchReport, error) {
+	if c.placement == PlacementPartitioned {
+		return c.searchRouted(ctx, qs, p, opts)
+	}
 	report := BatchReport{
 		Times: make([]time.Duration, c.groups),
 		Errs:  make([]error, c.groups),
@@ -846,6 +970,214 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 		k := p.K
 		if k <= 0 {
 			k = total // unbounded: a full ordered merge
+		}
+		out[qi] = ms.mergeAppend(out[qi][:0], k)
+	}
+	mergePool.Put(ms)
+	return out, report, nil
+}
+
+// probeRef locates one (query, group) probe's answer: group g's
+// sub-batch answers query j. The refs of one query are contiguous in
+// routedScratch.refs, delimited by offs.
+type probeRef struct {
+	g, j int32
+}
+
+// routedScratch is the pooled per-call state of a routed search: the
+// per-group sub-batches (only the queries routed to each group), the
+// per-group answers and winning clients, and the flat probe-ref arena
+// that maps answers back to query positions. Entries holding caller or
+// node memory are zeroed before the scratch returns to the pool.
+type routedScratch struct {
+	qidx    [][]int           // per group: original query positions
+	subs    [][]sparse.Vector // per group: sub-batch, parallel to qidx
+	res     [][][]core.Neighbor
+	winners []transport.NodeClient
+	refs    []probeRef
+	offs    []int32 // per query: refs[offs[qi]:offs[qi+1]]
+	probes  []int   // router probe-set scratch
+}
+
+var routedPool = sync.Pool{New: func() any { return new(routedScratch) }}
+
+// searchRouted is Search under partitioned placement: each query is
+// routed to the recall-bounded probe set of groups its in-radius
+// neighbors can live on (all groups when the probe set degenerates —
+// see Router.Probe), each contacted group answers only its share of the
+// batch through the same failover/hedge state machine as a scatter
+// broadcast (searchGroup — so the preferred member, failover, and
+// hedging all happen within the routed set), and pruned groups are
+// skipped entirely: zero wall time, nil error, nothing on the wire.
+// Answers merge back into query order through the probe-ref arena and
+// come out in the same canonical (distance, group, id) order as
+// scatter. The failure policy is unchanged — all-or-nothing fails the
+// batch on the first contacted group whose replicas are exhausted,
+// Partial merges what answered and names contacted stragglers — and the
+// per-batch routed/pruned totals land in the report under Trace.
+func (c *Cluster) searchRouted(ctx context.Context, qs []sparse.Vector, p node.SearchParams, opts BatchOptions) ([][]Neighbor, BatchReport, error) {
+	report := BatchReport{
+		Times: make([]time.Duration, c.groups),
+		Errs:  make([]error, c.groups),
+	}
+	rs := routedPool.Get().(*routedScratch)
+	for cap(rs.qidx) < c.groups {
+		rs.qidx = append(rs.qidx[:cap(rs.qidx)], nil)
+	}
+	for cap(rs.subs) < c.groups {
+		rs.subs = append(rs.subs[:cap(rs.subs)], nil)
+	}
+	for cap(rs.res) < c.groups {
+		rs.res = append(rs.res[:cap(rs.res)], nil)
+	}
+	for cap(rs.winners) < c.groups {
+		rs.winners = append(rs.winners[:cap(rs.winners)], nil)
+	}
+	qidx := rs.qidx[:c.groups]
+	subs := rs.subs[:c.groups]
+	res := rs.res[:c.groups]
+	winners := rs.winners[:c.groups]
+	for g := range qidx {
+		qidx[g] = qidx[g][:0]
+		subs[g] = subs[g][:0]
+	}
+	// Registered before the ReleaseResults defer below, so it runs after
+	// it: node answer buffers go back first, then the zeroed scratch.
+	defer func() {
+		for g := range qidx {
+			for i := range subs[g] {
+				subs[g][i] = sparse.Vector{}
+			}
+			subs[g] = subs[g][:0]
+			qidx[g] = qidx[g][:0]
+			res[g], winners[g] = nil, nil
+		}
+		routedPool.Put(rs)
+	}()
+
+	// Build the probe plan: per-group sub-batches plus, per query, the
+	// contiguous refs that find its answers again at merge time.
+	rs.refs = rs.refs[:0]
+	rs.offs = append(rs.offs[:0], 0)
+	routedPairs := 0
+	add := func(qi, g int) {
+		rs.refs = append(rs.refs, probeRef{g: int32(g), j: int32(len(qidx[g]))})
+		qidx[g] = append(qidx[g], qi)
+		subs[g] = append(subs[g], qs[qi])
+	}
+	for qi := range qs {
+		probes, ok := c.router.Probe(qs[qi], p.Radius, rs.probes[:0])
+		if ok {
+			for _, g := range probes {
+				add(qi, g)
+			}
+			routedPairs += len(probes)
+		} else {
+			for g := 0; g < c.groups; g++ {
+				add(qi, g)
+			}
+			routedPairs += c.groups
+		}
+		rs.probes = probes[:0] // keep the grown capacity for the next query
+		rs.offs = append(rs.offs, int32(len(rs.refs)))
+	}
+	if opts.Trace {
+		report.RoutedGroups = routedPairs
+		report.PrunedGroups = len(qs)*c.groups - routedPairs
+	}
+
+	rp := p
+	rp.Routing = node.RoutingPartitioned
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var attempts [][]Attempt
+	if opts.Trace {
+		attempts = make([][]Attempt, c.groups)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < c.groups; g++ {
+		if len(qidx[g]) == 0 {
+			continue // pruned: zero time, nil error, nothing on the wire
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			t0 := time.Now()
+			r, winner, atts, err := c.searchGroup(bctx, g, subs[g], rp, opts)
+			report.Times[g] = time.Since(t0)
+			if opts.Trace {
+				attempts[g] = atts
+			}
+			if err != nil {
+				report.Errs[g] = err
+				if !opts.Partial {
+					cancel()
+				}
+				return
+			}
+			res[g], winners[g] = r, winner
+		}(g)
+	}
+	wg.Wait()
+	for _, atts := range attempts {
+		report.Attempts = append(report.Attempts, atts...)
+	}
+	defer func() {
+		for g, r := range res {
+			if r == nil {
+				continue
+			}
+			if rel, ok := winners[g].(transport.Releaser); ok {
+				rel.ReleaseResults(r)
+			}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, report, err
+	}
+	firstErr := firstError(report.Errs, "search", "group")
+	answered := 0 // contacted groups that answered (pruned groups don't count)
+	realFailure := false
+	for g, err := range report.Errs {
+		if err == nil {
+			if len(qidx[g]) > 0 {
+				answered++
+			}
+		} else if !errors.Is(err, context.Canceled) {
+			realFailure = true
+		}
+	}
+	if !opts.Partial && realFailure {
+		for i, err := range report.Errs {
+			if err != nil && errors.Is(err, context.Canceled) {
+				report.Errs[i] = nil
+			}
+		}
+	}
+	if firstErr != nil && (!opts.Partial || answered == 0) {
+		return nil, report, firstErr
+	}
+	out := c.getBatchOut(len(qs))
+	ms := mergePool.Get().(*mergeState)
+	for qi := range qs {
+		ms.lists = ms.lists[:0]
+		ms.groups = ms.groups[:0]
+		total := 0
+		for _, ref := range rs.refs[rs.offs[qi]:rs.offs[qi+1]] {
+			lists := res[ref.g]
+			if lists == nil || len(lists[ref.j]) == 0 {
+				continue
+			}
+			ms.lists = append(ms.lists, lists[ref.j])
+			ms.groups = append(ms.groups, int(ref.g))
+			total += len(lists[ref.j])
+		}
+		if total == 0 {
+			continue
+		}
+		k := p.K
+		if k <= 0 {
+			k = total
 		}
 		out[qi] = ms.mergeAppend(out[qi][:0], k)
 	}

@@ -149,7 +149,25 @@ type SearchParams struct {
 	// engine plus delta segments combined) this query evaluates distances
 	// for — a per-request latency/recall trade.
 	MaxCandidates int
+	// Routing, when nonzero, tags the batch as a routed sub-batch from a
+	// partitioned-placement coordinator (RoutingPartitioned). Nodes answer
+	// identically either way today — the hint versions the wire protocol,
+	// so a pre-routing server rejects routed traffic loudly instead of
+	// silently mis-serving it, and reserves room for node-side routing
+	// awareness later.
+	Routing uint8
 }
+
+// Routing hint values for SearchParams.Routing.
+const (
+	// RoutingNone marks an ordinary (scatter/broadcast or single-node)
+	// search. The zero value, and byte-stable on the wire with peers that
+	// predate routing.
+	RoutingNone uint8 = 0
+	// RoutingPartitioned marks a routed sub-batch: the coordinator sent
+	// this node only the queries whose probe sets include its group.
+	RoutingPartitioned uint8 = 1
+)
 
 // Stats summarizes a node's state and accumulated maintenance costs.
 type Stats struct {

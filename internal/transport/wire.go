@@ -61,7 +61,15 @@ const (
 // The version rides inside every opSearch frame; a server that receives a
 // newer revision than it knows rejects the request instead of silently
 // dropping parameters it cannot interpret.
-const searchVersion = 1
+//
+// v2 added the Routing hint. A search without the hint still declares
+// searchVersionBase, so scatter traffic stays decodable by — and
+// byte-identical to — pre-routing servers; only frames that actually
+// carry routing claim v2, which a pre-routing server rejects loudly.
+const (
+	searchVersionBase = 1
+	searchVersion     = 2
+)
 
 // searchParams is the wire form of node.SearchParams. It is a separate
 // struct so the wire encoding is owned here: node-side fields can evolve
@@ -74,6 +82,10 @@ type searchParams struct {
 	Radius        float64
 	K             int
 	MaxCandidates int
+	// Routing is the v2 placement-routing hint (node.RoutingPartitioned
+	// on routed sub-batches); zero — and absent from the frame's bytes,
+	// gob omits zero fields — on ordinary searches.
+	Routing uint8
 }
 
 // request is the client→server frame.
@@ -342,10 +354,15 @@ func handle(ctx context.Context, backend NodeClient, req *request, resp *respons
 				p.Version, searchVersion))
 			break
 		}
+		if p.Routing != 0 && p.Version < 2 {
+			fail(fmt.Errorf("transport: search frame carries a routing hint but declares v%d", p.Version))
+			break
+		}
 		res, err := backend.Search(ctx, req.Vectors, node.SearchParams{
 			Radius:        p.Radius,
 			K:             p.K,
 			MaxCandidates: p.MaxCandidates,
+			Routing:       p.Routing,
 		})
 		if err != nil {
 			fail(err)
@@ -672,11 +689,20 @@ func (c *Client) Search(ctx context.Context, qs []sparse.Vector, p node.SearchPa
 	req := getRequest()
 	req.Op = opSearch
 	req.Vectors = qs
+	// Scatter searches declare the base revision so their frames stay
+	// byte-identical to pre-routing clients; only a frame that actually
+	// carries the routing hint claims v2 (and is rejected, loudly, by a
+	// server too old to interpret it).
+	v := uint8(searchVersionBase)
+	if p.Routing != node.RoutingNone {
+		v = searchVersion
+	}
 	req.sp = searchParams{
-		Version:       searchVersion,
+		Version:       v,
 		Radius:        p.Radius,
 		K:             p.K,
 		MaxCandidates: p.MaxCandidates,
+		Routing:       p.Routing,
 	}
 	req.Search = &req.sp
 	resp, err := c.do(ctx, req)

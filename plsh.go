@@ -90,6 +90,28 @@ type Config struct {
 	// the latency hedge), so any single member can die without losing
 	// answers. Ignored by a Store.
 	Replicas int
+	// Placement selects how a Cluster places documents onto replica
+	// groups and which groups a search contacts. The default,
+	// PlacementScatter, is the paper's layout: inserts round-robin over
+	// the rolling window, searches broadcast to every group — bit-stable
+	// with clusters built before placement existed. PlacementPartitioned
+	// places each document on the group chosen from its LSH bucket
+	// signature and routes each search to the recall-bounded set of
+	// groups that can hold its in-radius neighbors (falling back to the
+	// full broadcast per query when the probe set degenerates), trading
+	// RoutingRecall for per-query cost proportional to the probe count
+	// instead of the fleet size. Partitioned placement gives up the
+	// rolling insert window: documents live where their signature says,
+	// nothing is retired, and a full target group fails the insert with
+	// an *InsertError wrapping ErrFull naming the group. Ignored by a
+	// Store (one node holds everything).
+	Placement Placement
+	// RoutingRecall is the partitioned-placement probe-mass target in
+	// (0, 1] (default 0.9): every document within the search radius is
+	// probed-for with at least this probability. Higher values probe
+	// more groups per query. Ignored unless Placement is
+	// PlacementPartitioned.
+	RoutingRecall float64
 	// Dir, when non-empty, makes the Store durable: state is recovered
 	// from Dir on open (snapshot + journal replay), every acknowledged
 	// Insert/Delete is journaled there before the call returns, and
@@ -138,6 +160,15 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.BucketReservoir < 0 {
 		return c, fmt.Errorf("plsh: Config.BucketReservoir = %d must not be negative", c.BucketReservoir)
+	}
+	if c.Placement != PlacementScatter && c.Placement != PlacementPartitioned {
+		return c, fmt.Errorf("plsh: unknown Config.Placement %d", c.Placement)
+	}
+	if c.RoutingRecall < 0 || c.RoutingRecall > 1 {
+		return c, fmt.Errorf("plsh: Config.RoutingRecall = %v outside (0, 1]", c.RoutingRecall)
+	}
+	if c.RoutingRecall == 0 {
+		c.RoutingRecall = 0.9
 	}
 	if c.Replicas == 0 {
 		c.Replicas = 1

@@ -409,6 +409,299 @@ func TestReplicatedClusterEquivalence(t *testing.T) {
 	}
 }
 
+// TestPartitionedRoutingRecallSweep is the routed arm of the seeded
+// randomized sweep: under partitioned placement, Search across random
+// (radius, k, max-candidates) trials and replica counts must return only
+// true in-radius neighbors (a subset of the exhaustive oracle, exact
+// distances, canonical order) and find at least the configured
+// RoutingRecall fraction of the oracle's matches in aggregate. The
+// scatter arm's exact ≡ oracle equivalence is pinned separately by
+// TestReplicatedClusterEquivalence — partitioned placement trades that
+// exactness for pruned fan-out, and this sweep pins the bound it trades
+// down to. Fully seeded, so realized recall is deterministic.
+func TestPartitionedRoutingRecallSweep(t *testing.T) {
+	const target = 0.8
+	docs := SyntheticTweets(240, 2000, 67)
+	var queries []Vector
+	for i := 0; i < len(docs); i += 13 {
+		queries = append(queries, docs[i])
+	}
+	rng := rand.New(rand.NewSource(73))
+	type trial struct {
+		radius  float64
+		k       int
+		maxCand int
+	}
+	trials := []trial{{0.9, 0, 0}}
+	for i := 0; i < 5; i++ {
+		trials = append(trials, trial{
+			radius:  0.8 + 0.4*rng.Float64(),
+			k:       []int{0, 1, 5, 20}[rng.Intn(4)],
+			maxCand: []int{0, len(docs)}[rng.Intn(2)],
+		})
+	}
+	for _, replicas := range []int{1, 2} {
+		cl, err := OpenCluster(bg, 6, 0, Config{
+			Dim: 2000, K: 4, M: 16, Radius: 0.9, Capacity: 200,
+			Replicas: replicas, Seed: 42,
+			Placement: PlacementPartitioned, RoutingRecall: target,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := cl.Insert(bg, docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Merge(bg); err != nil {
+			t.Fatal(err)
+		}
+		for ti, tr := range trials {
+			opts := []SearchOption{WithRadius(tr.radius)}
+			if tr.k > 0 {
+				opts = append(opts, WithK(tr.k))
+			}
+			if tr.maxCand > 0 {
+				opts = append(opts, WithMaxCandidates(tr.maxCand))
+			}
+			res, report, err := cl.SearchBatch(bg, queries, opts...)
+			if err != nil {
+				t.Fatalf("replicas=%d trial %d: %v", replicas, ti, err)
+			}
+			if !report.Complete() {
+				t.Fatalf("replicas=%d trial %d: incomplete on a healthy cluster", replicas, ti)
+			}
+			found, oracleTotal := 0, 0
+			for qi, q := range queries {
+				oracle := oracleMatches(docs, ids, q, tr.radius, 0)
+				dist := make(map[uint64]float64, len(oracle))
+				for _, m := range oracle {
+					dist[m.ID] = m.Dist
+				}
+				got := res[qi].Matches
+				if tr.k > 0 && len(got) > tr.k {
+					t.Fatalf("replicas=%d trial %d query %d: %d matches exceed k=%d",
+						replicas, ti, qi, len(got), tr.k)
+				}
+				for mi, m := range got {
+					want, ok := dist[m.ID]
+					if !ok {
+						t.Fatalf("replicas=%d trial %d query %d: match %d not in the radius oracle",
+							replicas, ti, qi, m.ID)
+					}
+					if m.Dist != want {
+						t.Fatalf("replicas=%d trial %d query %d: distance %v, oracle %v",
+							replicas, ti, qi, m.Dist, want)
+					}
+					if mi > 0 && got[mi].Dist < got[mi-1].Dist {
+						t.Fatalf("replicas=%d trial %d query %d: answers out of order", replicas, ti, qi)
+					}
+				}
+				if tr.k == 0 {
+					found += len(got)
+					oracleTotal += len(oracle)
+				}
+			}
+			if oracleTotal > 0 {
+				if recall := float64(found) / float64(oracleTotal); recall < target {
+					t.Fatalf("replicas=%d trial %d (r=%.3f): routed recall %.3f below target %.2f (%d/%d)",
+						replicas, ti, tr.radius, recall, target, found, oracleTotal)
+				}
+			}
+		}
+		cl.Close()
+	}
+}
+
+// TestPartitionedPruningAndTraceCounts pins the routed observability
+// contract and the fan-out acceptance bound: RoutedGroups/PrunedGroups
+// are recorded only under WithTrace (alongside the existing
+// Attempts-only-under-WithTrace guarantee), they always sum to
+// queries × groups, tracing does not perturb answers, scatter clusters
+// report zeros — and on a 16-group fleet the router contacts at most
+// half the (query, group) pairs a scatter broadcast would.
+func TestPartitionedPruningAndTraceCounts(t *testing.T) {
+	const groups = 16
+	cl, err := OpenCluster(bg, groups, 0, Config{
+		Dim: 2000, K: 4, M: 16, Radius: 0.9, Capacity: 400, Seed: 42,
+		Placement: PlacementPartitioned, RoutingRecall: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	docs := SyntheticTweets(400, 2000, 67)
+	if _, err := cl.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Merge(bg); err != nil {
+		t.Fatal(err)
+	}
+	var queries []Vector
+	for i := 0; i < len(docs); i += 7 {
+		queries = append(queries, docs[i])
+	}
+
+	plain, plainReport, err := cl.SearchBatch(bg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainReport.RoutedGroups != 0 || plainReport.PrunedGroups != 0 {
+		t.Fatalf("untraced routed search recorded counts: routed=%d pruned=%d",
+			plainReport.RoutedGroups, plainReport.PrunedGroups)
+	}
+	if plainReport.Attempts != nil {
+		t.Fatal("untraced routed search materialized Attempts")
+	}
+
+	traced, report, err := cl.SearchBatch(bg, queries, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(traced, plain) {
+		t.Fatal("tracing perturbed routed answers")
+	}
+	total := len(queries) * groups
+	if report.RoutedGroups+report.PrunedGroups != total {
+		t.Fatalf("routed %d + pruned %d ≠ %d query×group pairs",
+			report.RoutedGroups, report.PrunedGroups, total)
+	}
+	if report.RoutedGroups < len(queries) {
+		t.Fatalf("routed %d pairs < %d queries; every query probes at least one group",
+			report.RoutedGroups, len(queries))
+	}
+	// The acceptance bound: on ≥ 8 groups, partitioned search contacts at
+	// most half the (query, group) pairs scatter would broadcast to.
+	if report.RoutedGroups > total/2 {
+		t.Fatalf("routed %d of %d pairs: partitioned search contacted more than half the groups",
+			report.RoutedGroups, total)
+	}
+	// Every Attempt must belong to a routed-to group: pruned groups see no
+	// RPC at all.
+	for _, a := range report.Attempts {
+		if a.Group < 0 || a.Group >= groups {
+			t.Fatalf("attempt names group %d of %d", a.Group, groups)
+		}
+	}
+
+	// Scatter placement never records routing counts, traced or not.
+	sc, err := NewCluster(4, 0, Config{Dim: 2000, K: 4, M: 16, Capacity: 400, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if _, err := sc.Insert(bg, docs[:100]); err != nil {
+		t.Fatal(err)
+	}
+	_, sreport, err := sc.SearchBatch(bg, queries[:4], WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sreport.RoutedGroups != 0 || sreport.PrunedGroups != 0 {
+		t.Fatalf("scatter cluster recorded routing counts: routed=%d pruned=%d",
+			sreport.RoutedGroups, sreport.PrunedGroups)
+	}
+}
+
+// TestPartitionedFailoverTCP is the fast routed-failover check: with
+// replicas mirrored inside each routed-to group, killing one member of a
+// group the router probes leaves routed searches Complete and identical
+// — the failover/hedge machinery runs within the routed set. Killing the
+// whole group fails all-or-nothing and degrades AllowPartial to the
+// routed answer minus that group, naming it — same contract as scatter
+// (the real-process SIGKILL version lives in the slow clustertest suite).
+func TestPartitionedFailoverTCP(t *testing.T) {
+	servers := make([]*killableTCPNode, 8)
+	addrs := make([]string, 8)
+	for i := range servers {
+		servers[i] = startKillableTCPNode(t, 400)
+		addrs[i] = servers[i].addr
+	}
+	cl, err := DialCluster(bg, addrs, 0, WithReplicas(2),
+		WithPartitioned(Config{Dim: 2000, K: 4, M: 16, Seed: 42, RoutingRecall: 0.7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.NumGroups() != 4 || cl.Replicas() != 2 {
+		t.Fatalf("cluster shape: groups=%d replicas=%d", cl.NumGroups(), cl.Replicas())
+	}
+	docs := SyntheticTweets(300, 2000, 63)
+	queries := docs[:16]
+	if _, err := cl.Insert(bg, docs); err != nil {
+		t.Fatal(err)
+	}
+	oracle, report, err := cl.SearchBatch(bg, queries, WithTrace())
+	if err != nil || !report.Complete() {
+		t.Fatalf("pre-kill routed baseline: err=%v complete=%v", err, report.Complete())
+	}
+	if report.RoutedGroups == 0 {
+		t.Fatal("routing never engaged; the trace recorded no probes")
+	}
+	// Pick a group the batch certainly probes (routing is deterministic,
+	// so every rerun of this batch probes it again) and kill the member
+	// that just answered for it — the replica the preference currently
+	// favors, so the very next routed search must fail over past it.
+	victim, dead := -1, -1
+	for _, a := range report.Attempts {
+		if a.Won {
+			victim, dead = a.Group, a.Node
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("trace recorded no winning attempt")
+	}
+	servers[dead].kill()
+	sawFailover := false
+	for j := 0; j < 50 && !sawFailover; j++ {
+		res, rep, err := cl.SearchBatch(bg, queries, WithTrace())
+		if err != nil {
+			t.Fatalf("routed search %d with a dead member: %v", j, err)
+		}
+		if !rep.Complete() {
+			t.Fatalf("routed search %d: incomplete, stragglers %v", j, rep.Stragglers())
+		}
+		if !reflect.DeepEqual(res, oracle) {
+			t.Fatalf("routed search %d: answers diverge from the pre-kill baseline", j)
+		}
+		for _, a := range rep.Attempts {
+			if a.Won && a.Node == dead {
+				t.Fatalf("routed search %d: dead member recorded as winner", j)
+			}
+		}
+		sawFailover = rep.Failovers() > 0
+	}
+	if !sawFailover {
+		t.Fatal("no failover recorded across 50 routed searches with a dead member")
+	}
+	// Whole routed-to group down: all-or-nothing fails, AllowPartial
+	// answers the baseline minus the dead group and names it — exactly
+	// the scatter contract. With contiguous pairs the sibling is dead^1.
+	servers[dead^1].kill()
+	if _, _, err := cl.SearchBatch(bg, queries); err == nil {
+		t.Fatal("all-or-nothing routed SearchBatch succeeded with a whole routed-to group dead")
+	}
+	pres, preport, err := cl.SearchBatch(bg, queries, AllowPartial())
+	if err != nil {
+		t.Fatalf("partial routed SearchBatch with a dead group: %v", err)
+	}
+	if s := preport.Stragglers(); len(s) != 1 || s[0] != victim {
+		t.Fatalf("stragglers = %v, want [%d] (the dead routed-to group)", s, victim)
+	}
+	for qi := range queries {
+		var want []Match
+		for _, m := range oracle[qi].Matches {
+			if m.Node() != victim {
+				want = append(want, m)
+			}
+		}
+		if !reflect.DeepEqual(pres[qi].Matches, want) {
+			t.Fatalf("query %d: partial routed answer is not baseline-minus-group-%d", qi, victim)
+		}
+	}
+}
+
 // TestReplicasConfigValidation: bad replica shapes fail construction
 // loudly instead of mis-grouping endpoints.
 func TestReplicasConfigValidation(t *testing.T) {

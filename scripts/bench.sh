@@ -12,6 +12,7 @@
 #   scripts/bench.sh SearchTopK     # just the unified-Search top-k metric
 #   scripts/bench.sh 'Save|Recover'   # just the durability metrics
 #   scripts/bench.sh SearchReplicated # replicas=1 vs 2, hedged vs not
+#   scripts/bench.sh SearchRouted   # scatter vs partitioned routing
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
