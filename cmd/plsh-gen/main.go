@@ -44,7 +44,6 @@ func main() {
 	}
 
 	w := bufio.NewWriterSize(os.Stdout, 1<<20)
-	defer w.Flush()
 	enc := json.NewEncoder(w)
 	stream := corpus.NewStream(cfg)
 	for i := 0; i < *n; i++ {
@@ -52,5 +51,10 @@ func main() {
 		if err := enc.Encode(doc{Idx: v.Idx, Val: v.Val}); err != nil {
 			log.Fatalf("plsh-gen: %v", err)
 		}
+	}
+	// A deferred Flush would swallow a short write and emit a silently
+	// truncated corpus; fail loudly instead.
+	if err := w.Flush(); err != nil {
+		log.Fatalf("plsh-gen: flushing output: %v", err)
 	}
 }

@@ -1,0 +1,72 @@
+// Package atomicsnap enforces the snapshot-access invariant of
+// internal/node: a struct field of a sync/atomic type (atomic.Pointer,
+// atomic.Value, the integer/bool flavors) may be touched only through
+// its atomic method set — n.snap.Load(), n.snap.Store(s) — never read,
+// copied, aliased, or assigned directly. The copy-on-write design is
+// sound only if every reader goes through Load and every publisher
+// through Store/Swap/CompareAndSwap; a direct field copy or a &field
+// alias that escapes reintroduces the unsynchronized access the
+// snapshot design exists to eliminate. (go vet's copylocks catches some
+// whole-struct copies; this check also rejects aliasing and any
+// non-method use of the field itself.)
+package atomicsnap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"plsh/internal/analysis/framework"
+)
+
+// Analyzer is the package-level instance plsh-vet registers.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicsnap",
+	Doc: "struct fields of sync/atomic types must be accessed only through their atomic methods " +
+		"(Load/Store/Swap/CompareAndSwap/Add), never read, copied, or aliased directly",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		framework.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return
+			}
+			fieldType := selection.Obj().Type()
+			if !isAtomicType(fieldType) {
+				return
+			}
+			// The only legal context: x.field.Method(...) — the selector
+			// is the X of a method selector that is itself the Fun of a
+			// call.
+			if len(stack) >= 2 {
+				if outer, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && outer.X == sel {
+					if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == outer {
+						return
+					}
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s of atomic type %s used outside its atomic method set; "+
+					"direct reads, copies, and aliases bypass the snapshot discipline",
+				selection.Obj().Name(), types.TypeString(fieldType, types.RelativeTo(pass.Pkg)))
+		})
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is a named type of package sync/atomic
+// (atomic.Pointer[T], atomic.Value, atomic.Int64, ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

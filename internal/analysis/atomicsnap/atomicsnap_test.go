@@ -1,0 +1,12 @@
+package atomicsnap_test
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/atomicsnap"
+	"plsh/internal/analysis/framework/testutil"
+)
+
+func TestAtomicsnap(t *testing.T) {
+	testutil.Run(t, "testdata", atomicsnap.Analyzer)
+}

@@ -1,0 +1,45 @@
+// Package atomicfix seeds the atomicsnap cases: atomic struct fields
+// used through their method set (legal) and read, copied, or aliased
+// directly (flagged).
+package atomicfix
+
+import "sync/atomic"
+
+type snapshot struct {
+	n int
+}
+
+type store struct {
+	snap  atomic.Pointer[snapshot]
+	gen   atomic.Uint64
+	plain int
+}
+
+func good(s *store) *snapshot {
+	s.gen.Add(1)
+	cur := s.snap.Load()
+	next := &snapshot{n: cur.n + 1}
+	if s.snap.CompareAndSwap(cur, next) {
+		return next
+	}
+	s.snap.Store(next)
+	return s.snap.Load()
+}
+
+func badCopy(s *store) {
+	p := s.snap // want `field snap of atomic type .* used outside its atomic method set`
+	_ = p
+}
+
+func badAlias(s *store) *atomic.Pointer[snapshot] {
+	return &s.snap // want `field snap of atomic type .* used outside its atomic method set`
+}
+
+func badRead(s *store) uint64 {
+	g := s.gen // want `field gen of atomic type .* used outside its atomic method set`
+	return g.Load()
+}
+
+func okPlain(s *store) int {
+	return s.plain // non-atomic fields are untouched
+}

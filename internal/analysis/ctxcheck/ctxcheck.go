@@ -1,0 +1,128 @@
+// Package ctxcheck enforces the repository's context conventions on
+// library code (the class of bug PR 5's Store.Reset fix removed by
+// hand):
+//
+//  1. Library paths never mint their own context: calls to
+//     context.Background() and context.TODO() are flagged. A library
+//     function that needs a context takes it from its caller; a
+//     deliberate exception (a ctx-less compatibility shim, a nil-ctx
+//     fallback at a public boundary) carries an auditable
+//     //plshvet:ignore ctxcheck <reason> suppression.
+//  2. When an exported function, method, or interface method takes a
+//     context.Context at all, it takes it as the first parameter.
+//
+// Package main is exempt (an entry point owns its root context), as are
+// the experiment/test-harness packages listed in DefaultExcluded.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"plsh/internal/analysis/framework"
+)
+
+// DefaultExcluded lists import paths the check skips: experiment
+// drivers and test harnesses own their run's root context the same way
+// package main does.
+var DefaultExcluded = []string{
+	"plsh/internal/expr",        // figure-reproduction drivers: each experiment is an entry point
+	"plsh/internal/clustertest", // spawns real processes for the fault-injection suite
+}
+
+// Analyzer is the package-level instance plsh-vet registers.
+var Analyzer = New(DefaultExcluded)
+
+// New builds the analyzer with an explicit exclusion list (fixtures use
+// an empty one).
+func New(excluded []string) *framework.Analyzer {
+	skip := map[string]bool{}
+	for _, p := range excluded {
+		skip[p] = true
+	}
+	return &framework.Analyzer{
+		Name: "ctxcheck",
+		Doc: "library code must thread the caller's context.Context (no context.Background/TODO) " +
+			"and exported signatures take ctx as the first parameter",
+		Run: func(pass *framework.Pass) error { return run(pass, skip) },
+	}
+}
+
+func run(pass *framework.Pass, skip map[string]bool) error {
+	if pass.Pkg.Name() == "main" || skip[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Name.IsExported() {
+					checkSignature(pass, n.Name.Name, n.Type)
+				}
+			case *ast.TypeSpec:
+				if iface, ok := n.Type.(*ast.InterfaceType); ok && n.Name.IsExported() {
+					for _, m := range iface.Methods.List {
+						ft, ok := m.Type.(*ast.FuncType)
+						if !ok || len(m.Names) == 0 || !m.Names[0].IsExported() {
+							continue
+						}
+						checkSignature(pass, n.Name.Name+"."+m.Names[0].Name, ft)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags context.Background() / context.TODO().
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		pass.Reportf(call.Pos(),
+			"library path calls context.%s; thread the caller's ctx instead "+
+				"(suppress deliberate shims with //plshvet:ignore ctxcheck <reason>)", name)
+	}
+}
+
+// checkSignature flags a context.Context parameter in any position but
+// the first.
+func checkSignature(pass *framework.Pass, name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContext(t) && pos > 0 {
+			pass.Reportf(field.Pos(),
+				"%s takes context.Context as parameter %d; context must be the first parameter",
+				name, pos+1)
+		}
+		pos += n
+	}
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

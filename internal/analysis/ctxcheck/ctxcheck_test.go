@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/ctxcheck"
+	"plsh/internal/analysis/framework/testutil"
+)
+
+func TestCtxcheck(t *testing.T) {
+	testutil.Run(t, "testdata", ctxcheck.New(nil))
+}

@@ -1,0 +1,41 @@
+// Package ctxfix seeds the ctxcheck cases: minted contexts, misplaced
+// ctx parameters, and the suppression escape hatch.
+package ctxfix
+
+import "context"
+
+// Good threads the caller's context, first parameter.
+func Good(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+func mintBackground() context.Context {
+	return context.Background() // want `library path calls context.Background`
+}
+
+func mintTODO() context.Context {
+	return context.TODO() // want `library path calls context.TODO`
+}
+
+// BadOrder takes ctx in the wrong position.
+func BadOrder(n int, ctx context.Context) error { // want `context must be the first parameter`
+	_ = ctx
+	return nil
+}
+
+// unexported signatures are the package's own business.
+func looseOrder(n int, ctx context.Context) {}
+
+// Store is an exported interface: its method contracts are checked too.
+type Store interface {
+	Get(ctx context.Context, key string) ([]byte, error)
+	Put(key string, ctx context.Context) error // want `context must be the first parameter`
+}
+
+// Shim is a deliberate compatibility wrapper; the suppression keeps it.
+func Shim() error {
+	//plshvet:ignore ctxcheck ctx-less compatibility shim for the fixture
+	return Good(context.Background(), 0)
+}

@@ -1,0 +1,192 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis driver surface, built on the
+// standard library alone (go/ast, go/types, and export data produced by
+// `go list -export`). The repository vendors no third-party modules, so
+// the checkers under internal/analysis target this package instead of
+// x/tools; the Analyzer/Pass/Diagnostic shapes are kept deliberately
+// identical to go/analysis so the suite can be rebased onto the real
+// framework by changing one import when a vendored x/tools becomes
+// available.
+//
+// Suppression convention: a diagnostic is suppressed by a directive
+// comment on the same line, or the line immediately above:
+//
+//	//plshvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory — a directive without one is itself reported —
+// so every suppression in the tree documents why the invariant does not
+// apply at that site. Analyzer-specific classification directives
+// (poolzero's //plshvet:frame and //plshvet:scratch) follow the same
+// one-line shape; see ParseDirectives.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus facts and requires:
+// every checker in this suite is package-local and self-contained.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //plshvet:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by plsh-vet -help.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics; installed by the driver.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// WalkStack walks the file like ast.Inspect but hands fn the stack of
+// enclosing nodes (outermost first, not including n itself). Analyzers
+// use it where a node's legality depends on its context — e.g. whether
+// a selector is the receiver of a method call.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// Directive is one parsed //plshvet:... comment.
+type Directive struct {
+	Pos  token.Pos
+	Verb string // "ignore", "frame", "scratch", ...
+	Args string // remainder after the verb, space-trimmed
+}
+
+const directivePrefix = "//plshvet:"
+
+// ParseDirectives extracts every //plshvet: directive in the file,
+// including those inside doc comments. Directives must start at the
+// beginning of the comment text (gofmt keeps //-comments flush).
+func ParseDirectives(f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			verb, args, _ := strings.Cut(rest, " ")
+			out = append(out, Directive{
+				Pos:  c.Pos(),
+				Verb: strings.TrimSpace(verb),
+				Args: strings.TrimSpace(args),
+			})
+		}
+	}
+	return out
+}
+
+// TypeDirective returns the directive of the given verbs attached to the
+// type declaration of named — in the TypeSpec's doc comment or the
+// enclosing GenDecl's — or nil. decls maps type names to their specs for
+// the current package (see CollectTypeSpecs).
+func TypeDirective(decls map[string]*TypeDecl, typeName string, verbs ...string) *Directive {
+	td := decls[typeName]
+	if td == nil {
+		return nil
+	}
+	for _, d := range td.Directives {
+		for _, v := range verbs {
+			if d.Verb == v {
+				return &d
+			}
+		}
+	}
+	return nil
+}
+
+// TypeDecl is a type declaration plus the //plshvet: directives in its
+// doc comments.
+type TypeDecl struct {
+	Spec       *ast.TypeSpec
+	Directives []Directive
+}
+
+// CollectTypeSpecs indexes the package's type declarations by name,
+// capturing the //plshvet: directives written in the TypeSpec doc or the
+// enclosing GenDecl doc.
+func CollectTypeSpecs(files []*ast.File) map[string]*TypeDecl {
+	out := map[string]*TypeDecl{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				td := &TypeDecl{Spec: ts}
+				for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						if strings.HasPrefix(c.Text, directivePrefix) {
+							rest := strings.TrimPrefix(c.Text, directivePrefix)
+							verb, args, _ := strings.Cut(rest, " ")
+							td.Directives = append(td.Directives, Directive{
+								Pos:  c.Pos(),
+								Verb: strings.TrimSpace(verb),
+								Args: strings.TrimSpace(args),
+							})
+						}
+					}
+				}
+				out[ts.Name.Name] = td
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load typechecks the packages matching patterns (e.g. "./...") rooted
+// at dir, without any third-party loader: package metadata and compiled
+// export data come from `go list -export`, and each target package's
+// non-test sources are parsed and checked against go/types with the
+// toolchain's gc importer reading that export data. Test files are
+// excluded by construction (go list's GoFiles): the invariants the suite
+// enforces are library-path conventions, and test code deliberately
+// exercises their violations.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %w", patterns, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %v: package %s: %s", patterns, p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := check(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// check parses and typechecks one package's files.
+func check(fset *token.FileSet, importPath, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", gf, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// LoadFixture typechecks a GOPATH-style fixture tree (root/src/<path>/)
+// as analysistest does: every package under root/src is loaded, fixture
+// packages may import each other by their path under src, and imports
+// outside the tree resolve to the toolchain's export data via
+// `go list -export`. Returns packages in dependency order.
+func LoadFixture(root string) ([]*Package, error) {
+	src := filepath.Join(root, "src")
+	var dirs []string
+	err := filepath.Walk(src, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() {
+			return nil
+		}
+		m, _ := filepath.Glob(filepath.Join(path, "*.go"))
+		if len(m) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	type fixturePkg struct {
+		path  string
+		dir   string
+		files []*ast.File
+	}
+	var fixtures []fixturePkg
+	imports := map[string]bool{}
+	fixturePaths := map[string]bool{}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(src, d)
+		if err != nil {
+			return nil, err
+		}
+		importPath := filepath.ToSlash(rel)
+		gofiles, _ := filepath.Glob(filepath.Join(d, "*.go"))
+		var files []*ast.File
+		for _, gf := range gofiles {
+			f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing fixture %s: %w", gf, err)
+			}
+			files = append(files, f)
+			for _, im := range f.Imports {
+				p := im.Path.Value
+				imports[p[1:len(p)-1]] = true
+			}
+		}
+		fixtures = append(fixtures, fixturePkg{path: importPath, dir: d, files: files})
+		fixturePaths[importPath] = true
+	}
+	// Resolve the fixture tree's external imports (stdlib, in practice)
+	// to export data in one go list call.
+	var external []string
+	for p := range imports {
+		if !fixturePaths[p] {
+			external = append(external, p)
+		}
+	}
+	sort.Strings(external)
+	exports := map[string]string{}
+	if len(external) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, external...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list %v: %w\n%s", external, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	// Typecheck fixture packages, resolving fixture-internal imports
+	// from the already-checked set (fixtures are checked in path order;
+	// dependencies must sort before dependents, which "a" < "a/b" gives
+	// for nested layouts — flat sibling imports may need renaming).
+	checked := map[string]*types.Package{}
+	gcimp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return gcimp.Import(path)
+	})
+	var pkgs []*Package
+	sort.Slice(fixtures, func(i, j int) bool { return fixtures[i].path < fixtures[j].path })
+	for _, fx := range fixtures {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(fx.path, fset, fx.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typechecking fixture %s: %w", fx.path, err)
+		}
+		checked[fx.path] = pkg
+		pkgs = append(pkgs, &Package{
+			ImportPath: fx.path,
+			Dir:        fx.dir,
+			Fset:       fset,
+			Files:      fx.files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

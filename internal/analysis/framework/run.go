@@ -1,0 +1,127 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one diagnostic bound to its analyzer and resolved
+// position, ready to print.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings, sorted by position. Diagnostics carrying a matching
+// //plshvet:ignore directive on their line — or the line above — are
+// dropped; malformed directives (no analyzer name, or no reason) are
+// themselves reported under the "plshvet" name so suppressions stay
+// auditable.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// ignores maps file:line to the analyzer names suppressed there.
+		ignores := map[string]map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, d := range ParseDirectives(f) {
+				if d.Verb != "ignore" {
+					continue
+				}
+				pos := pkg.Fset.Position(d.Pos)
+				name, reason := splitArg(d.Args)
+				if name == "" || reason == "" {
+					findings = append(findings, Finding{
+						Analyzer: "plshvet",
+						Pos:      pos,
+						Message:  "malformed //plshvet:ignore: want \"//plshvet:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				if !known[name] && name != "all" {
+					findings = append(findings, Finding{
+						Analyzer: "plshvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//plshvet:ignore names unknown analyzer %q", name),
+					})
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if ignores[key] == nil {
+					ignores[key] = map[string]bool{}
+				}
+				ignores[key][name] = true
+			}
+		}
+		suppressed := func(name string, pos token.Position) bool {
+			for _, line := range []int{pos.Line, pos.Line - 1} {
+				if m := ignores[fmt.Sprintf("%s:%d", pos.Filename, line)]; m != nil && (m[name] || m["all"]) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// splitArg splits a directive's argument into its first word and the
+// rest.
+func splitArg(s string) (first, rest string) {
+	for i, r := range s {
+		if r == ' ' || r == '\t' {
+			return s[:i], trimLeftSpace(s[i:])
+		}
+	}
+	return s, ""
+}
+
+func trimLeftSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+// Package testutil runs an analyzer over a GOPATH-style fixture tree and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest: each line that should
+// produce diagnostics carries a trailing comment
+//
+//	// want "regexp" "another regexp"
+//
+// with one quoted (double-quote or backquote) regular expression per
+// expected diagnostic on that line. A diagnostic with no matching want,
+// or a want with no matching diagnostic, fails the test — so a seeded
+// violation in a fixture that the analyzer misses fails the suite, and
+// so does a new false positive.
+package testutil
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"plsh/internal/analysis/framework"
+)
+
+// Run loads the fixture tree rooted at dir (dir/src/<path>/*.go), runs
+// the analyzer over every fixture package, and checks diagnostics
+// against the tree's want comments.
+func Run(t *testing.T, dir string, a *framework.Analyzer) {
+	t.Helper()
+	pkgs, err := framework.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s holds no packages", dir)
+	}
+	findings, err := framework.Run(pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg.Fset, f, func(pos token.Position, res []*regexp.Regexp) {
+				k := wantKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			})
+		}
+	}
+
+	matched := map[wantKey][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range findings {
+		k := wantKey{f.Pos.Filename, f.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(f.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(f.Pos), f.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// collectWants extracts the want comments of one file.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, emit func(token.Position, []*regexp.Regexp)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			res, err := parseWant(strings.TrimPrefix(text, "want "))
+			if err != nil {
+				t.Fatalf("%s: bad want comment: %v", posString(fset.Position(c.Pos())), err)
+			}
+			emit(fset.Position(c.Pos()), res)
+		}
+	}
+}
+
+// parseWant parses a sequence of quoted regexps.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		q := s[0]
+		if q != '"' && q != '`' {
+			return nil, fmt.Errorf("want pattern must be quoted: %q", s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern: %q", s)
+		}
+		lit := s[:end+2]
+		var pat string
+		if q == '`' {
+			pat = lit[1 : len(lit)-1]
+		} else {
+			var err error
+			pat, err = strconv.Unquote(lit)
+			if err != nil {
+				return nil, fmt.Errorf("bad pattern %s: %v", lit, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("bad regexp %q: %v", pat, err)
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

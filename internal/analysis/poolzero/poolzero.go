@@ -1,0 +1,295 @@
+// Package poolzero enforces the PR 6 pooling invariant: every pooled
+// struct is classified, and structs classified as frames are zeroed
+// before they return to their sync.Pool.
+//
+// Classification is a directive in the pooled struct's doc comment:
+//
+//	//plshvet:frame
+//	    The struct ferries request/response or cross-request data
+//	    (transport frames, broadcast scratch, merge state). Every
+//	    reference-carrying field — pointer, interface, map, chan, func,
+//	    or slice — must be visibly sanitized in the function that calls
+//	    Put: a wholesale `*x = T{}`, a nil/zero assignment, an
+//	    element-clearing loop, or a `[:0]` truncation (which asserts
+//	    the retained capacity is owned scratch, not foreign memory).
+//	//plshvet:scratch <reason>
+//	    The struct is an owned workspace (query workspaces, router
+//	    scratch): it never holds caller or peer memory past a call, so
+//	    retaining its allocations is the point of pooling it. The
+//	    mandatory reason documents why that is true.
+//
+// A sync.Pool.Put of a pointer to an unclassified struct is itself a
+// finding, so every new pool must declare which contract it lives
+// under. The check is a convention enforcer, not a dataflow prover: it
+// demands that sanitization of each hazardous field is present in the
+// putting function, which is exactly the invariant a reviewer otherwise
+// checks by eye — and the invariant whose single missed field is a
+// silent cross-request data-aliasing bug (gob decodes into retained
+// capacity; released answer buffers get overwritten mid-read).
+package poolzero
+
+import (
+	"go/ast"
+	"go/types"
+
+	"plsh/internal/analysis/framework"
+)
+
+// Analyzer is the package-level instance plsh-vet registers.
+var Analyzer = &framework.Analyzer{
+	Name: "poolzero",
+	Doc: "pooled structs must be classified //plshvet:frame or //plshvet:scratch, and every " +
+		"reference-carrying field of a frame must be zeroed in the function that calls sync.Pool.Put",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	decls := framework.CollectTypeSpecs(pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok && isPoolPut(pass, call) && len(call.Args) == 1 {
+					checkPut(pass, decls, fd, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isPoolPut reports whether call is (*sync.Pool).Put.
+func isPoolPut(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.FullName() == "(*sync.Pool).Put"
+}
+
+// checkPut validates one Put call site.
+func checkPut(pass *framework.Pass, decls map[string]*framework.TypeDecl, fd *ast.FuncDecl, call *ast.CallExpr) {
+	arg := call.Args[0]
+	ptr, ok := pass.TypeOf(arg).(*types.Pointer)
+	if !ok {
+		return // pooled channels and slice headers are out of scope
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	if named.Obj().Pkg() != pass.Pkg {
+		pass.Reportf(call.Pos(),
+			"pooled struct %s is declared in package %s; classify it there with //plshvet:frame or //plshvet:scratch",
+			named.Obj().Name(), named.Obj().Pkg().Path())
+		return
+	}
+	name := named.Obj().Name()
+	if d := framework.TypeDirective(decls, name, "scratch"); d != nil {
+		if d.Args == "" {
+			pass.Reportf(call.Pos(), "//plshvet:scratch on %s needs a reason: why is retaining its allocations safe?", name)
+		}
+		return
+	}
+	if framework.TypeDirective(decls, name, "frame") == nil {
+		pass.Reportf(call.Pos(),
+			"pooled struct %s is unclassified; add //plshvet:frame (zeroed at Put) or "+
+				"//plshvet:scratch <reason> (owned workspace) to its doc comment", name)
+		return
+	}
+	// Frame: every hazardous field needs sanitization evidence in fd.
+	argIdent, ok := arg.(*ast.Ident)
+	if !ok {
+		pass.Reportf(call.Pos(),
+			"frame Put argument must be a plain variable so zeroing is checkable; got %T", arg)
+		return
+	}
+	obj := pass.ObjectOf(argIdent)
+	ev := collectEvidence(pass, fd, obj, named)
+	if ev.wholesale {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if !hazardous(fld.Type()) {
+			continue
+		}
+		if !ev.fields[fld.Name()] {
+			pass.Reportf(call.Pos(),
+				"frame %s returns to its pool with field %s (%s) not sanitized in %s; "+
+					"nil it, clear its elements, or truncate owned scratch with [:0] before Put",
+				name, fld.Name(), types.TypeString(fld.Type(), types.RelativeTo(pass.Pkg)), fd.Name.Name)
+		}
+	}
+}
+
+// hazardous reports whether a field of type t can carry heap references
+// into the pool: pointers, interfaces, maps, chans, funcs, slices, and
+// aggregates containing them. Strings are immutable and safe.
+func hazardous(t types.Type) bool {
+	switch t := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Chan, *types.Signature, *types.Slice:
+		return true
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if hazardous(t.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hazardous(t.Elem())
+	}
+	return false
+}
+
+// evidence records which fields of the pooled value the putting
+// function sanitizes.
+type evidence struct {
+	wholesale bool
+	fields    map[string]bool
+}
+
+// collectEvidence scans the whole enclosing function (closures
+// included — Put is often inside a defer) for sanitization of obj's
+// fields:
+//
+//	*x = T{}                      wholesale zero
+//	x.F = nil / T{} / x.F[:0]     direct field zero or truncation
+//	alias := x.F / x.F[:n]        then alias[i] = nil / zero / [:0]
+//	clear(x.F) / clear(alias)     builtin clear
+//
+// Writes through an alias's elements land in the field's backing array,
+// so they count; rebinding the alias itself does not.
+func collectEvidence(pass *framework.Pass, fd *ast.FuncDecl, obj types.Object, named *types.Named) evidence {
+	ev := evidence{fields: map[string]bool{}}
+	if obj == nil {
+		return ev
+	}
+	// aliases maps a local variable object to the field name whose
+	// backing it shares.
+	aliases := map[types.Object]string{}
+	// fieldOf resolves an expression to the pooled field it reaches:
+	// x.F, x.F[i], alias, alias[i][j], alias[:n]...
+	var fieldOf func(e ast.Expr) (string, bool)
+	fieldOf = func(e ast.Expr) (string, bool) {
+		switch e := e.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				return e.Sel.Name, true
+			}
+		case *ast.Ident:
+			if f, ok := aliases[pass.ObjectOf(e)]; ok {
+				return f, true
+			}
+		case *ast.IndexExpr:
+			return fieldOf(e.X)
+		case *ast.SliceExpr:
+			return fieldOf(e.X)
+		case *ast.ParenExpr:
+			return fieldOf(e.X)
+		}
+		return "", false
+	}
+	isZero := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return e.Name == "nil"
+		case *ast.CompositeLit:
+			return len(e.Elts) == 0
+		}
+		return false
+	}
+	// isTruncation: X[:0] or append(X[:0], ...).
+	var isTruncation func(e ast.Expr) bool
+	isTruncation = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.SliceExpr:
+			if bl, ok := e.High.(*ast.BasicLit); ok && bl.Value == "0" {
+				return true
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+				return isTruncation(e.Args[0])
+			}
+		}
+		return false
+	}
+	// Two passes: aliases first (they may be declared after first use
+	// in source order only in pathological code; one pre-pass is
+	// enough for straight-line declarations).
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if se, ok := rhs.(*ast.SliceExpr); ok {
+				rhs = se.X
+			}
+			if sel, ok := rhs.(*ast.SelectorExpr); ok {
+				if base, ok := sel.X.(*ast.Ident); ok && pass.ObjectOf(base) == obj {
+					if o := pass.ObjectOf(id); o != nil {
+						aliases[o] = sel.Sel.Name
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				} else {
+					continue
+				}
+				// Wholesale: *x = T{}.
+				if star, ok := lhs.(*ast.StarExpr); ok {
+					if id, ok := star.X.(*ast.Ident); ok && pass.ObjectOf(id) == obj && isZero(rhs) {
+						ev.wholesale = true
+						continue
+					}
+				}
+				// A bare alias rebind (alias = ...) touches the local,
+				// not the field; field writes go through a selector or
+				// an index/slice path.
+				if id, ok := lhs.(*ast.Ident); ok {
+					if _, isAlias := aliases[pass.ObjectOf(id)]; isAlias {
+						continue
+					}
+				}
+				if f, ok := fieldOf(lhs); ok && (isZero(rhs) || isTruncation(rhs)) {
+					ev.fields[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "clear" && len(n.Args) == 1 {
+				if f, ok := fieldOf(n.Args[0]); ok {
+					ev.fields[f] = true
+				}
+			}
+		}
+		return true
+	})
+	return ev
+}

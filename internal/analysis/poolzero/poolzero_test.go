@@ -1,0 +1,12 @@
+package poolzero_test
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/framework/testutil"
+	"plsh/internal/analysis/poolzero"
+)
+
+func TestPoolzero(t *testing.T) {
+	testutil.Run(t, "testdata", poolzero.Analyzer)
+}

@@ -1,0 +1,142 @@
+// Package poolfix seeds every poolzero case: unclassified pools,
+// scratch with and without a reason, frames zeroed wholesale, per
+// field, through aliases, and frames that leak a field.
+package poolfix
+
+import "sync"
+
+type unclassified struct {
+	buf []byte
+}
+
+// Exported is pooled by the poolother fixture package; the
+// classification must live here, with the type.
+type Exported struct {
+	Buf []byte
+}
+
+var unclassifiedPool = sync.Pool{New: func() any { return new(unclassified) }}
+
+func putUnclassified(u *unclassified) {
+	unclassifiedPool.Put(u) // want `pooled struct unclassified is unclassified`
+}
+
+// goodScratch is an owned workspace.
+//
+//plshvet:scratch per-call accumulator buffers, never hold caller memory
+type goodScratch struct {
+	acc []int
+}
+
+var goodScratchPool = sync.Pool{New: func() any { return new(goodScratch) }}
+
+func putGoodScratch(s *goodScratch) {
+	goodScratchPool.Put(s)
+}
+
+// badScratch claims to be a workspace but does not say why.
+//
+//plshvet:scratch
+type badScratch struct {
+	acc []int
+}
+
+var badScratchPool = sync.Pool{New: func() any { return new(badScratch) }}
+
+func putBadScratch(s *badScratch) {
+	badScratchPool.Put(s) // want `needs a reason`
+}
+
+// wholeFrame is zeroed wholesale before Put.
+//
+//plshvet:frame
+type wholeFrame struct {
+	payload []byte
+	next    *wholeFrame
+}
+
+var wholeFramePool = sync.Pool{New: func() any { return new(wholeFrame) }}
+
+func putWholeFrame(f *wholeFrame) {
+	*f = wholeFrame{}
+	wholeFramePool.Put(f)
+}
+
+// fieldFrame is sanitized field by field: a nil assignment, a [:0]
+// truncation, an append-truncation, an element clear through an alias,
+// and a builtin clear. The int field needs no evidence.
+//
+//plshvet:frame
+type fieldFrame struct {
+	next    *fieldFrame
+	owned   []int
+	grown   []byte
+	answers [][]int
+	index   map[int]int
+	n       int
+}
+
+var fieldFramePool = sync.Pool{New: func() any { return new(fieldFrame) }}
+
+func putFieldFrame(f *fieldFrame) {
+	f.next = nil
+	f.owned = f.owned[:0]
+	f.grown = append(f.grown[:0], 0)
+	answers := f.answers[:2]
+	for i := range answers {
+		answers[i] = nil
+	}
+	clear(f.index)
+	f.n = 0
+	fieldFramePool.Put(f)
+}
+
+// leakyFrame forgets one of its two hazardous fields.
+//
+//plshvet:frame
+type leakyFrame struct {
+	payload []byte
+	refs    []*int
+}
+
+var leakyFramePool = sync.Pool{New: func() any { return new(leakyFrame) }}
+
+func putLeakyFrame(f *leakyFrame) {
+	f.payload = f.payload[:0]
+	leakyFramePool.Put(f) // want `field refs \(\[\]\*int\) not sanitized`
+}
+
+// deferFrame is sanitized and pooled inside a defer; evidence in the
+// enclosing function counts.
+//
+//plshvet:frame
+type deferFrame struct {
+	payload []byte
+}
+
+var deferFramePool = sync.Pool{New: func() any { return new(deferFrame) }}
+
+func useDeferFrame() {
+	f := deferFramePool.Get().(*deferFrame)
+	defer func() {
+		f.payload = nil
+		deferFramePool.Put(f)
+	}()
+	_ = f.payload
+}
+
+// exprFrame is pooled through an expression, which hides the variable
+// from the zeroing check.
+//
+//plshvet:frame
+type exprFrame struct {
+	payload []byte
+}
+
+type exprHolder struct{ f *exprFrame }
+
+var exprFramePool = sync.Pool{New: func() any { return new(exprFrame) }}
+
+func putExprFrame(h exprHolder) {
+	exprFramePool.Put(h.f) // want `must be a plain variable`
+}

@@ -1,0 +1,15 @@
+// Package poolother pools a struct it does not own: the classification
+// directive lives with the type, so the Put site is reported.
+package poolother
+
+import (
+	"sync"
+
+	"poolfix"
+)
+
+var foreignPool = sync.Pool{New: func() any { return new(poolfix.Exported) }}
+
+func putForeign(e *poolfix.Exported) {
+	foreignPool.Put(e) // want `declared in package poolfix; classify it there`
+}

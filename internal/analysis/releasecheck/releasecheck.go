@@ -1,0 +1,482 @@
+// Package releasecheck enforces the pooled-results ownership contract
+// of PR 6: a caller that receives a pooled batch answer — the
+// [][]Neighbor returned by node.SearchBatch, cluster.Cluster.Search,
+// or the getBatchOut helpers — must, on every path including error and
+// early-return paths, either hand it back with the owner's
+// ReleaseResults or transfer ownership wholesale (return the whole
+// value, store it, send it). Returning a piece of the batch (res[0])
+// or just falling off the end strands the buffers: harmless to
+// correctness only as long as nobody ever releases them, and a silent
+// data-aliasing bug the moment someone does — released entries are
+// recycled into the next batch while the escaped alias is still read.
+//
+// Acquire sites are recognized structurally: a call to a method named
+// Search, SearchBatch, or getBatchOut whose first result is a
+// slice-of-slices and whose receiver type also has a ReleaseResults
+// method. Paths inside an `if err != nil` guard on the call's own
+// error are exempt — the contract is that a failed call returns no
+// buffers. Releases inside defers and spawned closures count from the
+// point of registration.
+package releasecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"plsh/internal/analysis/framework"
+)
+
+// acquireNames are the method names that can hand out pooled batches.
+var acquireNames = map[string]bool{
+	"Search":      true,
+	"SearchBatch": true,
+	"getBatchOut": true,
+}
+
+// Analyzer is the package-level instance plsh-vet registers.
+var Analyzer = &framework.Analyzer{
+	Name: "releasecheck",
+	Doc: "pooled batch results (node.SearchBatch, Cluster.Search, getBatchOut) must be released " +
+		"with ReleaseResults or returned whole on every path, including error and early-return paths",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isAcquire reports whether call returns a pooled batch: a method in
+// acquireNames, first result [][]T, receiver type carrying a
+// ReleaseResults method.
+func isAcquire(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !acquireNames[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	outer, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if _, ok := outer.Elem().Underlying().(*types.Slice); !ok {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(named))
+	return ms.Lookup(named.Obj().Pkg(), "ReleaseResults") != nil
+}
+
+// acquireSite is one pooled-batch acquisition inside a function.
+type acquireSite struct {
+	call    *ast.CallExpr
+	res     types.Object // the variable bound to the batch (nil if discarded)
+	resName string
+	err     types.Object // the error bound in the same assignment (may be nil)
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	// Locate acquire calls and the statements that bind them.
+	sites := map[ast.Stmt]*acquireSite{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAcquire(pass, call) {
+			return true
+		}
+		stmt, bound := bindingOf(pass, fd, call)
+		if stmt == nil {
+			return true
+		}
+		sites[stmt] = bound
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+	for stmt, site := range sites {
+		if site.res == nil {
+			pass.Reportf(site.call.Pos(),
+				"pooled batch from %s is discarded; bind it and release it with ReleaseResults",
+				callName(site.call))
+			continue
+		}
+		c := &pathChecker{pass: pass, site: site}
+		path, rest := pathTo(fd.Body, stmt)
+		if path == nil {
+			continue
+		}
+		released := c.seq(rest, false, 0)
+		// Walk back out: statements following the acquire's block at
+		// each enclosing level run too (unless an inner level already
+		// guaranteed release).
+		for i := len(path) - 1; i >= 0 && !released; i-- {
+			released = c.seq(path[i], released, 0)
+		}
+		if !released && !c.terminated {
+			pass.Reportf(site.call.Pos(),
+				"pooled batch %s from %s is not released on the fall-through path; call ReleaseResults or return it",
+				site.resName, callName(site.call))
+		}
+	}
+}
+
+// bindingOf finds the statement that contains call directly and the
+// variables it binds. A call whose whole result is immediately returned
+// transfers ownership and needs no site.
+func bindingOf(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) (ast.Stmt, *acquireSite) {
+	var found ast.Stmt
+	var site *acquireSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if rhs == call {
+					s := &acquireSite{call: call}
+					if len(n.Lhs) > 0 {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+							s.res = pass.ObjectOf(id)
+							s.resName = id.Name
+						}
+					}
+					// The error, if the tuple carries one, is the last
+					// result.
+					if len(n.Lhs) > 1 {
+						if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
+							if o := pass.ObjectOf(id); o != nil && o.Type() != nil && isErrorType(o.Type()) {
+								s.err = o
+							}
+						}
+					}
+					found, site = n, s
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if r == call {
+					return false // ownership transferred to the caller
+				}
+			}
+		case *ast.ExprStmt:
+			if n.X == call {
+				found, site = n, &acquireSite{call: call}
+				return false
+			}
+		}
+		return true
+	})
+	return found, site
+}
+
+// pathTo locates stmt inside root and returns, per enclosing block
+// level from outermost in, the statements that follow it — plus the
+// remainder of its own block.
+func pathTo(root *ast.BlockStmt, stmt ast.Stmt) (outer [][]ast.Stmt, rest []ast.Stmt) {
+	var walk func(list []ast.Stmt, acc [][]ast.Stmt) bool
+	walk = func(list []ast.Stmt, acc [][]ast.Stmt) bool {
+		for i, s := range list {
+			if s == stmt {
+				outer = append([][]ast.Stmt{}, acc...)
+				rest = list[i+1:]
+				return true
+			}
+			for _, inner := range childBlocks(s) {
+				if walk(inner, append(acc, list[i+1:])) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !walk(root.List, nil) {
+		return nil, nil
+	}
+	return outer, rest
+}
+
+// childBlocks returns the statement lists nested directly inside s.
+func childBlocks(s ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	add := func(b *ast.BlockStmt) {
+		if b != nil {
+			out = append(out, b.List)
+		}
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		add(s)
+	case *ast.IfStmt:
+		add(s.Body)
+		if eb, ok := s.Else.(*ast.BlockStmt); ok {
+			add(eb)
+		} else if ei, ok := s.Else.(*ast.IfStmt); ok {
+			out = append(out, childBlocks(ei)...)
+		}
+	case *ast.ForStmt:
+		add(s.Body)
+	case *ast.RangeStmt:
+		add(s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, childBlocks(s.Stmt)...)
+	}
+	return out
+}
+
+// pathChecker walks the statements dominated by an acquire and reports
+// returns that leak the batch.
+type pathChecker struct {
+	pass *framework.Pass
+	site *acquireSite
+	// terminated is set when every path through the walked statements
+	// ended in a reported-or-legal return, so fall-through cannot
+	// happen.
+	terminated bool
+}
+
+// seq walks one statement sequence. released is the state on entry;
+// exempt > 0 inside an err-guard of the acquire's own error. Returns
+// the released state at fall-through.
+func (c *pathChecker) seq(stmts []ast.Stmt, released bool, exempt int) bool {
+	for _, s := range stmts {
+		released = c.stmt(s, released, exempt)
+	}
+	return released
+}
+
+func (c *pathChecker) stmt(s ast.Stmt, released bool, exempt int) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		c.terminated = true
+		if released || exempt > 0 {
+			return released
+		}
+		if c.returnsWhole(s) {
+			return true
+		}
+		c.pass.Reportf(s.Pos(),
+			"return leaks pooled batch %s from %s; release it with ReleaseResults first "+
+				"(or return the whole batch to transfer ownership)",
+			c.site.resName, callName(c.site.call))
+		return released
+	case *ast.DeferStmt:
+		if c.containsRelease(s) {
+			return true
+		}
+		return released
+	case *ast.IfStmt:
+		guard := c.errGuard(s.Cond)
+		thenExempt, elseExempt := exempt, exempt
+		if guard == guardErrNonNil {
+			thenExempt++
+		}
+		if guard == guardErrNil {
+			elseExempt++
+		}
+		thenRel := c.seq(s.Body.List, released, thenExempt)
+		if s.Else == nil {
+			// The else path is fall-through with the entry state.
+			if endsTerminal(s.Body.List) {
+				return released
+			}
+			return released // branch-local release doesn't cover the else path
+		}
+		var elseRel bool
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseRel = c.seq(e.List, released, elseExempt)
+		case *ast.IfStmt:
+			elseRel = c.stmt(e, released, elseExempt)
+		}
+		return thenRel && elseRel
+	case *ast.BlockStmt:
+		return c.seq(s.List, released, exempt)
+	case *ast.ForStmt:
+		c.seq(s.Body.List, released, exempt)
+		return released // the loop may run zero times
+	case *ast.RangeStmt:
+		c.seq(s.Body.List, released, exempt)
+		return released
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		for _, blk := range childBlocks(s) {
+			c.seq(blk, released, exempt)
+		}
+		return released // a case may not be taken
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, released, exempt)
+	case *ast.GoStmt:
+		if c.containsRelease(s) {
+			return true
+		}
+		return released
+	case *ast.ExprStmt:
+		if c.containsRelease(s) {
+			return true
+		}
+		return released
+	case *ast.AssignStmt:
+		// Storing the whole batch somewhere (a field, another binding)
+		// transfers ownership.
+		for _, rhs := range s.Rhs {
+			if id, ok := rhs.(*ast.Ident); ok && c.pass.ObjectOf(id) == c.site.res {
+				return true
+			}
+		}
+		if c.containsRelease(s) {
+			return true
+		}
+		return released
+	case *ast.SendStmt:
+		if id, ok := s.Value.(*ast.Ident); ok && c.pass.ObjectOf(id) == c.site.res {
+			return true
+		}
+		return released
+	default:
+		if c.containsRelease(s) {
+			return true
+		}
+		return released
+	}
+}
+
+// returnsWhole reports whether ret returns the batch variable itself.
+func (c *pathChecker) returnsWhole(ret *ast.ReturnStmt) bool {
+	for _, r := range ret.Results {
+		if id, ok := r.(*ast.Ident); ok && c.pass.ObjectOf(id) == c.site.res {
+			return true
+		}
+	}
+	return false
+}
+
+// containsRelease reports whether n contains ReleaseResults(res) for
+// this site's batch, at any nesting depth.
+func (c *pathChecker) containsRelease(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ReleaseResults" || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok && c.pass.ObjectOf(id) == c.site.res {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+type errGuardKind int
+
+const (
+	guardNone errGuardKind = iota
+	guardErrNonNil
+	guardErrNil
+)
+
+// errGuard classifies cond as a nil test of the acquire's own error.
+func (c *pathChecker) errGuard(cond ast.Expr) errGuardKind {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || c.site.err == nil {
+		return guardNone
+	}
+	var errSide, nilSide ast.Expr = be.X, be.Y
+	if id, ok := be.Y.(*ast.Ident); ok && c.pass.ObjectOf(id) == c.site.err {
+		errSide, nilSide = be.Y, be.X
+	}
+	id, ok := errSide.(*ast.Ident)
+	if !ok || c.pass.ObjectOf(id) != c.site.err {
+		return guardNone
+	}
+	if nid, ok := nilSide.(*ast.Ident); !ok || nid.Name != "nil" {
+		return guardNone
+	}
+	switch be.Op.String() {
+	case "!=":
+		return guardErrNonNil
+	case "==":
+		return guardErrNil
+	}
+	return guardNone
+}
+
+// endsTerminal reports whether the sequence ends in a statement that
+// cannot fall through (return or panic).
+func endsTerminal(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callName renders the acquire call for diagnostics.
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "acquire"
+}

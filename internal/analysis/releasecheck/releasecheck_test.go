@@ -1,0 +1,12 @@
+package releasecheck_test
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/framework/testutil"
+	"plsh/internal/analysis/releasecheck"
+)
+
+func TestReleasecheck(t *testing.T) {
+	testutil.Run(t, "testdata", releasecheck.Analyzer)
+}

@@ -1,0 +1,138 @@
+// Package releasefix seeds every releasecheck case against a miniature
+// pooled-batch owner: Searcher.Search hands out [][]int batches that
+// must come back through ReleaseResults or be returned whole.
+package releasefix
+
+import "errors"
+
+// Searcher is the batch owner; the method-set shape (Search returning a
+// slice-of-slices plus ReleaseResults) is what the analyzer keys on.
+type Searcher struct{}
+
+func (s *Searcher) Search(n int) ([][]int, error) { return make([][]int, n), nil }
+
+func (s *Searcher) SearchBatch(n int) ([][]int, error) { return s.Search(n) }
+
+func (s *Searcher) ReleaseResults(out [][]int) {}
+
+func use(v interface{}) {}
+
+// plain release on the success path.
+func good(s *Searcher) error {
+	res, err := s.Search(1)
+	if err != nil {
+		return err
+	}
+	use(res[0])
+	s.ReleaseResults(res)
+	return nil
+}
+
+// deferred release covers every later path.
+func goodDefer(s *Searcher) error {
+	res, err := s.Search(1)
+	if err != nil {
+		return err
+	}
+	defer s.ReleaseResults(res)
+	use(res[0])
+	if len(res) > 1 {
+		return errors.New("short")
+	}
+	return nil
+}
+
+// returning the whole batch transfers ownership to the caller.
+func goodTransfer(s *Searcher) ([][]int, error) {
+	res, err := s.Search(1)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// a direct return of the call is a transfer too.
+func goodDirect(s *Searcher) ([][]int, error) {
+	return s.Search(1)
+}
+
+// the classic leak: an element of the batch escapes, the batch does not
+// come back.
+func badAliasReturn(s *Searcher) ([]int, error) {
+	res, err := s.Search(1)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil // want `return leaks pooled batch res`
+}
+
+// an early return between acquire and release leaks.
+func badEarlyReturn(s *Searcher, stop bool) error {
+	res, err := s.Search(1)
+	if err != nil {
+		return err
+	}
+	if stop {
+		return nil // want `return leaks pooled batch res`
+	}
+	s.ReleaseResults(res)
+	return nil
+}
+
+// falling off the end of a void function leaks.
+func badFallThrough(s *Searcher) {
+	res, _ := s.Search(1) // want `not released on the fall-through path`
+	use(res)
+}
+
+// discarding the batch outright leaks.
+func badDiscard(s *Searcher) {
+	s.Search(1) // want `is discarded`
+}
+
+// a release on only one branch does not cover the other.
+func badBranch(s *Searcher, cond bool) error {
+	res, err := s.Search(1)
+	if err != nil {
+		return err
+	}
+	if cond {
+		s.ReleaseResults(res)
+	}
+	return nil // want `return leaks pooled batch res`
+}
+
+// releasing in both arms covers the return.
+func goodBothBranches(s *Searcher, cond bool) error {
+	res, err := s.Search(1)
+	if err != nil {
+		return err
+	}
+	if cond {
+		use(res[0])
+		s.ReleaseResults(res)
+	} else {
+		s.ReleaseResults(res)
+	}
+	return nil
+}
+
+// SearchBatch sites are checked the same way.
+func badBatch(s *Searcher) error {
+	res, err := s.SearchBatch(2)
+	if err != nil {
+		return err
+	}
+	use(res)
+	return nil // want `return leaks pooled batch res`
+}
+
+// storing the whole batch hands ownership to the sink.
+func goodStore(s *Searcher, sink *[][]int) error {
+	res, err := s.Search(1)
+	if err != nil {
+		return err
+	}
+	*sink = res
+	return nil
+}

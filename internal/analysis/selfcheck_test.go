@@ -1,0 +1,41 @@
+// The selfcheck is the suite's own tier-1 gate: the five analyzers run
+// over the entire repository must be silent. It is the same run
+// scripts/vet.sh performs in CI, so a violation — a new pool without a
+// classification, a leaked batch, a minted context, a wire-protocol
+// edit that disagrees with the lock, a direct snapshot read — fails
+// `go test ./...` locally before it ever reaches a reviewer.
+package analysis_test
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/atomicsnap"
+	"plsh/internal/analysis/ctxcheck"
+	"plsh/internal/analysis/framework"
+	"plsh/internal/analysis/poolzero"
+	"plsh/internal/analysis/releasecheck"
+	"plsh/internal/analysis/wireop"
+)
+
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := framework.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the repo sweep is not covering the tree", len(pkgs))
+	}
+	findings, err := framework.Run(pkgs, []*framework.Analyzer{
+		atomicsnap.Analyzer,
+		ctxcheck.Analyzer,
+		poolzero.Analyzer,
+		releasecheck.Analyzer,
+		wireop.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

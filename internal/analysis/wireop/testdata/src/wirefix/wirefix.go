@@ -1,0 +1,45 @@
+// Package wirefix seeds the wireop cases against the test's own lock
+// (see wireop_test.go): renumbered constants, constants inserted into
+// the locked range, reordered and retyped struct fields, a lost field —
+// and legal appends, which must stay silent.
+package wirefix
+
+type op uint8
+
+const (
+	opA op = 1
+	opB op = 3 // want `opB = 3, but the wire lock pins it at 2`
+	opC op = 2 // want `lands inside the locked range`
+	opD op = 4
+)
+
+type code uint8
+
+const (
+	codeX code = 0
+	codeY code = 1
+	codeZ code = 2 // legal append past the locked tail
+)
+
+// frameGood matches its locked prefix and appends one field.
+type frameGood struct {
+	A int
+	B string
+	C []byte
+}
+
+// frameSwapped reorders the locked prefix.
+type frameSwapped struct {
+	B string // want `exported field 0 is B, locked as A`
+	A int
+}
+
+// frameRetyped changes a locked field's encoding.
+type frameRetyped struct {
+	A int64 // want `field A changed type int → int64`
+}
+
+// frameShrunk lost a locked field.
+type frameShrunk struct { // want `lost locked field B string`
+	A int
+}

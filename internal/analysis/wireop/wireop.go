@@ -1,0 +1,263 @@
+// Package wireop enforces, at compile time, that the wire protocol in
+// internal/transport evolves append-only. The protocol's compatibility
+// story (PRs 1–7) rests on two physical properties of wire.go: the
+// opcode and response-code const blocks never renumber (a reordered
+// iota silently remaps every op under version skew), and the gob frame
+// structs never insert or reorder fields before the established tail
+// (gob type descriptors — and therefore the golden frame bytes — follow
+// declaration order). The runtime golden-bytes test catches a drift
+// after the fact; this analyzer pins the source shape itself against a
+// locked table (lock.go), so an insertion is a vet failure on the
+// developer's machine before any frame is ever encoded.
+//
+// Legal protocol evolution — appending an op after the locked tail, or
+// a field after a struct's locked prefix — passes the check; the lock
+// table is then extended in the same change, which is the auditable
+// review point (see internal/analysis/README.md).
+package wireop
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"plsh/internal/analysis/framework"
+)
+
+// ConstLock pins the values of a named constant block.
+type ConstLock struct {
+	TypeName string
+	// Values lists every locked constant, in value order; the last
+	// entry's value is the append floor for new constants.
+	Values []NameValue
+}
+
+// NameValue is one locked constant.
+type NameValue struct {
+	Name  string
+	Value int64
+}
+
+// FieldLock is one locked struct field: its name and its type,
+// rendered relative to the locked package (types.RelativeTo).
+type FieldLock struct {
+	Name string
+	Type string
+}
+
+// StructLock pins the ordered prefix of a struct's exported fields.
+type StructLock struct {
+	TypeName string
+	Fields   []FieldLock
+}
+
+// Lock is the full append-only contract for one package.
+type Lock struct {
+	// Path is the import path the lock applies to; the analyzer is a
+	// no-op on every other package.
+	Path    string
+	Consts  []ConstLock
+	Structs []StructLock
+}
+
+// Analyzer is the package-level instance plsh-vet registers, carrying
+// the real lock for plsh/internal/transport (lock.go).
+var Analyzer = New(TransportLock)
+
+// New builds the analyzer for an explicit lock (fixtures use their
+// own).
+func New(lock Lock) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "wireop",
+		Doc: "the wire protocol's opcode const blocks and frame structs are append-only: " +
+			"locked values never renumber and locked field prefixes never reorder",
+		Run: func(pass *framework.Pass) error { return run(pass, lock) },
+	}
+}
+
+func run(pass *framework.Pass, lock Lock) error {
+	if pass.Pkg.Path() != lock.Path {
+		return nil
+	}
+	for _, cl := range lock.Consts {
+		checkConsts(pass, cl)
+	}
+	for _, sl := range lock.Structs {
+		checkStruct(pass, sl)
+	}
+	return nil
+}
+
+// checkConsts verifies every locked constant of the named type exists
+// with its locked value and that new constants append past the locked
+// range.
+func checkConsts(pass *framework.Pass, cl ConstLock) {
+	typeObj := pass.Pkg.Scope().Lookup(cl.TypeName)
+	if typeObj == nil {
+		pass.Reportf(pass.Files[0].Pos(),
+			"locked wire type %s no longer exists; removing a wire type breaks every older peer", cl.TypeName)
+		return
+	}
+	// Gather the package's constants of this type with their values and
+	// positions.
+	got := map[string]int64{}
+	pos := map[string]ast.Node{}
+	for _, name := range pass.Pkg.Scope().Names() {
+		obj := pass.Pkg.Scope().Lookup(name)
+		c, ok := obj.(*types.Const)
+		if !ok || c.Type() != typeObj.Type() {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		got[name] = v
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for _, id := range vs.Names {
+				if _, tracked := got[id.Name]; tracked {
+					pos[id.Name] = id
+				}
+			}
+			return true
+		})
+	}
+	at := func(name string) ast.Node {
+		if n := pos[name]; n != nil {
+			return n
+		}
+		return pass.Files[0]
+	}
+	var floor int64
+	locked := map[string]bool{}
+	for _, nv := range cl.Values {
+		locked[nv.Name] = true
+		if nv.Value > floor {
+			floor = nv.Value
+		}
+		v, ok := got[nv.Name]
+		if !ok {
+			pass.Reportf(pass.Files[0].Pos(),
+				"locked %s constant %s (= %d) was removed; wire constants are append-only", cl.TypeName, nv.Name, nv.Value)
+			continue
+		}
+		if v != nv.Value {
+			pass.Reportf(at(nv.Name).Pos(),
+				"%s = %d, but the wire lock pins it at %d; an insertion or reorder in the iota block "+
+					"renumbers every later opcode under version skew — append new values after the tail instead",
+				nv.Name, v, nv.Value)
+		}
+	}
+	for name, v := range got {
+		if locked[name] {
+			continue
+		}
+		if v <= floor {
+			pass.Reportf(at(name).Pos(),
+				"new %s constant %s = %d lands inside the locked range (≤ %d); append it after the tail "+
+					"and extend the lock in internal/analysis/wireop/lock.go", cl.TypeName, name, v, floor)
+		}
+	}
+}
+
+// checkStruct verifies the struct's exported fields start with the
+// locked (name, type) prefix in order.
+func checkStruct(pass *framework.Pass, sl StructLock) {
+	var st *ast.StructType
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != sl.TypeName {
+				return true
+			}
+			if s, ok := ts.Type.(*ast.StructType); ok {
+				st = s
+			}
+			return false
+		})
+	}
+	if st == nil {
+		pass.Reportf(pass.Files[0].Pos(),
+			"locked wire struct %s no longer exists; removing a frame struct breaks every older peer", sl.TypeName)
+		return
+	}
+	qual := types.RelativeTo(pass.Pkg)
+	type field struct {
+		name string
+		typ  string
+		node ast.Node
+	}
+	var exported []field
+	for _, fld := range st.Fields.List {
+		t := pass.TypesInfo.TypeOf(fld.Type)
+		ts := ""
+		if t != nil {
+			ts = types.TypeString(t, qual)
+		}
+		for _, name := range fld.Names {
+			if name.IsExported() {
+				exported = append(exported, field{name.Name, ts, name})
+			}
+		}
+	}
+	for i, lf := range sl.Fields {
+		if i >= len(exported) {
+			pass.Reportf(st.Pos(),
+				"wire struct %s lost locked field %s %s; gob frame layout is append-only", sl.TypeName, lf.Name, lf.Type)
+			return
+		}
+		got := exported[i]
+		if got.name != lf.Name {
+			pass.Reportf(got.node.Pos(),
+				"wire struct %s: exported field %d is %s, locked as %s — fields inserted or reordered before "+
+					"the locked tail change the gob type descriptor and every golden frame; append new fields at the end",
+				sl.TypeName, i, got.name, lf.Name)
+			return
+		}
+		if !typeEqual(got.typ, lf.Type) {
+			pass.Reportf(got.node.Pos(),
+				"wire struct %s: field %s changed type %s → %s; locked wire fields keep their encoding",
+				sl.TypeName, lf.Name, lf.Type, got.typ)
+		}
+	}
+}
+
+// typeEqual compares rendered types, tolerating package-path prefixes
+// (the lock writes full paths; fixtures may shorten them).
+func typeEqual(got, want string) bool {
+	if got == want {
+		return true
+	}
+	return trimPaths(got) == trimPaths(want)
+}
+
+func trimPaths(s string) string {
+	var b strings.Builder
+	seg := ""
+	for _, r := range s {
+		switch r {
+		case '[', ']', '*', ' ', '(', ')', ',':
+			b.WriteString(base(seg))
+			seg = ""
+			b.WriteRune(r)
+		default:
+			seg += string(r)
+		}
+	}
+	b.WriteString(base(seg))
+	return b.String()
+}
+
+func base(s string) string {
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,40 @@
+package wireop_test
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/framework/testutil"
+	"plsh/internal/analysis/wireop"
+)
+
+// fixtureLock pins the wirefix fixture package the way lock.go pins
+// internal/transport.
+var fixtureLock = wireop.Lock{
+	Path: "wirefix",
+	Consts: []wireop.ConstLock{
+		{
+			TypeName: "op",
+			Values: []wireop.NameValue{
+				{Name: "opA", Value: 1},
+				{Name: "opB", Value: 2},
+			},
+		},
+		{
+			TypeName: "code",
+			Values: []wireop.NameValue{
+				{Name: "codeX", Value: 0},
+				{Name: "codeY", Value: 1},
+			},
+		},
+	},
+	Structs: []wireop.StructLock{
+		{TypeName: "frameGood", Fields: []wireop.FieldLock{{Name: "A", Type: "int"}, {Name: "B", Type: "string"}}},
+		{TypeName: "frameSwapped", Fields: []wireop.FieldLock{{Name: "A", Type: "int"}, {Name: "B", Type: "string"}}},
+		{TypeName: "frameRetyped", Fields: []wireop.FieldLock{{Name: "A", Type: "int"}}},
+		{TypeName: "frameShrunk", Fields: []wireop.FieldLock{{Name: "A", Type: "int"}, {Name: "B", Type: "string"}}},
+	},
+}
+
+func TestWireop(t *testing.T) {
+	testutil.Run(t, "testdata", wireop.New(fixtureLock))
+}

@@ -250,6 +250,8 @@ type Cluster struct {
 // warmed coordinator fans out without allocating. Entries are zeroed
 // before the scratch returns to the pool, so no node answer buffer is
 // retained past its release.
+//
+//plshvet:frame
 type bcastScratch struct {
 	perGroup [][][]core.Neighbor
 	winners  []transport.NodeClient
@@ -973,7 +975,7 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 		}
 		out[qi] = ms.mergeAppend(out[qi][:0], k)
 	}
-	mergePool.Put(ms)
+	ms.release()
 	return out, report, nil
 }
 
@@ -989,6 +991,8 @@ type probeRef struct {
 // per-group answers and winning clients, and the flat probe-ref arena
 // that maps answers back to query positions. Entries holding caller or
 // node memory are zeroed before the scratch returns to the pool.
+//
+//plshvet:frame
 type routedScratch struct {
 	qidx    [][]int           // per group: original query positions
 	subs    [][]sparse.Vector // per group: sub-batch, parallel to qidx
@@ -1181,7 +1185,7 @@ func (c *Cluster) searchRouted(ctx context.Context, qs []sparse.Vector, p node.S
 		}
 		out[qi] = ms.mergeAppend(out[qi][:0], k)
 	}
-	mergePool.Put(ms)
+	ms.release()
 	return out, report, nil
 }
 
@@ -1224,7 +1228,12 @@ func (c *Cluster) Query(ctx context.Context, q sparse.Vector) ([]Neighbor, error
 	if err != nil {
 		return nil, err
 	}
-	return res[0], nil
+	// res is a pooled batch; the caller keeps the answer, so copy it out
+	// and recycle the batch instead of stranding the whole buffer behind
+	// a one-query alias.
+	out := append([]Neighbor(nil), res[0]...)
+	c.ReleaseResults(res)
+	return out, nil
 }
 
 // QueryBatch broadcasts the batch to every group in parallel and merges
@@ -1257,7 +1266,9 @@ func (c *Cluster) QueryTopK(ctx context.Context, q sparse.Vector, k int) ([]Neig
 	if err != nil {
 		return nil, err
 	}
-	return res[0], nil
+	out := append([]Neighbor(nil), res[0]...)
+	c.ReleaseResults(res)
+	return out, nil
 }
 
 // Doc fetches the stored vector for a global ID from the group that holds
@@ -1316,7 +1327,10 @@ func (h *topkHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:le
 // mergeState is the recycled scratch of one k-way merge: the non-empty
 // input lists with their group indexes, the cursor arena, and the heap of
 // cursor pointers. One state serves a whole batch, query after query, and
-// returns to mergePool when the batch's Search call finishes.
+// returns to mergePool — via release, which drops every reference to the
+// per-group answer buffers — when the batch's Search call finishes.
+//
+//plshvet:frame
 type mergeState struct {
 	lists   [][]core.Neighbor
 	groups  []int
@@ -1325,6 +1339,36 @@ type mergeState struct {
 }
 
 var mergePool = sync.Pool{New: func() any { return new(mergeState) }}
+
+// release hands the merge scratch back to mergePool with every
+// reference into per-group answer buffers dropped. lists aliases node
+// result memory and each cursor (and the heap's pointers into the
+// cursor arena) aliases one of those lists; a state pooled with them
+// intact would pin released answer buffers across requests — and read
+// recycled memory if a stale cursor were ever walked.
+func (ms *mergeState) release() {
+	// Clear the full capacity, not just the length: a batch truncates
+	// and refills these per query, so slots past the last query's
+	// length still hold earlier queries' references, and heap.Pop
+	// leaves popped cursor pointers beyond the heap's final length.
+	lists := ms.lists[:cap(ms.lists)]
+	for i := range lists {
+		lists[i] = nil
+	}
+	ms.lists = ms.lists[:0]
+	ms.groups = ms.groups[:0]
+	cursors := ms.cursors[:cap(ms.cursors)]
+	for i := range cursors {
+		cursors[i] = topkCursor{}
+	}
+	ms.cursors = ms.cursors[:0]
+	h := ms.h[:cap(ms.h)]
+	for i := range h {
+		h[i] = nil
+	}
+	ms.h = ms.h[:0]
+	mergePool.Put(ms)
+}
 
 // mergeAppend k-way-merges ms.lists (per-group ascending partial lists,
 // parallel to ms.groups) into dst, emitting at most k entries, and
@@ -1369,7 +1413,7 @@ func mergeTopK(perGroup [][]core.Neighbor, k int) []Neighbor {
 		}
 	}
 	out := ms.mergeAppend(make([]Neighbor, 0, min(k, 1024)), k)
-	mergePool.Put(ms)
+	ms.release()
 	return out
 }
 

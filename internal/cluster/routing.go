@@ -127,6 +127,8 @@ type Router struct {
 }
 
 // routerScratch is the pooled per-call workspace of GroupFor/Probe.
+//
+//plshvet:scratch per-call sketch and probe-enumeration buffers owned by the router; no caller or node memory is ever stored in them
 type routerScratch struct {
 	scores []float32
 	halves []uint32

@@ -113,8 +113,10 @@ func (n *Node) Kill() {
 	if n.cmd == nil {
 		return
 	}
-	n.cmd.Process.Kill()
-	n.cmd.Wait()
+	// Best-effort teardown of a process we are abandoning: Kill on an
+	// already-dead process and Wait's exit status are both uninteresting.
+	_ = n.cmd.Process.Kill()
+	_ = n.cmd.Wait()
 	n.cmd = nil
 }
 

@@ -114,6 +114,8 @@ type tablePair struct {
 }
 
 // workspace is one in-flight query's private state.
+//
+//plshvet:scratch owned per-query candidate/score buffers; nothing caller-visible is ever stored in them
 type workspace struct {
 	seen   *bitvec.Vector
 	cand   []uint32

@@ -131,7 +131,9 @@ func (t *table) row(cells ...any) {
 	fmt.Fprintln(t.tw)
 }
 
-func (t *table) flush() { t.tw.Flush() }
+// flush renders the table; a stdout write failure is ignored — the
+// experiment's numbers are already lost if stdout is gone.
+func (t *table) flush() { _ = t.tw.Flush() }
 
 // ms renders a duration in milliseconds with sensible precision.
 func ms(d time.Duration) string {

@@ -256,6 +256,9 @@ type Node struct {
 	batchPool sync.Pool
 }
 
+// deltaWorkspace is one search's private delta-merge state.
+//
+//plshvet:scratch owned per-search workspace (bitvec, candidate and score buffers); results are copied out before it returns to the pool
 type deltaWorkspace struct {
 	seen   *bitvec.Vector
 	cand   []uint32
@@ -272,6 +275,8 @@ func newArena(cfg Config) *sparse.Matrix {
 
 // New builds an empty node — or, when cfg.Dir is set, recovers one from
 // its data directory (see Open).
+//
+//plshvet:ignore ctxcheck ctx-less compatibility shim; Open is the ctx-aware form
 func New(cfg Config) (*Node, error) { return Open(context.Background(), cfg) }
 
 // Open builds a node. With cfg.Dir set it is the durable boot path: load
@@ -975,6 +980,7 @@ func (n *Node) Close() error {
 	if n.wal == nil {
 		return nil
 	}
+	//plshvet:ignore ctxcheck Close implements io.Closer and cannot take a ctx; the final flush must run to completion
 	if err := n.Flush(context.Background()); err != nil {
 		return err
 	}

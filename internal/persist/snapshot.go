@@ -103,11 +103,14 @@ func WriteSnapshot(dir string, s *Snapshot) (err error) {
 		return fmt.Errorf("persist: %w", err)
 	}
 	// CreateTemp defaults to 0600; match the journal segments' mode.
-	tmp.Chmod(0o644)
+	// Best-effort: a mode mismatch is cosmetic, the bytes are what count.
+	_ = tmp.Chmod(0o644)
 	defer func() {
 		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+			// Cleanup of a write that already failed; the original error
+			// is the one worth reporting.
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
 		}
 	}()
 	w := newCRCWriter(tmp)
@@ -142,16 +145,16 @@ func WriteSnapshot(dir string, s *Snapshot) (err error) {
 		return fmt.Errorf("persist: write snapshot: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close() // already failing; report the sync error
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("persist: sync snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // already failing; report the close error
 		return fmt.Errorf("persist: close snapshot: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), SnapshotPath(dir)); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // already failing; report the rename error
 		return fmt.Errorf("persist: publish snapshot: %w", err)
 	}
 	syncDir(dir)
@@ -169,7 +172,7 @@ func ReadSnapshot(dir string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() // read-only; a close error carries no data-loss signal
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
@@ -233,8 +236,11 @@ func ReadSnapshot(dir string) (*Snapshot, error) {
 // machine crash. Best-effort: some filesystems reject directory fsync.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+		// Best-effort by design: directory fsync is a durability upgrade
+		// (the rename itself is already atomic), and some filesystems
+		// reject fsync on directories.
+		_ = d.Sync()
+		_ = d.Close()
 	}
 }
 

@@ -347,7 +347,7 @@ func replaySegment(path string, fn func(*Record) error) error {
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() // read-only; a close error carries no data-loss signal
 	r := bufio.NewReaderSize(f, 1<<16)
 	var hdr [8]byte
 	var payload []byte

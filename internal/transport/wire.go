@@ -88,7 +88,10 @@ type searchParams struct {
 	Routing uint8
 }
 
-// request is the client→server frame.
+// request is the client→server frame. Pooled; putRequest zeroes it
+// wholesale before Put, because gob decodes into retained capacity.
+//
+//plshvet:frame
 type request struct {
 	Seq     uint64
 	Op      op
@@ -124,7 +127,10 @@ const (
 	codeNotFound
 )
 
-// response is the server→client frame.
+// response is the server→client frame. Pooled; putResponse zeroes it
+// wholesale before Put.
+//
+//plshvet:frame
 type response struct {
 	Seq     uint64
 	Code    respCode
@@ -182,6 +188,7 @@ func putResponse(r *response) {
 // be called from multiple goroutines.
 func Serve(ctx context.Context, l net.Listener, backend NodeClient, onError func(error)) error {
 	if ctx == nil {
+		//plshvet:ignore ctxcheck nil-ctx fallback at the public serve boundary; Serve owns its root context when the caller passes none
 		ctx = context.Background()
 	}
 	stop := context.AfterFunc(ctx, func() { l.Close() })
@@ -205,7 +212,7 @@ func Serve(ctx context.Context, l net.Listener, backend NodeClient, onError func
 }
 
 func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError func(error)) {
-	defer conn.Close()
+	defer conn.Close() // best-effort; the peer sees EOF either way
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 	// One decoder, one encoder, one write buffer per connection — frames

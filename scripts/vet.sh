@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The repository's full static gate, run identically by CI and by hand:
+#
+#   1. go vet          — the toolchain's standard checks
+#   2. gofmt           — formatting drift fails, never auto-fixes
+#   3. plsh-vet        — the custom invariant suite (internal/analysis):
+#                        poolzero, releasecheck, ctxcheck, wireop,
+#                        atomicsnap over every non-test package
+#
+# Every failure prints file:line:col so CI annotations and editors can
+# jump straight to the site. Exits nonzero on the first failing stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet "$@" ./...
+
+echo "==> gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+  while IFS= read -r f; do
+    echo "$f:1:1: gofmt: file is not gofmt-formatted" >&2
+  done <<<"$unformatted"
+  exit 1
+fi
+
+echo "==> plsh-vet"
+bin="$(mktemp -d)/plsh-vet"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/plsh-vet
+"$bin" ./...
+
+echo "static gate clean"
