@@ -1,0 +1,76 @@
+// Command plsh-allocvet gates heap allocations on the query hot path.
+//
+// It builds the module with -gcflags=-m, attributes every "escapes to
+// heap" / "moved to heap" diagnostic to its enclosing function, and
+// compares per-function counts against the checked-in budget file
+// (default internal/analysis/allocgate/budget.txt). A budgeted function
+// that gained an escape fails the gate; a stale budget entry fails too.
+//
+//	plsh-allocvet [-dir .] [-budget FILE] [-report FILE]
+//	    Run the gate. Exit 1 on findings, 2 on error.
+//
+//	plsh-allocvet -update [-dir .] [-budget FILE]
+//	    Rewrite the budget's counts to the current measurements
+//	    (ratchet improvements in, drop stale entries).
+//
+// See internal/analysis/allocgate for the rules and rationale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"plsh/internal/analysis/allocgate"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dir := flag.String("dir", ".", "module directory to gate")
+	budget := flag.String("budget", "internal/analysis/allocgate/budget.txt", "budget file (relative paths resolve from -dir)")
+	update := flag.Bool("update", false, "rewrite the budget's counts to current measurements")
+	report := flag.String("report", "", "also write the text report to this file")
+	flag.Parse()
+
+	if *update {
+		if err := allocgate.Update(*dir, *budget); err != nil {
+			fmt.Fprintf(os.Stderr, "plsh-allocvet: %v\n", err)
+			return 2
+		}
+		fmt.Printf("plsh-allocvet: updated %s\n", *budget)
+		return 0
+	}
+
+	res, err := allocgate.Run(*dir, *budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plsh-allocvet: %v\n", err)
+		return 2
+	}
+	var out strings.Builder
+	for _, f := range res.Findings {
+		fmt.Fprintln(&out, f)
+	}
+	for _, f := range res.Improvements {
+		fmt.Fprintf(&out, "%s: improved to %d heap escapes (budget %d); consider -update to ratchet\n", f.Func, f.Got, f.Budget)
+	}
+	if *report != "" {
+		text := out.String()
+		if text == "" {
+			text = "plsh-allocvet: all budgeted functions within their escape budgets\n"
+		}
+		if err := os.WriteFile(*report, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "plsh-allocvet: %v\n", err)
+			return 2
+		}
+	}
+	fmt.Fprint(os.Stderr, out.String())
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "plsh-allocvet: %d finding(s)\n", len(res.Findings))
+		return 1
+	}
+	return 0
+}

@@ -8,8 +8,12 @@
 // plsh-bench2json promotes out of the raw benchmark entries. Direction is
 // inferred from the field name: throughput fields (*_mb_per_s,
 // *_docs_per_s) regress by going down, everything else (latency in ns,
-// bytes, allocation counts) by going up. A metric absent (zero) on either
-// side is skipped, so a narrowed benchmark run gates only what it ran.
+// bytes, allocation counts) by going up. A metric that is zero on either
+// side is skipped: bench2json emits every schema field on every run, so
+// zero means the benchmark was not in the run's pattern and a narrowed
+// run gates only what it ran. A baseline metric whose KEY is missing
+// from latest is different — the field left the snapshot schema, so the
+// gate would silently stop tracking it forever. That is a hard failure.
 //
 //	plsh-benchcmp [baseline.json latest.json]
 package main
@@ -53,17 +57,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	lines, failed := compare(base, latest, maxPct)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "plsh-benchcmp: regression beyond %.1f%% (set BENCH_MAX_REGRESSION_PCT to adjust)\n", maxPct)
+		os.Exit(1)
+	}
+}
+
+// compare gates latest against base, returning the report lines and
+// whether the gate failed. A nonzero baseline metric missing from
+// latest's keys is a hard failure: the field left the snapshot schema,
+// and skipping it would un-track the metric silently.
+func compare(base, latest map[string]float64, maxPct float64) (lines []string, failed bool) {
 	keys := make([]string, 0, len(base))
 	for k := range base {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 
-	failed := false
 	for _, k := range keys {
-		b, l := base[k], latest[k]
+		b := base[k]
+		l, tracked := latest[k]
+		if !tracked && b != 0 {
+			lines = append(lines, fmt.Sprintf("%-44s %14.1f -> %14s  %8s  DISAPPEARED", k, b, "(gone)", ""))
+			failed = true
+			continue
+		}
 		if b == 0 || l == 0 {
-			continue // absent from one run's pattern
+			continue // not in this run's benchmark pattern
 		}
 		var pct float64 // positive = regression
 		if higherIsBetter(k) {
@@ -76,12 +100,9 @@ func main() {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-44s %14.1f -> %14.1f  %+7.1f%%  %s\n", k, b, l, pct, status)
+		lines = append(lines, fmt.Sprintf("%-44s %14.1f -> %14.1f  %+7.1f%%  %s", k, b, l, pct, status))
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "plsh-benchcmp: regression beyond %.1f%% (set BENCH_MAX_REGRESSION_PCT to adjust)\n", maxPct)
-		os.Exit(1)
-	}
+	return lines, failed
 }
 
 // loadMetrics returns the snapshot's top-level scalar metrics: every

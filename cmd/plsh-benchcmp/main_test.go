@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := map[string]float64{"query_ns": 100, "save_mb_per_s": 50}
+	latest := map[string]float64{"query_ns": 110, "save_mb_per_s": 50}
+	lines, failed := compare(base, latest, 5)
+	if !failed {
+		t.Fatal("10% latency regression above a 5% gate must fail")
+	}
+	if len(lines) != 2 || !strings.Contains(lines[0], "REGRESSION") {
+		t.Errorf("bad report: %q", lines)
+	}
+}
+
+func TestCompareThroughputDirection(t *testing.T) {
+	base := map[string]float64{"save_mb_per_s": 100}
+	for latest, wantFail := range map[float64]bool{90: true, 110: false} {
+		_, failed := compare(base, map[string]float64{"save_mb_per_s": latest}, 5)
+		if failed != wantFail {
+			t.Errorf("throughput 100 -> %.0f: failed=%v, want %v", latest, failed, wantFail)
+		}
+	}
+}
+
+func TestCompareSkipsNarrowedRun(t *testing.T) {
+	// bench2json emits every schema field; zero means the benchmark was
+	// not in this run's pattern, which must not fail the gate.
+	base := map[string]float64{"query_ns": 100, "recover_docs_per_s": 1000}
+	latest := map[string]float64{"query_ns": 100, "recover_docs_per_s": 0}
+	lines, failed := compare(base, latest, 5)
+	if failed {
+		t.Fatalf("narrowed run failed the gate: %q", lines)
+	}
+	if len(lines) != 1 {
+		t.Errorf("skipped metric still reported: %q", lines)
+	}
+}
+
+// TestCompareDisappearedMetricFails pins the hard-failure this gate
+// once lacked: a baseline metric whose key is absent from latest left
+// the snapshot schema, and skipping it would un-track it silently.
+func TestCompareDisappearedMetricFails(t *testing.T) {
+	base := map[string]float64{"query_ns": 100, "search_topk_ns": 200}
+	latest := map[string]float64{"query_ns": 100}
+	lines, failed := compare(base, latest, 5)
+	if !failed {
+		t.Fatal("metric missing from latest's keys must fail the gate")
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "search_topk_ns") && strings.Contains(l, "DISAPPEARED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no DISAPPEARED line for search_topk_ns: %q", lines)
+	}
+	// A zero baseline entry vanishing is not a disappearance: it was
+	// never tracked.
+	_, failed = compare(map[string]float64{"dead_ns": 0}, map[string]float64{}, 5)
+	if failed {
+		t.Error("zero baseline metric missing from latest must not fail")
+	}
+}

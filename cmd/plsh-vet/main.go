@@ -1,16 +1,23 @@
 // Command plsh-vet is the repository's custom static-analysis suite:
-// five analyzers that enforce the invariants the runtime tests can only
-// catch after the fact — pooled-frame zeroing (poolzero), pooled-result
-// release on every path (releasecheck), context threading (ctxcheck),
-// append-only wire protocol (wireop), and atomic-only snapshot access
-// (atomicsnap). See internal/analysis/README.md.
+// eight analyzers that enforce the invariants the runtime tests can
+// only catch after the fact — pooled-frame zeroing (poolzero),
+// pooled-result release on every path (releasecheck), context threading
+// (ctxcheck), append-only wire protocol with its lock-extension
+// workflow (wireop), atomic-only snapshot access (atomicsnap),
+// write-once published structs (snapfreeze), mutex acquisition order
+// and no blocking under hot-path locks (lockorder), and
+// journal-before-ack durability ordering (walorder). The framework
+// also rejects stale //plshvet:ignore directives that no longer
+// suppress anything. See internal/analysis/README.md.
 //
 // Two modes:
 //
-//	plsh-vet [-json] [packages]
+//	plsh-vet [-json] [-timing] [-report FILE] [packages]
 //	    Standalone: load and check the named packages (default ./...)
-//	    in the current module. Exits 1 if any finding survives its
-//	    suppressions.
+//	    in the current module. Analyzers run in parallel; -timing
+//	    prints per-analyzer wall time, -report also writes the text
+//	    report (findings + timings) to FILE for CI artifacts. Exits 1
+//	    if any finding survives its suppressions.
 //
 //	go vet -vettool=$(which plsh-vet) ./...
 //	    Vet-tool: speaks the cmd/go unitchecker protocol (-V=full,
@@ -30,12 +37,16 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"plsh/internal/analysis/atomicsnap"
 	"plsh/internal/analysis/ctxcheck"
 	"plsh/internal/analysis/framework"
+	"plsh/internal/analysis/lockorder"
 	"plsh/internal/analysis/poolzero"
 	"plsh/internal/analysis/releasecheck"
+	"plsh/internal/analysis/snapfreeze"
+	"plsh/internal/analysis/walorder"
 	"plsh/internal/analysis/wireop"
 )
 
@@ -43,8 +54,11 @@ func analyzers() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		atomicsnap.Analyzer,
 		ctxcheck.Analyzer,
+		lockorder.Analyzer,
 		poolzero.Analyzer,
 		releasecheck.Analyzer,
+		snapfreeze.Analyzer,
+		walorder.Analyzer,
 		wireop.Analyzer,
 	}
 }
@@ -72,12 +86,16 @@ func main() {
 
 // buildID feeds the go vet action cache: bump it when analyzer
 // behavior changes so cached "clean" verdicts are invalidated.
-const buildID = "plshvet-1"
+// plshvet-2: lockorder/snapfreeze/walorder added, wireop enforces the
+// lock-extension workflow, stale ignores rejected.
+const buildID = "plshvet-2"
 
 func standalone(args []string) int {
 	fs := flag.NewFlagSet("plsh-vet", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	dir := fs.String("dir", ".", "directory to resolve patterns from")
+	timing := fs.Bool("timing", false, "print per-analyzer wall time")
+	report := fs.String("report", "", "also write the text report (findings + timings) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -90,10 +108,23 @@ func standalone(args []string) int {
 		fmt.Fprintf(os.Stderr, "plsh-vet: %v\n", err)
 		return 2
 	}
-	findings, err := framework.Run(pkgs, analyzers())
+	findings, timings, err := framework.RunTimed(pkgs, analyzers())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "plsh-vet: %v\n", err)
 		return 2
+	}
+	var rep strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&rep, f)
+	}
+	for _, tm := range timings {
+		fmt.Fprintf(&rep, "timing\t%-14s %s\n", tm.Analyzer, tm.Elapsed.Round(time.Millisecond))
+	}
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(rep.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "plsh-vet: %v\n", err)
+			return 2
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -105,6 +136,11 @@ func standalone(args []string) int {
 	} else {
 		for _, f := range findings {
 			fmt.Fprintln(os.Stderr, f)
+		}
+	}
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "timing\t%-14s %s\n", tm.Analyzer, tm.Elapsed.Round(time.Millisecond))
 		}
 	}
 	if len(findings) > 0 {

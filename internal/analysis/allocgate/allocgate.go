@@ -1,0 +1,381 @@
+// Package allocgate turns the compiler's escape analysis into a CI
+// gate for the query hot path.
+//
+// The zero-allocation Search path is load-bearing for the paper's
+// latency numbers, but AllocsPerRun guards only catch a regression when
+// a benchmark exercises the exact code path, and they flake with GC
+// timing. The compiler already knows statically which expressions
+// escape to the heap: `go build -gcflags=<module>/...=-m` replays one
+// "escapes to heap" / "moved to heap" diagnostic per allocation site
+// (from the build cache when nothing changed, so the gate is cheap).
+//
+// allocgate runs that build, attributes every escape site to its
+// enclosing function, and compares the per-function counts against a
+// checked-in budget file:
+//
+//	# comment
+//	plsh/internal/node.(*Node).SearchBatch 4
+//
+// A function exceeding its budget — a NEW heap escape on the hot path —
+// fails the gate at compile time, before any benchmark runs. A budget
+// entry naming a function that no longer exists is also a failure, so
+// the budget cannot rot after a refactor. Functions outside the budget
+// are unconstrained: the file IS the definition of "hot path", and
+// extending it is a reviewed diff, exactly like wireop's lock tables.
+//
+// Counts may also go DOWN: the gate reports an improvement (so the
+// budget can be ratcheted with -update) but does not fail, keeping the
+// workflow monotonic-friendly.
+package allocgate
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// An Escape is one heap-escape diagnostic attributed to a function.
+type Escape struct {
+	File string // absolute path
+	Line int
+	Msg  string // the compiler's message, e.g. "make([]uint32, n) escapes to heap"
+}
+
+// A Finding is one budget violation.
+type Finding struct {
+	Func    string // budget key, e.g. "plsh/internal/node.(*Node).SearchBatch"
+	Budget  int    // allowed count; -1 for a stale entry
+	Got     int
+	Escapes []Escape // the sites, for over-budget findings
+	Stale   bool     // entry names a function that no longer exists
+}
+
+func (f Finding) String() string {
+	if f.Stale {
+		return fmt.Sprintf("%s: stale budget entry: function no longer exists; delete it or fix the name", f.Func)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d heap escapes, budget %d", f.Func, f.Got, f.Budget)
+	for _, e := range f.Escapes {
+		fmt.Fprintf(&b, "\n\t%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return b.String()
+}
+
+// A Result is one gate run.
+type Result struct {
+	Findings     []Finding
+	Improvements []Finding           // under-budget functions (informational)
+	Counts       map[string]int      // per budgeted function
+	Escapes      map[string][]Escape // per budgeted function
+}
+
+// Run executes the gate: build with escape analysis, attribute, compare
+// against the budget at budgetPath (relative paths resolve from dir).
+func Run(dir, budgetPath string) (*Result, error) {
+	budget, order, err := ReadBudget(resolve(dir, budgetPath))
+	if err != nil {
+		return nil, err
+	}
+	index, err := indexFunctions(dir)
+	if err != nil {
+		return nil, err
+	}
+	escapes, err := collectEscapes(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Counts: map[string]int{}, Escapes: map[string][]Escape{}}
+	perFunc := map[string][]Escape{}
+	for _, e := range escapes {
+		if fn := index.funcAt(e.File, e.Line); fn != "" {
+			perFunc[fn] = append(perFunc[fn], e)
+		}
+	}
+	for _, fn := range order {
+		want := budget[fn]
+		if !index.exists(fn) {
+			res.Findings = append(res.Findings, Finding{Func: fn, Budget: -1, Stale: true})
+			continue
+		}
+		got := len(perFunc[fn])
+		res.Counts[fn] = got
+		res.Escapes[fn] = perFunc[fn]
+		switch {
+		case got > want:
+			res.Findings = append(res.Findings, Finding{Func: fn, Budget: want, Got: got, Escapes: perFunc[fn]})
+		case got < want:
+			res.Improvements = append(res.Improvements, Finding{Func: fn, Budget: want, Got: got})
+		}
+	}
+	return res, nil
+}
+
+// Update rewrites the budget file's counts to the current measurements,
+// preserving entry order and leading comments. Stale entries are
+// dropped with a note in the error-free return.
+func Update(dir, budgetPath string) error {
+	path := resolve(dir, budgetPath)
+	_, order, err := ReadBudget(path)
+	if err != nil {
+		return err
+	}
+	index, err := indexFunctions(dir)
+	if err != nil {
+		return err
+	}
+	escapes, err := collectEscapes(dir)
+	if err != nil {
+		return err
+	}
+	perFunc := map[string]int{}
+	for _, e := range escapes {
+		if fn := index.funcAt(e.File, e.Line); fn != "" {
+			perFunc[fn]++
+		}
+	}
+	// Preserve the comment header verbatim; regenerate the entries.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var out bytes.Buffer
+	for _, line := range strings.Split(string(raw), "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") {
+			out.WriteString(line + "\n")
+			continue
+		}
+		break
+	}
+	for _, fn := range order {
+		if !index.exists(fn) {
+			continue // drop stale entries on update
+		}
+		fmt.Fprintf(&out, "%s %d\n", fn, perFunc[fn])
+	}
+	return os.WriteFile(path, out.Bytes(), 0o644)
+}
+
+// ReadBudget parses a budget file into name→count plus entry order.
+func ReadBudget(path string) (map[string]int, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	budget := map[string]int{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("%s:%d: want \"<function> <count>\", got %q", path, lineno, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, nil, fmt.Errorf("%s:%d: bad count %q", path, lineno, fields[1])
+		}
+		if _, dup := budget[fields[0]]; dup {
+			return nil, nil, fmt.Errorf("%s:%d: duplicate entry %s", path, lineno, fields[0])
+		}
+		budget[fields[0]] = n
+		order = append(order, fields[0])
+	}
+	return budget, order, sc.Err()
+}
+
+func resolve(dir, path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(dir, path)
+}
+
+// funcIndex maps file positions to enclosing declared functions.
+type funcIndex struct {
+	names map[string]bool
+	// byFile holds per absolute file path the declared functions sorted
+	// by start line.
+	byFile map[string][]funcSpan
+}
+
+type funcSpan struct {
+	start, end int
+	name       string
+}
+
+func (ix *funcIndex) exists(fn string) bool { return ix.names[fn] }
+
+func (ix *funcIndex) funcAt(file string, line int) string {
+	for _, s := range ix.byFile[file] {
+		if line >= s.start && line <= s.end {
+			return s.name
+		}
+	}
+	return ""
+}
+
+// indexFunctions parses every non-test Go file of every package under
+// dir and records each function declaration's budget key and line span.
+func indexFunctions(dir string) (*funcIndex, error) {
+	out, err := goCmd(dir, "list", "-json=ImportPath,Dir,GoFiles", "./...")
+	if err != nil {
+		return nil, err
+	}
+	type pkgJSON struct {
+		ImportPath string
+		Dir        string
+		GoFiles    []string
+	}
+	ix := &funcIndex{names: map[string]bool{}, byFile: map[string][]funcSpan{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p pkgJSON
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		fset := token.NewFileSet()
+		for _, gf := range p.GoFiles {
+			path := filepath.Join(p.Dir, gf)
+			f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", path, err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				name := budgetKey(p.ImportPath, fd)
+				start := fset.Position(fd.Pos()).Line
+				end := fset.Position(fd.End()).Line
+				ix.names[name] = true
+				ix.byFile[path] = append(ix.byFile[path], funcSpan{start: start, end: end, name: name})
+			}
+		}
+	}
+	for _, spans := range ix.byFile {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	}
+	return ix, nil
+}
+
+// budgetKey renders a function's budget-file name:
+// importpath.Func, importpath.(*Recv).Method, importpath.(Recv).Method.
+func budgetKey(importPath string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return importPath + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	ptr := false
+	for {
+		switch rt := t.(type) {
+		case *ast.ParenExpr:
+			t = rt.X
+			continue
+		case *ast.StarExpr:
+			ptr = true
+			t = rt.X
+			continue
+		case *ast.IndexExpr: // generic receiver
+			t = rt.X
+			continue
+		case *ast.IndexListExpr:
+			t = rt.X
+			continue
+		}
+		break
+	}
+	base := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		base = id.Name
+	}
+	if ptr {
+		return importPath + ".(*" + base + ")." + fd.Name.Name
+	}
+	return importPath + ".(" + base + ")." + fd.Name.Name
+}
+
+// collectEscapes builds the module with -m and parses the heap-escape
+// diagnostics. The build cache replays diagnostics for unchanged
+// packages, so repeat runs are cheap.
+func collectEscapes(dir string) ([]Escape, error) {
+	mod, err := goCmd(dir, "list", "-m")
+	if err != nil {
+		return nil, err
+	}
+	modPath := strings.TrimSpace(string(mod))
+	pattern := modPath + "/...=-m"
+	if modPath == "" {
+		return nil, fmt.Errorf("allocgate: no module at %s", dir)
+	}
+	cmd := exec.Command("go", "build", "-gcflags="+pattern, "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		// Compile errors surface here; escape diagnostics alone do not
+		// fail the build.
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	return ParseEscapes(dir, stderr.String()), nil
+}
+
+// ParseEscapes extracts heap-escape diagnostics from -m compiler
+// output, resolving file paths against dir.
+func ParseEscapes(dir, output string) []Escape {
+	var out []Escape
+	for _, line := range strings.Split(output, "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		lineNo, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		abs, err := filepath.Abs(file)
+		if err == nil {
+			file = abs
+		}
+		out = append(out, Escape{File: file, Line: lineNo, Msg: strings.TrimSpace(parts[3])})
+	}
+	return out
+}
+
+func goCmd(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package allocgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseEscapes(t *testing.T) {
+	out := strings.Join([]string{
+		"# plsh/internal/core",
+		"internal/core/query.go:33:14: make([]uint32, n) escapes to heap",
+		"internal/core/query.go:40:6: moved to heap: out",
+		"internal/core/query.go:51:2: inlining call to now",
+		"not a diagnostic line",
+		"internal/core/build.go:9:3: q does not escape",
+	}, "\n")
+	got := ParseEscapes("/repo", out)
+	if len(got) != 2 {
+		t.Fatalf("got %d escapes, want 2: %+v", len(got), got)
+	}
+	if got[0].File != "/repo/internal/core/query.go" || got[0].Line != 33 {
+		t.Errorf("bad attribution: %+v", got[0])
+	}
+	if got[1].Msg != "moved to heap: out" {
+		t.Errorf("bad message: %q", got[1].Msg)
+	}
+}
+
+func TestReadBudgetRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"fields.txt":    "pkg.F 1 extra\n",
+		"count.txt":     "pkg.F many\n",
+		"negative.txt":  "pkg.F -1\n",
+		"duplicate.txt": "pkg.F 1\npkg.F 2\n",
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadBudget(p); err == nil {
+			t.Errorf("%s: ReadBudget accepted malformed input %q", name, content)
+		}
+	}
+}
+
+func TestBudgetKeyForms(t *testing.T) {
+	budget, order, err := ReadBudget("budget.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) == 0 {
+		t.Fatal("budget.txt is empty")
+	}
+	for fn := range budget {
+		if !strings.HasPrefix(fn, "plsh/") {
+			t.Errorf("budget entry %q is not module-qualified", fn)
+		}
+	}
+}
+
+// TestFixtureModuleFails proves the gate catches a new hot-path escape:
+// escapemod.Hot escapes with budget 0, and escapemod.Gone is stale.
+func TestFixtureModuleFails(t *testing.T) {
+	res, err := Run("testdata/escapemod", "budget.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFunc := map[string]Finding{}
+	for _, f := range res.Findings {
+		byFunc[f.Func] = f
+	}
+	hot, ok := byFunc["escapemod.Hot"]
+	if !ok {
+		t.Fatalf("escapemod.Hot not reported; findings: %+v", res.Findings)
+	}
+	if hot.Got < 1 || hot.Budget != 0 || len(hot.Escapes) == 0 {
+		t.Errorf("bad Hot finding: %+v", hot)
+	}
+	gone, ok := byFunc["escapemod.Gone"]
+	if !ok || !gone.Stale {
+		t.Errorf("stale entry escapemod.Gone not reported; findings: %+v", res.Findings)
+	}
+	if _, bad := byFunc["escapemod.Warm"]; bad {
+		t.Errorf("escapemod.Warm is within budget but was reported")
+	}
+	if len(res.Findings) != 2 {
+		t.Errorf("got %d findings, want 2: %+v", len(res.Findings), res.Findings)
+	}
+}
+
+// TestRepoWithinBudget is the tier-1 gate: the tree's hot path must
+// stay within internal/analysis/allocgate/budget.txt.
+func TestRepoWithinBudget(t *testing.T) {
+	res, err := Run("../../..", "internal/analysis/allocgate/budget.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+}

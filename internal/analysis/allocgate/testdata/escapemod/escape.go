@@ -1,0 +1,26 @@
+// Package escapemod is allocgate's failing fixture: Hot deliberately
+// escapes with a budget of zero, proving the gate catches a new
+// hot-path heap allocation; Warm's single escape is budgeted.
+package escapemod
+
+// Hot returns a pointer to a local, the canonical escape. Its budget
+// is 0, so the gate must report it.
+func Hot(n int) *int {
+	v := n * 2
+	return &v
+}
+
+// Warm allocates once by design; its budget of 1 covers it.
+func Warm(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// Cold is not in the budget file and may allocate freely.
+func Cold(n int) map[int]int {
+	m := make(map[int]int, n)
+	return m
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"sync"
+	"time"
 )
 
 // A Finding is one diagnostic bound to its analyzer and resolved
@@ -18,21 +20,54 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
+// A Timing records how long one analyzer took across every package of a
+// run. Surfaced by plsh-vet -timing and scripts/vet.sh so a slow
+// analyzer is caught when it lands, not when CI crawls.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// ignoreEntry is one well-formed //plshvet:ignore directive. used flips
+// when the directive suppresses a finding; a directive that suppresses
+// nothing is stale and reported itself, so suppressions cannot outlive
+// the violation they excused.
+type ignoreEntry struct {
+	name string // analyzer name, or "all"
+	pos  token.Position
+	used bool
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // findings, sorted by position. Diagnostics carrying a matching
 // //plshvet:ignore directive on their line — or the line above — are
-// dropped; malformed directives (no analyzer name, or no reason) are
-// themselves reported under the "plshvet" name so suppressions stay
-// auditable.
+// dropped; malformed directives (no analyzer name, or no reason),
+// directives naming unknown analyzers, and stale directives that
+// suppressed nothing are themselves reported under the "plshvet" name so
+// suppressions stay auditable.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunTimed(pkgs, analyzers)
+	return findings, err
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings. Analyzers run
+// concurrently — each walks every package in its own goroutine, which is
+// safe because passes only read the shared ASTs and type information —
+// and the suppression/stale bookkeeping happens in a single sequential
+// pass afterwards so the reported findings stay deterministic.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing, error) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+
+	// Index every directive up front. Malformed and unknown-name
+	// directives never suppress, so they are findings immediately;
+	// well-formed ones enter the ignores table keyed by file:line.
 	var findings []Finding
+	ignores := map[string][]*ignoreEntry{}
+	var entries []*ignoreEntry
 	for _, pkg := range pkgs {
-		// ignores maps file:line to the analyzer names suppressed there.
-		ignores := map[string]map[string]bool{}
 		for _, f := range pkg.Files {
 			for _, d := range ParseDirectives(f) {
 				if d.Verb != "ignore" {
@@ -56,42 +91,86 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 					})
 					continue
 				}
+				e := &ignoreEntry{name: name, pos: pos}
 				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				if ignores[key] == nil {
-					ignores[key] = map[string]bool{}
-				}
-				ignores[key][name] = true
-			}
-		}
-		suppressed := func(name string, pos token.Position) bool {
-			for _, line := range []int{pos.Line, pos.Line - 1} {
-				if m := ignores[fmt.Sprintf("%s:%d", pos.Filename, line)]; m != nil && (m[name] || m["all"]) {
-					return true
-				}
-			}
-			return false
-		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Pkg,
-				TypesInfo: pkg.TypesInfo,
-			}
-			name := a.Name
-			pass.report = func(d Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				if suppressed(name, pos) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+				ignores[key] = append(ignores[key], e)
+				entries = append(entries, e)
 			}
 		}
 	}
+
+	// Collect raw diagnostics, one goroutine per analyzer. token.FileSet
+	// position resolution is internally locked, so resolving Positions
+	// from several goroutines is fine; each goroutine appends only to its
+	// own slot.
+	raw := make([][]Finding, len(analyzers))
+	timings := make([]Timing, len(analyzers))
+	errs := make([]error, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			start := time.Now()
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Pkg,
+					TypesInfo: pkg.TypesInfo,
+				}
+				fset := pkg.Fset
+				pass.report = func(d Diagnostic) {
+					raw[i] = append(raw[i], Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+				}
+				if err := a.Run(pass); err != nil {
+					errs[i] = fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+					return
+				}
+			}
+			timings[i] = Timing{Analyzer: a.Name, Elapsed: time.Since(start)}
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Sequential suppression pass: a finding is dropped when a directive
+	// on its line, or the line above, names its analyzer (or "all");
+	// every directive that does the dropping is marked used.
+	for _, diags := range raw {
+		for _, f := range diags {
+			suppressed := false
+			for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+				for _, e := range ignores[fmt.Sprintf("%s:%d", f.Pos.Filename, line)] {
+					if e.name == f.Analyzer || e.name == "all" {
+						e.used = true
+						suppressed = true
+					}
+				}
+			}
+			if !suppressed {
+				findings = append(findings, f)
+			}
+		}
+	}
+
+	// Stale pass: a well-formed directive that suppressed nothing means
+	// the violation it excused is gone — delete the directive.
+	for _, e := range entries {
+		if !e.used {
+			findings = append(findings, Finding{
+				Analyzer: "plshvet",
+				Pos:      e.pos,
+				Message:  fmt.Sprintf("stale //plshvet:ignore: no %s finding here to suppress; delete the directive", e.name),
+			})
+		}
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -105,7 +184,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, timings, nil
 }
 
 // splitArg splits a directive's argument into its first word and the

@@ -19,3 +19,9 @@ func triggerUnknown() {}
 
 //plshvet:ignore all blanket suppression covers every analyzer
 func triggerAll() {}
+
+// quiet does not trigger the dummy analyzer, so the directive below
+// suppresses nothing and must be reported as stale.
+//
+//plshvet:ignore dummy this suppression matches no finding
+func quiet() {}

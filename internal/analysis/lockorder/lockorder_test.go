@@ -1,0 +1,22 @@
+package lockorder
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/framework/testutil"
+)
+
+func TestLockorder(t *testing.T) {
+	testutil.Run(t, "testdata", Analyzer)
+}
+
+// TestExcludedPackage proves ExcludeBlocking switches off only the
+// blocking check: the excluded fixture blocks under its mutex freely
+// but still reports its acquisition-order cycle.
+func TestExcludedPackage(t *testing.T) {
+	a := New(Policy{
+		Blocking:        DefaultPolicy.Blocking,
+		ExcludeBlocking: []string{"lockexcl"},
+	})
+	testutil.Run(t, "testdata/excl", a)
+}

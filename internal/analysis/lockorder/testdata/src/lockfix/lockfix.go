@@ -1,0 +1,137 @@
+// Package lockfix exercises lockorder: acquisition-order cycles,
+// blocking constructs under held mutexes, and the unlock-around-
+// blocking idiom that must stay clean.
+package lockfix
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+// ab and ba acquire the same pair in opposite orders: both inner
+// acquisitions are edges of a cycle.
+func ab(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock order cycle: b\.mu is acquired while holding a\.mu`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func ba(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock() // want `lock order cycle: a\.mu is acquired while holding b\.mu`
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type node struct {
+	mu   sync.Mutex
+	wake chan struct{}
+	f    *os.File
+	wg   sync.WaitGroup
+}
+
+func (n *node) blockingUnderLock() {
+	n.mu.Lock()
+	<-n.wake                     // want `channel receive while holding node\.mu`
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while holding node\.mu`
+	_ = n.f.Sync()               // want `call to \(\*os\.File\)\.Sync while holding node\.mu`
+	n.wg.Wait()                  // want `call to \(\*sync\.WaitGroup\)\.Wait while holding node\.mu`
+	n.wake <- struct{}{}         // want `channel send while holding node\.mu`
+	n.mu.Unlock()
+}
+
+func (n *node) selectUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want `select with no default while holding node\.mu`
+	case <-n.wake:
+	}
+}
+
+// selectWithDefault never parks: a guarded poll under a mutex is fine.
+func (n *node) selectWithDefault() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case <-n.wake:
+	default:
+	}
+}
+
+// unlockAround releases before blocking: clean.
+func (n *node) unlockAround() {
+	n.mu.Lock()
+	n.mu.Unlock()
+	<-n.wake
+	n.mu.Lock()
+	n.mu.Unlock()
+}
+
+// awaitLocked is the repository idiom: called with n.mu held, releases
+// it around the wait, reacquires before returning.
+func (n *node) awaitLocked() {
+	n.mu.Unlock()
+	<-n.wake
+	n.mu.Lock()
+}
+
+// callerOfAwait holds n.mu across the call, but awaitLocked releases it
+// first — clean.
+func (n *node) callerOfAwait() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.awaitLocked()
+}
+
+// sleeper blocks without releasing anything.
+func (n *node) sleeper() {
+	time.Sleep(time.Millisecond)
+}
+
+// callerOfSleeper holds the mutex across a transitively blocking call.
+func (n *node) callerOfSleeper() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sleeper() // want `call to sleeper may block while holding node\.mu`
+}
+
+// goroutineEscapes: the go body is a fresh scope, so blocking there is
+// not blocking under the caller's mutex.
+func (n *node) goroutineEscapes() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		<-n.wake
+	}()
+}
+
+func (n *node) reacquire() {
+	n.mu.Lock()
+	n.mu.Lock() // want `node\.mu is acquired while already held`
+	n.mu.Unlock()
+}
+
+// consistentPair always locks a then b: no cycle between themselves.
+type c struct{ mu sync.Mutex }
+
+type d struct{ mu sync.Mutex }
+
+func cdOne(x *c, y *d) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func cdTwo(x *c, y *d) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

@@ -1,0 +1,11 @@
+package snapfreeze
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/framework/testutil"
+)
+
+func TestSnapfreeze(t *testing.T) {
+	testutil.Run(t, "testdata", Analyzer)
+}

@@ -1,0 +1,94 @@
+// Package snapfix exercises snapfreeze: write-once structs published by
+// atomic pointer swap or declared //plshvet:frozen.
+package snapfix
+
+import "sync/atomic"
+
+// view is auto-frozen: holder publishes it through an atomic.Pointer.
+type view struct {
+	n     int
+	items []uint32
+}
+
+type holder struct {
+	cur atomic.Pointer[view]
+}
+
+// newView is a constructor — its results include *view, so field writes
+// here are the pre-publish build.
+func newView(n int) *view {
+	v := &view{}
+	v.n = n
+	v.items = make([]uint32, 0, n)
+	return v
+}
+
+// buildViews returns a slice of the frozen type; still a builder.
+func buildViews(n int) []view {
+	vs := make([]view, n)
+	for i := range vs {
+		vs[i].n = i
+	}
+	return vs
+}
+
+//plshvet:prepublish runs inside the builder before the pointer swap
+func fill(v *view, n int) {
+	v.n = n
+}
+
+func (h *holder) mutatePublished() {
+	v := h.cur.Load()
+	v.n = 7       // want `write to view\.n outside a constructor`
+	v.n++         // want `write to view\.n outside a constructor`
+	v.items = nil // want `write to view\.items outside a constructor`
+}
+
+// element writes through a slice field are out of scope: the struct's
+// own fields do not change.
+func (h *holder) elementWrite() {
+	v := h.cur.Load()
+	if len(v.items) > 0 {
+		v.items[0] = 1
+	}
+}
+
+// segment is frozen by declaration: it is published indirectly, so the
+// pointer-swap pattern is not visible in this package.
+//
+//plshvet:frozen reached through a published snapshot built elsewhere
+type segment struct {
+	rows int
+}
+
+func newSegment(rows int) *segment {
+	s := &segment{}
+	s.rows = rows
+	return s
+}
+
+func corrupt(s *segment) {
+	s.rows = 0 // want `write to segment\.rows outside a constructor`
+}
+
+//plshvet:frozen
+type badDirective struct { // want `malformed //plshvet:frozen`
+	x int
+}
+
+//plshvet:frozen not a struct so the directive is misapplied
+type notStruct int // want `//plshvet:frozen applies to struct types only`
+
+//plshvet:prepublish
+func badPrepublish(v *view) { // want `malformed //plshvet:prepublish`
+	v.n = 1
+}
+
+// scratch is not frozen: writes anywhere are fine.
+type scratch struct {
+	buf []byte
+}
+
+func (s *scratch) reset() {
+	s.buf = s.buf[:0]
+}

@@ -1,0 +1,372 @@
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"plsh/internal/analysis/framework"
+)
+
+// ---- check 1: journal append happens-before the success return ----
+
+// mstate is the path state of the mutator walk.
+type mstate struct {
+	appended bool // an Append* on the WAL field has executed
+	exempt   bool // inside the wal == nil (non-durable) configuration
+}
+
+func checkMutator(pass *framework.Pass, fd *ast.FuncDecl, field string) {
+	w := &mutatorWalker{pass: pass, field: field}
+	w.walk(fd.Body.List, mstate{})
+}
+
+type mutatorWalker struct {
+	pass  *framework.Pass
+	field string
+}
+
+// walk processes stmts from st, reporting unjournaled success returns.
+// It returns the fall-through state, or nil when every path terminates.
+func (w *mutatorWalker) walk(stmts []ast.Stmt, st mstate) *mstate {
+	cur := st
+	for _, stmt := range stmts {
+		out := w.stmt(stmt, cur)
+		if out == nil {
+			return nil
+		}
+		cur = *out
+	}
+	return &cur
+}
+
+func (w *mutatorWalker) stmt(stmt ast.Stmt, st mstate) *mstate {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		if isSuccessReturn(s) && !st.appended && !st.exempt {
+			w.pass.Reportf(s.Pos(), "mutation acknowledged (return nil) without a journal append on this path; journal-before-ack requires the Append* to happen first")
+		}
+		return nil
+	case *ast.BranchStmt:
+		return nil
+	case *ast.BlockStmt:
+		return w.walk(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if out := w.stmt(s.Init, st); out != nil {
+				st = *out
+			} else {
+				return nil
+			}
+		}
+		switch w.walCond(s.Cond) {
+		case token.NEQ: // if x.wal != nil { durable work }
+			bodyOut := w.walk(s.Body.List, st)
+			after := st
+			if bodyOut == nil {
+				// The durable configuration returned inside the guard;
+				// everything after runs only without a WAL.
+				after.exempt = true
+			} else {
+				// The nil case is exempt by configuration, so the
+				// guarded append covers the merged path.
+				after.appended = st.appended || bodyOut.appended
+			}
+			return &after
+		case token.EQL: // if x.wal == nil { non-durable work }
+			ex := st
+			ex.exempt = true
+			bodyOut := w.walk(s.Body.List, ex)
+			after := st
+			if bodyOut == nil {
+				// The non-durable configuration returned; what follows
+				// is durable-only.
+				after.exempt = false
+			}
+			return &after
+		}
+		bodyOut := w.walk(s.Body.List, st)
+		var elseOut *mstate
+		hasElse := s.Else != nil
+		if hasElse {
+			elseOut = w.stmt(s.Else, st)
+		}
+		var arms []*mstate
+		if bodyOut != nil {
+			arms = append(arms, bodyOut)
+		}
+		if hasElse {
+			if elseOut != nil {
+				arms = append(arms, elseOut)
+			}
+		} else {
+			skip := st
+			arms = append(arms, &skip)
+		}
+		if len(arms) == 0 {
+			return nil
+		}
+		after := st
+		after.appended = true
+		for _, a := range arms {
+			after.appended = after.appended && a.appended
+		}
+		return &after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.walk(s.Body.List, st)
+		return &st
+	case *ast.RangeStmt:
+		w.walk(s.Body.List, st)
+		return &st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if ret, ok := n.(*ast.ReturnStmt); ok && isSuccessReturn(ret) && !st.appended && !st.exempt {
+				w.pass.Reportf(ret.Pos(), "mutation acknowledged (return nil) without a journal append on this path; journal-before-ack requires the Append* to happen first")
+			}
+			return true
+		})
+		return &st
+	default:
+		if w.scanAppend(stmt) {
+			st.appended = true
+		}
+		return &st
+	}
+}
+
+// walCond classifies cond as a `field != nil` (NEQ), `field == nil`
+// (EQL) guard on the WAL field, or 0.
+func (w *mutatorWalker) walCond(cond ast.Expr) token.Token {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return 0
+	}
+	isWalSel := func(e ast.Expr) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == w.field
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (isWalSel(be.X) && isNil(be.Y)) || (isWalSel(be.Y) && isNil(be.X)) {
+		return be.Op
+	}
+	return 0
+}
+
+// scanAppend reports whether the node contains an Append* call on a
+// WAL-like receiver.
+func (w *mutatorWalker) scanAppend(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !strings.HasPrefix(sel.Sel.Name, "Append") {
+			return true
+		}
+		t := w.pass.TypeOf(sel.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && isWALLike(named) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isSuccessReturn reports whether ret acknowledges success: a naked
+// return, or a final result that is the literal nil.
+func isSuccessReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return true
+	}
+	id, ok := ret.Results[len(ret.Results)-1].(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// ---- check 2: checkpoint removes segments only after the snapshot ----
+
+func checkCheckpoint(pass *framework.Pass, fd *ast.FuncDecl) {
+	walkCheckpoint(pass, fd.Body.List, false)
+}
+
+// walkCheckpoint walks stmts with the written flag (a guarded
+// WriteSnapshot has succeeded) and returns its fall-through value.
+func walkCheckpoint(pass *framework.Pass, stmts []ast.Stmt, written bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			if s.Init != nil && initIsSnapshotWrite(s.Init) && condIsErrCheck(s.Cond) && endsTerminal(s.Body) {
+				// if err := WriteSnapshot(...); err != nil { return err }
+				written = true
+				continue
+			}
+			if !written {
+				reportRemoves(pass, s, written)
+			}
+			// A checkpoint that writes inside a branch does not count
+			// for the fall-through path; only the guarded top-level
+			// pattern promotes written.
+		case *ast.ForStmt:
+			reportRemoves(pass, s.Body, written)
+		case *ast.RangeStmt:
+			reportRemoves(pass, s.Body, written)
+		case *ast.BlockStmt:
+			written = walkCheckpoint(pass, s.List, written)
+		default:
+			reportRemoves(pass, stmt, written)
+		}
+	}
+	return written
+}
+
+// reportRemoves reports os.Remove/os.RemoveAll calls under n when the
+// snapshot has not been durably written.
+func reportRemoves(pass *framework.Pass, n ast.Node, written bool) {
+	if written {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeName(pass, call); fn == "os.Remove" || fn == "os.RemoveAll" {
+			pass.Reportf(call.Pos(), "journal segment removed before the snapshot write is durable; Checkpoint must WriteSnapshot (error-checked) first")
+		}
+		return true
+	})
+}
+
+// initIsSnapshotWrite matches `err := WriteSnapshot(...)` inits.
+func initIsSnapshotWrite(init ast.Stmt) bool {
+	as, ok := init.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "WriteSnapshot"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "WriteSnapshot"
+	}
+	return false
+}
+
+// condIsErrCheck matches `x != nil`.
+func condIsErrCheck(cond ast.Expr) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	id, ok := be.Y.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// endsTerminal reports whether the block's last statement returns.
+func endsTerminal(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// ---- check 3: Append* reaches (*os.File).Sync ----
+
+// buildSyncReach computes, for every function in the package, whether
+// it can reach an (*os.File).Sync call through same-package calls.
+func buildSyncReach(pass *framework.Pass) map[*types.Func]bool {
+	direct := map[*types.Func]bool{}
+	callees := map[*types.Func][]*types.Func{}
+	var fns []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if calleeName(pass, call) == "(*os.File).Sync" {
+					direct[fn] = true
+				}
+				if callee := calleeObj(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+					callees[fn] = append(callees[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	reach := map[*types.Func]bool{}
+	for fn := range direct {
+		reach[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if reach[fn] {
+				continue
+			}
+			for _, c := range callees[fn] {
+				if reach[c] {
+					reach[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// calleeName resolves the called function's FullName, or "".
+func calleeName(pass *framework.Pass, call *ast.CallExpr) string {
+	if fn := calleeObj(pass, call); fn != nil {
+		return fn.FullName()
+	}
+	return ""
+}
+
+func calleeObj(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.ObjectOf(fun).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package walfix exercises walorder: journal-before-ack on mutator
+// paths, checkpoint-after-snapshot ordering, and append-reaches-fsync.
+package walfix
+
+import "os"
+
+// wal is WAL-like: Checkpoint plus Append* methods. Its append path
+// reaches the fsync, so check 3 is satisfied.
+type wal struct {
+	f    *os.File
+	dir  string
+	sync bool
+}
+
+func (w *wal) AppendPut(id uint32) error {
+	return w.frame(id)
+}
+
+func (w *wal) frame(id uint32) error {
+	_ = id
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Checkpoint deletes segments only after the guarded snapshot write.
+func (w *wal) Checkpoint(segs []string) error {
+	if err := WriteSnapshot(w.dir); err != nil {
+		return err
+	}
+	for _, s := range segs {
+		os.Remove(s)
+	}
+	return nil
+}
+
+// WriteSnapshot stands in for the temp-file+rename snapshot writer.
+func WriteSnapshot(dir string) error {
+	_ = dir
+	return nil
+}
+
+// badwal's append path never fsyncs.
+type badwal struct {
+	f *os.File
+}
+
+func (w *badwal) AppendPut(id uint32) error { // want `AppendPut cannot reach an fsync`
+	_ = id
+	return nil
+}
+
+// badwal's checkpoint removes the journal before the snapshot exists.
+func (w *badwal) Checkpoint(segs []string) error {
+	for _, s := range segs {
+		os.Remove(s) // want `journal segment removed before the snapshot write is durable`
+	}
+	if err := WriteSnapshot("x"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodStore journals before every acknowledgement.
+type goodStore struct {
+	wal *wal
+	n   int
+}
+
+func (s *goodStore) Insert(ids []uint32) error {
+	if s.wal != nil {
+		if err := s.wal.AppendPut(ids[0]); err != nil {
+			return err
+		}
+	}
+	s.n += len(ids)
+	return nil
+}
+
+func (s *goodStore) Delete(id uint32) error {
+	if s.wal == nil {
+		s.n--
+		return nil
+	}
+	if err := s.wal.AppendPut(id); err != nil {
+		return err
+	}
+	s.n--
+	return nil
+}
+
+func (s *goodStore) Retire() error {
+	if s.wal != nil {
+		return s.wal.AppendPut(0)
+	}
+	return nil
+}
+
+// badStore acknowledges without journaling.
+type badStore struct {
+	wal *wal
+	n   int
+}
+
+// Insert has an early success return before the append.
+func (s *badStore) Insert(ids []uint32) error {
+	if len(ids) == 0 {
+		return nil // want `mutation acknowledged \(return nil\) without a journal append`
+	}
+	if err := s.wal.AppendPut(ids[0]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Delete never journals at all.
+func (s *badStore) Delete(id uint32) error {
+	s.n--
+	_ = id
+	return nil // want `mutation acknowledged \(return nil\) without a journal append`
+}
+
+// Retire journals in one arm of a generic branch but acknowledges on
+// both.
+func (s *badStore) Retire() error {
+	if s.n > 0 {
+		if err := s.wal.AppendPut(0); err != nil {
+			return err
+		}
+	}
+	return nil // want `mutation acknowledged \(return nil\) without a journal append`
+}
+
+// search-style methods without the mutator names are not checked.
+func (s *badStore) Lookup(id uint32) error {
+	_ = id
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package walorder checks the durability ordering that makes the WAL a
+// write-AHEAD log rather than a write-sometime log.
+//
+// Three checks:
+//
+//  1. Journal-before-ack. On a struct holding a WAL-like field (a
+//     pointer to a type with a Checkpoint method and at least one
+//     Append* method), every path through a method named Insert,
+//     Delete, or Retire that reaches a success return — a return whose
+//     final result is the literal nil — must first execute an Append*
+//     call on that field. Paths guarded by `wal == nil` (the
+//     non-durable configuration) are exempt, and an append inside
+//     `wal != nil` counts for the code after the guard, because the
+//     nil case is the exempt configuration.
+//
+//  2. Checkpoint-after-snapshot. Inside a WAL-like type's Checkpoint
+//     method, journal segments may be removed (os.Remove/os.RemoveAll)
+//     only after a WriteSnapshot call whose error is checked and
+//     returned on failure — the snapshot's temp-file rename must be
+//     durable before the journal that could rebuild it is destroyed.
+//
+//  3. Append-reaches-fsync. Every Append* method of a WAL-like type
+//     must be able to reach (*os.File).Sync through same-package
+//     calls; otherwise the SyncWrites contract is unimplementable.
+//
+// The success-return approximation is deliberate: only a literal nil
+// final result counts as an acknowledgement, so `return err` paths
+// stay silent. The one legal early success return in the tree —
+// inserting an empty batch — carries a reasoned suppression.
+package walorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"plsh/internal/analysis/framework"
+)
+
+// Analyzer is the walorder analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "walorder",
+	Doc:  "journal appends happen-before success returns; checkpoints delete segments only after a durable snapshot; append paths can fsync",
+	Run:  run,
+}
+
+// mutatorNames are the acknowledged-mutation methods check 1 covers.
+var mutatorNames = map[string]bool{"Insert": true, "Delete": true, "Retire": true}
+
+func run(pass *framework.Pass) error {
+	reach := buildSyncReach(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recv := pass.TypeOf(fd.Recv.List[0].Type)
+			if recv == nil {
+				continue
+			}
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok {
+				continue
+			}
+			if mutatorNames[fd.Name.Name] && returnsError(pass, fd) {
+				if field := walField(named); field != "" {
+					checkMutator(pass, fd, field)
+				}
+			}
+			if isWALLike(named) {
+				switch {
+				case fd.Name.Name == "Checkpoint":
+					checkCheckpoint(pass, fd)
+				case strings.HasPrefix(fd.Name.Name, "Append"):
+					if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && !reach[fn] {
+						pass.Reportf(fd.Pos(), "%s cannot reach an fsync ((*os.File).Sync) through this package; the SyncWrites contract is unimplementable", fd.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// walField returns the name of named's WAL-like pointer field, or "".
+func walField(named *types.Named) string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		p, ok := f.Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if w, ok := p.Elem().(*types.Named); ok && isWALLike(w) {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+// isWALLike reports whether w's method set holds Checkpoint and at
+// least one Append* method.
+func isWALLike(w *types.Named) bool {
+	hasCheckpoint, hasAppend := false, false
+	for i := 0; i < w.NumMethods(); i++ {
+		name := w.Method(i).Name()
+		if name == "Checkpoint" {
+			hasCheckpoint = true
+		}
+		if strings.HasPrefix(name, "Append") {
+			hasAppend = true
+		}
+	}
+	return hasCheckpoint && hasAppend
+}
+
+// returnsError reports whether fd's final result type is error.
+func returnsError(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	res := fd.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return false
+	}
+	last := res.List[len(res.List)-1]
+	t := pass.TypeOf(last.Type)
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

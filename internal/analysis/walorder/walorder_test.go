@@ -1,0 +1,11 @@
+package walorder
+
+import (
+	"testing"
+
+	"plsh/internal/analysis/framework/testutil"
+)
+
+func TestWalorder(t *testing.T) {
+	testutil.Run(t, "testdata", Analyzer)
+}

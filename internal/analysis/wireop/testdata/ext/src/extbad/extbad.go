@@ -1,0 +1,20 @@
+// Package extbad models both halves of the lock-extension workflow
+// done wrong (see extBadLock in wireop_test.go): type opNoLock gained
+// an opcode without a lock entry, and type opNoOp's lock was extended
+// (nC = 3) without the opcode ever being declared.
+package extbad
+
+type opNoLock uint8
+
+const (
+	mA opNoLock = 1
+	mB opNoLock = 2
+	mC opNoLock = 3 // want `appends past the locked tail but has no lock entry`
+)
+
+type opNoOp uint8 // want `locked opNoOp constant nC \(= 3\) is not declared`
+
+const (
+	nA opNoOp = 1
+	nB opNoOp = 2
+)

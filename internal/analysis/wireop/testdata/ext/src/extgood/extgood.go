@@ -1,0 +1,13 @@
+// Package extgood models the CORRECT lock-extension workflow: opC was
+// appended after the locked tail AND the lock table gained the matching
+// entry in the same change (see extGoodLock in wireop_test.go). The
+// analyzer must stay silent.
+package extgood
+
+type op uint8
+
+const (
+	opA op = 1
+	opB op = 2
+	opC op = 3 // appended op, pinned by the extended lock: clean
+)

@@ -1,7 +1,10 @@
 // Package wirefix seeds the wireop cases against the test's own lock
 // (see wireop_test.go): renumbered constants, constants inserted into
-// the locked range, reordered and retyped struct fields, a lost field —
-// and legal appends, which must stay silent.
+// the locked range, appended constants missing their lock entry,
+// reordered and retyped struct fields, and a lost field. Struct-field
+// appends past the locked prefix stay silent (gob tolerates trailing
+// fields); the full add-op-plus-extend-lock workflow lives in
+// testdata/ext.
 package wirefix
 
 type op uint8
@@ -10,7 +13,7 @@ const (
 	opA op = 1
 	opB op = 3 // want `opB = 3, but the wire lock pins it at 2`
 	opC op = 2 // want `lands inside the locked range`
-	opD op = 4
+	opD op = 4 // want `appends past the locked tail but has no lock entry`
 )
 
 type code uint8
@@ -18,7 +21,7 @@ type code uint8
 const (
 	codeX code = 0
 	codeY code = 1
-	codeZ code = 2 // legal append past the locked tail
+	codeZ code = 2 // want `appends past the locked tail but has no lock entry`
 )
 
 // frameGood matches its locked prefix and appends one field.

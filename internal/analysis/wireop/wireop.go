@@ -11,9 +11,13 @@
 // developer's machine before any frame is ever encoded.
 //
 // Legal protocol evolution — appending an op after the locked tail, or
-// a field after a struct's locked prefix — passes the check; the lock
-// table is then extended in the same change, which is the auditable
-// review point (see internal/analysis/README.md).
+// a field after a struct's locked prefix — is a two-line change
+// reviewed together: the new declaration in wire.go and the matching
+// lock entry here. The analyzer enforces both halves of that workflow:
+// a locked-type constant missing from the lock table is a finding (the
+// op shipped without its audit entry), and a lock entry with no
+// matching constant is a finding (the lock was extended without the
+// op, or the op was removed). See internal/analysis/README.md.
 package wireop
 
 import (
@@ -65,20 +69,27 @@ type Lock struct {
 // the real lock for plsh/internal/transport (lock.go).
 var Analyzer = New(TransportLock)
 
-// New builds the analyzer for an explicit lock (fixtures use their
-// own).
-func New(lock Lock) *framework.Analyzer {
+// New builds the analyzer for explicit locks, one per locked package —
+// fixtures use their own, and a deployment with several wire packages
+// registers them all on one analyzer.
+func New(locks ...Lock) *framework.Analyzer {
 	return &framework.Analyzer{
 		Name: "wireop",
 		Doc: "the wire protocol's opcode const blocks and frame structs are append-only: " +
-			"locked values never renumber and locked field prefixes never reorder",
-		Run: func(pass *framework.Pass) error { return run(pass, lock) },
+			"locked values never renumber, locked field prefixes never reorder, and every " +
+			"locked-type constant has a lock entry",
+		Run: func(pass *framework.Pass) error {
+			for _, lock := range locks {
+				run(pass, lock)
+			}
+			return nil
+		},
 	}
 }
 
-func run(pass *framework.Pass, lock Lock) error {
+func run(pass *framework.Pass, lock Lock) {
 	if pass.Pkg.Path() != lock.Path {
-		return nil
+		return
 	}
 	for _, cl := range lock.Consts {
 		checkConsts(pass, cl)
@@ -86,7 +97,6 @@ func run(pass *framework.Pass, lock Lock) error {
 	for _, sl := range lock.Structs {
 		checkStruct(pass, sl)
 	}
-	return nil
 }
 
 // checkConsts verifies every locked constant of the named type exists
@@ -135,6 +145,10 @@ func checkConsts(pass *framework.Pass, cl ConstLock) {
 		}
 		return pass.Files[0]
 	}
+	// Missing-constant findings anchor at the type declaration so they
+	// have a stable, reviewable position even though the constant has no
+	// line of its own.
+	typeDecl := typeSpecNode(pass, cl.TypeName)
 	var floor int64
 	locked := map[string]bool{}
 	for _, nv := range cl.Values {
@@ -144,8 +158,10 @@ func checkConsts(pass *framework.Pass, cl ConstLock) {
 		}
 		v, ok := got[nv.Name]
 		if !ok {
-			pass.Reportf(pass.Files[0].Pos(),
-				"locked %s constant %s (= %d) was removed; wire constants are append-only", cl.TypeName, nv.Name, nv.Value)
+			pass.Reportf(typeDecl.Pos(),
+				"locked %s constant %s (= %d) is not declared: either the op was removed (which breaks every "+
+					"older peer) or the lock was extended without appending the constant in the same change",
+				cl.TypeName, nv.Name, nv.Value)
 			continue
 		}
 		if v != nv.Value {
@@ -163,8 +179,34 @@ func checkConsts(pass *framework.Pass, cl ConstLock) {
 			pass.Reportf(at(name).Pos(),
 				"new %s constant %s = %d lands inside the locked range (≤ %d); append it after the tail "+
 					"and extend the lock in internal/analysis/wireop/lock.go", cl.TypeName, name, v, floor)
+		} else {
+			pass.Reportf(at(name).Pos(),
+				"new %s constant %s = %d appends past the locked tail but has no lock entry; extend the lock "+
+					"in internal/analysis/wireop/lock.go in the same change so the value is pinned", cl.TypeName, name, v)
 		}
 	}
+}
+
+// typeSpecNode locates the TypeSpec declaring name, falling back to the
+// first file when the declaration is not found.
+func typeSpecNode(pass *framework.Pass, name string) ast.Node {
+	for _, f := range pass.Files {
+		var found ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if ts, ok := n.(*ast.TypeSpec); ok && ts.Name.Name == name {
+				found = ts
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return pass.Files[0]
 }
 
 // checkStruct verifies the struct's exported fields start with the

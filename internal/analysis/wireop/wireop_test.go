@@ -38,3 +38,49 @@ var fixtureLock = wireop.Lock{
 func TestWireop(t *testing.T) {
 	testutil.Run(t, "testdata", wireop.New(fixtureLock))
 }
+
+// extGoodLock is a lock extended together with its opcode: opC is both
+// declared in extgood and pinned here, the legal two-line workflow.
+var extGoodLock = wireop.Lock{
+	Path: "extgood",
+	Consts: []wireop.ConstLock{
+		{
+			TypeName: "op",
+			Values: []wireop.NameValue{
+				{Name: "opA", Value: 1},
+				{Name: "opB", Value: 2},
+				{Name: "opC", Value: 3},
+			},
+		},
+	},
+}
+
+// extBadLock breaks the workflow in both directions: opNoLock's tail
+// constant mC has no entry here, and nC is locked for opNoOp without
+// the constant existing in extbad.
+var extBadLock = wireop.Lock{
+	Path: "extbad",
+	Consts: []wireop.ConstLock{
+		{
+			TypeName: "opNoLock",
+			Values: []wireop.NameValue{
+				{Name: "mA", Value: 1},
+				{Name: "mB", Value: 2},
+			},
+		},
+		{
+			TypeName: "opNoOp",
+			Values: []wireop.NameValue{
+				{Name: "nA", Value: 1},
+				{Name: "nB", Value: 2},
+				{Name: "nC", Value: 3},
+			},
+		},
+	},
+}
+
+// TestWireopLockExtension drives the lock-extension workflow fixtures
+// through one variadic analyzer carrying both packages' locks.
+func TestWireopLockExtension(t *testing.T) {
+	testutil.Run(t, "testdata/ext", wireop.New(extGoodLock, extBadLock))
+}

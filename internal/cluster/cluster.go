@@ -452,6 +452,7 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.placement == PlacementPartitioned {
+		//plshvet:ignore lockorder single insertion sequencer: c.mu serializes inserts and their replica RPCs by design; the query path never takes it
 		return c.insertPartitioned(ctx, vs)
 	}
 	ids := make([]uint64, len(vs))
@@ -476,6 +477,7 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 			free += c.caps[w] - c.used[w]
 		}
 		if free == 0 {
+			//plshvet:ignore lockorder single insertion sequencer: retirement RPCs run under c.mu so the window advances atomically against other inserts
 			if err := c.advanceWindow(ctx); err != nil {
 				return nil, fail(err)
 			}
@@ -522,10 +524,12 @@ func (c *Cluster) Insert(ctx context.Context, vs []sparse.Vector) ([]uint64, err
 			for _, pos := range part {
 				scratch = append(scratch, vs[pos])
 			}
+			//plshvet:ignore lockorder single insertion sequencer: replica broadcast RPCs run under c.mu by design; queries never take this lock
 			local, err := c.insertGroup(ctx, w, scratch)
 			if errors.Is(err, node.ErrFull) {
 				// Bookkeeping drift (shouldn't happen): resync and retry
 				// this part in a later round.
+				//plshvet:ignore lockorder single insertion sequencer: stats resync must see a quiesced used-count, so it stays under c.mu
 				c.resyncUsed(ctx, w)
 				requeue = append(requeue, part...)
 				continue

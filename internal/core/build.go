@@ -98,6 +98,8 @@ func BuildFromSketches(fam *lshhash.Family, sk *lshhash.Sketches, workers int) *
 
 // buildOneLevel is the unoptimized baseline: every table partitions all N
 // items by its full k-bit key in one 2^k-way pass.
+//
+//plshvet:prepublish construction helper; fills the Static before Build returns it
 func buildOneLevel(st *Static, sk *lshhash.Sketches, p lshhash.Params, pool *sched.Pool) {
 	n := sk.N()
 	buckets := p.Buckets()
@@ -300,6 +302,8 @@ func partitionPairs(keys1, keys2, hist, outPerm, outKeys2, outOffs []uint32) {
 
 // secondLevel refines each first-level segment of perm1 by the second-level
 // keys, writing the table's final Items and the full 2^k+1 Offsets.
+//
+//plshvet:prepublish construction helper; fills one table before Build returns the Static
 func secondLevel(t *Table, perm1, keys2, offs1, hist []uint32, p lshhash.Params) {
 	n := len(perm1)
 	halfB := p.HalfBuckets()

@@ -23,6 +23,8 @@ import (
 
 // Table is one LSH hash table: Items holds the N document indexes grouped
 // by bucket; bucket b occupies Items[Offsets[b]:Offsets[b+1]].
+//
+//plshvet:frozen tables are reached through a published snapshot; queries scan them lock-free
 type Table struct {
 	Offsets []uint32
 	Items   []uint32
@@ -34,6 +36,8 @@ func (t *Table) Bucket(key uint32) []uint32 {
 }
 
 // Static is an immutable PLSH index over n documents.
+//
+//plshvet:frozen published inside the node snapshot; queries scan it lock-free
 type Static struct {
 	fam    *lshhash.Family
 	n      int
@@ -99,6 +103,8 @@ func StaticFromTables(fam *lshhash.Family, n int, tables []Table) (*Static, erro
 // Compact must run before the index is published to readers; it mutates
 // Items and Offsets. drop may be called concurrently from multiple
 // goroutines (tables compact in parallel).
+//
+//plshvet:prepublish documented pre-publish build step of a streaming merge
 func (s *Static) Compact(drop func(id uint32) bool, workers int) {
 	pool := sched.NewPool(workers)
 	pool.Run(len(s.tables), func(l, _ int) {
@@ -127,6 +133,8 @@ func (s *Static) Compact(drop func(id uint32) bool, workers int) {
 // deterministic in (seed, table index), so two builds over the same rows
 // cap identically. Like Compact, CapBuckets must run before the index is
 // published to readers; r <= 0 is a no-op.
+//
+//plshvet:prepublish documented pre-publish build step; runs before the snapshot swap
 func (s *Static) CapBuckets(r int, seed uint64, workers int) {
 	if r <= 0 {
 		return

@@ -33,6 +33,8 @@ import (
 // immutable and every read-side method (Candidates, Buckets, Sketches,
 // MemoryBytes) is safe for arbitrary concurrent use — frozen tables are
 // the building blocks of the node's copy-on-write query snapshots.
+//
+//plshvet:frozen frozen segments are published inside node snapshots; the mutators below carry //plshvet:prepublish and are runtime-gated by the frozen flag
 type Table struct {
 	fam     *lshhash.Family
 	pool    *sched.Pool
@@ -73,6 +75,8 @@ func New(fam *lshhash.Family, workers int) *Table {
 // deterministic in (seed, table index). Must be called before the first
 // Insert; panics on a non-empty or frozen table so a bound can never be
 // applied retroactively to half of a stream.
+//
+//plshvet:prepublish configuration step; panics on a non-empty or frozen table
 func (d *Table) SetReservoir(r int, seed uint64) {
 	if d.n > 0 || d.frozen {
 		panic("delta: SetReservoir on non-empty table")
@@ -97,6 +101,8 @@ func (d *Table) SetReservoir(r int, seed uint64) {
 // plain append while the bucket is under resCap, then replacement with
 // probability resCap/t for the t-th offered item. With no bound set it is
 // a plain append.
+//
+//plshvet:prepublish insert-path helper; reached only from Insert, which panics on a frozen table
 func (d *Table) offer(l int, m map[uint32][]uint32, key uint32, id uint32) {
 	ids := m[key]
 	if d.resCap <= 0 || len(ids) < d.resCap {
@@ -123,6 +129,8 @@ func (d *Table) Sketches() *lshhash.Sketches { return d.sk }
 
 // Freeze marks the table immutable. Further Insert calls panic; reads need
 // no synchronization. Freezing is idempotent.
+//
+//plshvet:prepublish the freeze itself is the publish barrier: it runs under the node mutex before the snapshot swap
 func (d *Table) Freeze() { d.frozen = true }
 
 // IsFrozen reports whether Freeze has been called.
@@ -132,6 +140,8 @@ func (d *Table) IsFrozen() bool { return d.frozen }
 // all L tables, parallelized over tables (each worker owns a disjoint set
 // of tables, so no locks are needed). It returns the delta-local ID of the
 // first inserted document. Insert panics on a frozen table.
+//
+//plshvet:prepublish single-writer insert path; runtime-gated by the frozen flag
 func (d *Table) Insert(vs []sparse.Vector) int {
 	if d.frozen {
 		panic("delta: Insert on frozen table")
@@ -247,6 +257,8 @@ func (d *Table) Buckets(l int, fn func(key uint32, ids []uint32) bool) {
 
 // Reset empties the table (after a merge), retaining the allocated maps and
 // clearing any freeze.
+//
+//plshvet:prepublish recycles a retired segment under the node mutex after readers have moved to the new snapshot
 func (d *Table) Reset() {
 	for l := range d.buckets {
 		clear(d.buckets[l])

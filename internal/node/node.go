@@ -520,6 +520,7 @@ func (n *Node) Family() *lshhash.Family { return n.fam }
 // it runs to completion so the index never holds a partially applied batch.
 func (n *Node) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error) {
 	if len(vs) == 0 {
+		//plshvet:ignore walorder an empty batch mutates nothing, so there is nothing to journal before acknowledging it
 		return nil, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -545,6 +546,7 @@ func (n *Node) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error)
 		// assigned, keeping journal order equal to arena order — before any
 		// in-memory state changes, and acknowledged only after the journal
 		// accepts it. A journal failure leaves the node untouched.
+		//plshvet:ignore lockorder journal-before-ack: the append must commit under the insert mutex so journal order equals arena order; queries never take n.mu
 		if err := n.wal.AppendInsert(base, vs); err != nil {
 			n.mu.Unlock()
 			return nil, err
@@ -835,6 +837,7 @@ func (n *Node) Delete(id uint32) error {
 	if int(id) >= n.store.Rows() {
 		return ErrNotFound
 	}
+	//plshvet:ignore lockorder journal-before-ack: the tombstone is journaled under n.mu so recovery replays deletes in mutation order
 	if err := n.wal.AppendDelete(id); err != nil {
 		return err
 	}
@@ -863,6 +866,7 @@ func (n *Node) Retire(ctx context.Context) error {
 		}
 	}
 	if n.wal != nil {
+		//plshvet:ignore lockorder journal-before-ack: retirement is journaled under n.mu so recovery cannot resurrect retired rows
 		if err := n.wal.AppendRetire(); err != nil {
 			n.mu.Unlock()
 			return err

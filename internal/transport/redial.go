@@ -58,9 +58,11 @@ func (r *Redial) client(ctx context.Context) (*Client, error) {
 		return r.cur, nil
 	}
 	if r.cur != nil {
+		//plshvet:ignore lockorder single-flight reconnect: r.mu serializes close+dial so exactly one goroutine repairs the link
 		r.cur.Close()
 		r.cur = nil
 	}
+	//plshvet:ignore lockorder single-flight reconnect: the dial stays under r.mu so concurrent callers wait for one new connection instead of racing dials
 	c, err := Dial(ctx, r.addr)
 	if err != nil {
 		return nil, err
@@ -180,6 +182,7 @@ func (r *Redial) Close() error {
 	if r.cur == nil {
 		return nil
 	}
+	//plshvet:ignore lockorder close is terminal: holding r.mu here keeps a racing redial from resurrecting the connection
 	err := r.cur.Close()
 	r.cur = nil
 	return err

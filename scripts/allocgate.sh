@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The hot-path allocation gate, run identically by CI and by hand:
+#
+#   1. plsh-allocvet over the tree — every function in
+#      internal/analysis/allocgate/budget.txt must stay within its
+#      heap-escape budget (a new escape on the Search/SearchBatch call
+#      graph fails here, at compile time, before any benchmark runs)
+#   2. plsh-allocvet over testdata/escapemod — the intentionally
+#      escaping fixture MUST fail, proving the gate detects escapes at
+#      all; a toolchain change that silenced -m diagnostics would
+#      otherwise turn the gate into a silent no-op
+#
+# Set PLSH_ALLOCGATE_REPORT to a path to also capture the report there
+# (CI uploads it as a build artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)/plsh-allocvet"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/plsh-allocvet
+
+echo "==> allocgate (tree)"
+"$bin" ${PLSH_ALLOCGATE_REPORT:+-report "$PLSH_ALLOCGATE_REPORT"}
+
+echo "==> allocgate (escape fixture must fail)"
+if "$bin" -dir internal/analysis/allocgate/testdata/escapemod -budget budget.txt 2>/dev/null; then
+  echo "allocgate.sh: escape fixture passed the gate; the gate is not detecting escapes" >&2
+  exit 1
+fi
+
+echo "allocation gate clean"

@@ -5,10 +5,14 @@
 #   2. gofmt           — formatting drift fails, never auto-fixes
 #   3. plsh-vet        — the custom invariant suite (internal/analysis):
 #                        poolzero, releasecheck, ctxcheck, wireop,
-#                        atomicsnap over every non-test package
+#                        atomicsnap, snapfreeze, lockorder, walorder
+#                        over every non-test package; analyzers run in
+#                        parallel and per-analyzer wall time is printed
 #
 # Every failure prints file:line:col so CI annotations and editors can
 # jump straight to the site. Exits nonzero on the first failing stage.
+# Set PLSH_VET_REPORT to a path to also capture the findings + timing
+# report there (CI uploads it as a build artifact).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +32,6 @@ echo "==> plsh-vet"
 bin="$(mktemp -d)/plsh-vet"
 trap 'rm -rf "$(dirname "$bin")"' EXIT
 go build -o "$bin" ./cmd/plsh-vet
-"$bin" ./...
+"$bin" -timing ${PLSH_VET_REPORT:+-report "$PLSH_VET_REPORT"} ./...
 
 echo "static gate clean"
