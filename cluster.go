@@ -427,6 +427,16 @@ func (cl *Cluster) Flush(ctx context.Context) error { return cl.c.FlushAll(ctx) 
 // [g·Replicas, (g+1)·Replicas).
 func (cl *Cluster) Stats(ctx context.Context) ([]Stats, error) { return cl.c.Stats(ctx) }
 
+// CoordStats is the coordinator's own always-on telemetry: lifetime
+// counters of batches answered, failovers, and hedges launched/won,
+// maintained with cheap atomics on the search path regardless of
+// WithTrace. Unlike Stats it describes the coordinator (client side),
+// not the nodes, so it needs no RPC.
+type CoordStats = cluster.CoordStats
+
+// CoordStats returns the coordinator's accumulated telemetry.
+func (cl *Cluster) CoordStats() CoordStats { return cl.c.CoordStats() }
+
 // NumNodes returns the endpoint count (groups × replicas).
 func (cl *Cluster) NumNodes() int { return cl.c.NumNodes() }
 

@@ -14,7 +14,10 @@
 // layer's broadcast latency — single-copy vs R=2 vs R=2 hedged
 // (BenchmarkSearchReplicated) — and the placement layer's routed-vs-
 // scatter per-query cost at 4 and 16 replica groups
-// (BenchmarkSearchRouted).
+// (BenchmarkSearchRouted). The soak harness's summary lines
+// (cmd/plsh-soak via scripts/soak.sh) surface the same way: the
+// fault-injected search tail (soak_search_p999_ns), the run's combined
+// error rate (soak_error_rate), and sampled recall (soak_recall).
 package main
 
 import (
@@ -98,6 +101,13 @@ type snapshot struct {
 	SearchRoutedScatterG16Allocs float64 `json:"search_routed_scatter_g16_allocs_per_op"`
 	SearchRoutedPartG16Bytes     float64 `json:"search_routed_part_g16_bytes_per_op"`
 	SearchRoutedPartG16Allocs    float64 `json:"search_routed_part_g16_allocs_per_op"`
+	// Soak headlines from cmd/plsh-soak's bench-formatted summary lines
+	// (scripts/soak.sh pipes them here): the mixed-load search tail under
+	// fault injection and the run's combined failed-ops + correctness-
+	// violation rate. 0 when the input was a plain benchmark run.
+	SoakSearchP999NS float64 `json:"soak_search_p999_ns"`
+	SoakErrorRate    float64 `json:"soak_error_rate"`
+	SoakRecall       float64 `json:"soak_recall"`
 }
 
 func main() {
@@ -163,6 +173,15 @@ func main() {
 			case strings.HasSuffix(b.Name, "/replicas=2-hedged"):
 				snap.SearchReplicatedHedgedNS = v
 			}
+		}
+		if v, ok := b.Metrics["soak-search-p999-ns"]; ok {
+			snap.SoakSearchP999NS = v
+		}
+		if v, ok := b.Metrics["soak-error-rate"]; ok {
+			snap.SoakErrorRate = v
+		}
+		if v, ok := b.Metrics["soak-recall"]; ok {
+			snap.SoakRecall = v
 		}
 		if v, ok := b.Metrics["ns/routed-search"]; ok {
 			switch {

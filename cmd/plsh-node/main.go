@@ -16,9 +16,13 @@
 // (every write acknowledged before a crash — even kill -9 — is queryable
 // again), every acknowledged write is journaled before the RPC returns,
 // and background merges checkpoint snapshots. SIGINT/SIGTERM shut the
-// server down cleanly: the listener and every open connection close,
-// failing in-flight coordinator calls promptly, and a final checkpoint is
-// written so the next boot skips journal replay entirely.
+// server down gracefully: intake stops at once (listener closed, no new
+// requests decoded), requests already in flight get up to -drain to
+// finish and answer — so an acknowledged write is never torn mid-journal
+// by its own server's shutdown — and a final checkpoint is then written
+// over the quiescent node so the next boot skips journal replay entirely.
+// -drain 0 restores the abrupt legacy shutdown (in-flight calls fail
+// immediately).
 //
 // Replicated deployments need nothing node-side: replication is purely a
 // coordinator construct. Launch R identical processes per replica group —
@@ -51,6 +55,7 @@ import (
 	"net"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"plsh/internal/core"
 	"plsh/internal/lshhash"
@@ -70,6 +75,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "hash-family seed (must match across coordinated nodes only if you rely on reproducibility)")
 	data := flag.String("data", "", "data directory: recover on boot, journal writes, checkpoint on merge and shutdown (empty = in-memory only)")
 	fsync := flag.Bool("fsync", false, "fsync every journal append (survive machine crash, not just process death)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown window for in-flight requests on SIGINT/SIGTERM (0 = abort them immediately)")
 	flag.Parse()
 
 	build := core.Defaults()
@@ -104,7 +110,8 @@ func main() {
 	log.Printf("plsh-node: serving on %s (dim=%d k=%d m=%d L=%d capacity=%d)",
 		l.Addr(), *dim, *k, *m, (*m)*(*m-1)/2, *capacity)
 	onError := func(err error) { log.Printf("plsh-node: %v", err) }
-	if err := transport.Serve(ctx, l, transport.NewLocal(n), onError); err != nil {
+	opts := transport.ServeOptions{Drain: *drain, OnError: onError}
+	if err := transport.ServeWithOptions(ctx, l, transport.NewLocal(n), opts); err != nil {
 		log.Fatalf("plsh-node: %v", err)
 	}
 	if *data != "" {

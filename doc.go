@@ -83,7 +83,14 @@
 //     journals every acknowledged write ahead of acknowledging it and
 //     checkpoints snapshots on merge, so restarts — graceful or kill -9 —
 //     recover every acknowledged document (Save checkpoints on demand;
-//     see DESIGN.md for the on-disk format).
+//     see DESIGN.md for the on-disk format);
+//   - runtime observability for long-running deployments: Stats carries
+//     each node's served-operation counters (SearchesServed,
+//     InsertsServed, DeletesServed) and its WAL write/fsync latency
+//     quantiles, and Cluster.CoordStats counts the coordinator's
+//     failovers, hedges launched/won, and group failures — the numbers
+//     the SLO-gated soak harness (cmd/plsh-soak, scripts/soak.sh)
+//     checks against injected faults.
 //
 // Every operation takes a context.Context end to end — public API,
 // coordinator, transport, node — so deadlines and cancellation abort a

@@ -79,7 +79,9 @@ func TestFaultInjectionKillAnyReplicaKeepsSearchComplete(t *testing.T) {
 		}
 		// Restart before the next victim so exactly one node is ever down;
 		// Start waits out the journal replay.
-		nd.Start()
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -270,7 +272,9 @@ func TestFaultInjectionReplicaRestartsFromWALAndRejoins(t *testing.T) {
 	// Restart replica 0 (journal replay), then kill replica 1: the
 	// recovered node now serves alone and must answer identically —
 	// including the pre-kill delete staying deleted.
-	fleet.Nodes[0].Start()
+	if err := fleet.Nodes[0].Start(); err != nil {
+		t.Fatal(err)
+	}
 	fleet.Nodes[1].Kill()
 	alone, report, err := cl.SearchBatch(bg, queries)
 	if err != nil || !report.Complete() {

@@ -239,6 +239,17 @@ type Cluster struct {
 	// spreads over a group's members.
 	rr atomic.Uint32
 
+	// Always-on coordinator telemetry: cheap atomics on the search path,
+	// independent of opts.Trace, read through CoordStats. The soak harness
+	// correlates client-observed tails with these (failovers during kill
+	// windows, hedges fired under merge pressure).
+	searches       atomic.Uint64 // batches answered (Search + routed)
+	queriesServed  atomic.Uint64 // individual queries across those batches
+	failovers      atomic.Uint64 // attempts launched because a replica failed
+	hedgesLaunched atomic.Uint64 // attempts launched by the hedge timer
+	hedgesWon      atomic.Uint64 // hedged attempts whose answer won the group
+	groupFailures  atomic.Uint64 // groups that exhausted every replica
+
 	// batchPool recycles Search answer buffers (the [][]Neighbor and the
 	// per-query backing arrays inside) between broadcasts; see
 	// ReleaseResults for the ownership contract.
@@ -754,6 +765,7 @@ func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p 
 			attempts = []Attempt{{Group: g, Node: g, Won: err == nil, Time: time.Since(t0), Err: err}}
 		}
 		if err != nil {
+			c.groupFailures.Add(1)
 			return nil, nil, attempts, err
 		}
 		return res, member, attempts, nil
@@ -813,27 +825,63 @@ func (c *Cluster) searchGroup(ctx context.Context, g int, qs []sparse.Vector, p 
 			if ar.err == nil {
 				a.Won = true
 				record(a)
+				if ar.hedged {
+					c.hedgesWon.Add(1)
+				}
+				c.drainAttempts(g, inflight, results)
 				return ar.res, c.member(g, ar.replica), attempts, nil
 			}
 			record(a)
 			lastErr = ar.err
 			if err := ctx.Err(); err != nil {
+				c.drainAttempts(g, inflight, results)
 				return nil, nil, attempts, err // the caller gave up; failing over is pointless
 			}
 			if next < c.r {
+				c.failovers.Add(1)
 				launch(false) // failover to the next replica
 			} else if inflight == 0 {
+				c.groupFailures.Add(1)
 				return nil, nil, attempts, lastErr // every replica tried and failed
 			}
 		case <-hedgeC:
 			hedgeC = nil // one hedge per group
 			if next < c.r {
+				c.hedgesLaunched.Add(1)
 				launch(true)
 			}
 		case <-ctx.Done():
+			c.drainAttempts(g, inflight, results)
 			return nil, nil, attempts, ctx.Err()
 		}
 	}
+}
+
+// drainAttempts reaps the attempts still in flight when a group resolves
+// early — a winner returned, or the caller gave up — so a late loser's
+// successful answer is not stranded unread in the results channel with
+// its pooled buffers checked out forever. Sends into results are buffered
+// to the maximum attempt count, so the drain runs asynchronously: it
+// receives exactly inflight more outcomes and hands each successful
+// answer back to its member's pool. In-process members implement
+// transport.Releaser; remote clients' results are plain GC memory and
+// need no release. The group context is canceled as searchGroup returns,
+// so losers finish promptly and the drain goroutine is bounded by the
+// slowest outstanding attempt.
+func (c *Cluster) drainAttempts(g, inflight int, results <-chan attemptResult) {
+	if inflight == 0 {
+		return
+	}
+	go func() {
+		for i := 0; i < inflight; i++ {
+			ar := <-results
+			if ar.err == nil && ar.res != nil {
+				if rel, ok := c.member(g, ar.replica).(transport.Releaser); ok {
+					rel.ReleaseResults(ar.res)
+				}
+			}
+		}
+	}()
 }
 
 // Search broadcasts a batch under request-scoped parameters and opts'
@@ -980,6 +1028,8 @@ func (c *Cluster) Search(ctx context.Context, qs []sparse.Vector, p node.SearchP
 		out[qi] = ms.mergeAppend(out[qi][:0], k)
 	}
 	ms.release()
+	c.searches.Add(1)
+	c.queriesServed.Add(uint64(len(qs)))
 	return out, report, nil
 }
 
@@ -1190,6 +1240,8 @@ func (c *Cluster) searchRouted(ctx context.Context, qs []sparse.Vector, p node.S
 		out[qi] = ms.mergeAppend(out[qi][:0], k)
 	}
 	ms.release()
+	c.searches.Add(1)
+	c.queriesServed.Add(uint64(len(qs)))
 	return out, report, nil
 }
 
@@ -1510,6 +1562,39 @@ func (c *Cluster) Stats(ctx context.Context) ([]node.Stats, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// CoordStats is the coordinator's own always-on telemetry: counters the
+// search path maintains with cheap atomics regardless of opts.Trace.
+// Unlike BatchReport.HedgesWon (per-call, trace-gated), these accumulate
+// over the coordinator's lifetime, so a soak run can assert that injected
+// faults actually exercised failover and hedging.
+type CoordStats struct {
+	// Searches counts answered batches; Queries the individual queries
+	// across them.
+	Searches uint64
+	Queries  uint64
+	// Failovers counts replica attempts launched because a sibling failed;
+	// HedgesLaunched those launched by the hedge timer; HedgesWon the
+	// hedged attempts whose answer won their group.
+	Failovers      uint64
+	HedgesLaunched uint64
+	HedgesWon      uint64
+	// GroupFailures counts groups that exhausted every replica (or, single
+	// -copy, whose only member failed).
+	GroupFailures uint64
+}
+
+// CoordStats returns the coordinator's accumulated telemetry.
+func (c *Cluster) CoordStats() CoordStats {
+	return CoordStats{
+		Searches:       c.searches.Load(),
+		Queries:        c.queriesServed.Load(),
+		Failovers:      c.failovers.Load(),
+		HedgesLaunched: c.hedgesLaunched.Load(),
+		HedgesWon:      c.hedgesWon.Load(),
+		GroupFailures:  c.groupFailures.Load(),
+	}
 }
 
 // Close closes every node client.

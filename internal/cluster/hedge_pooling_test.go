@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"plsh/internal/core"
+	"plsh/internal/lshhash"
+	"plsh/internal/node"
+	"plsh/internal/sparse"
+	"plsh/internal/transport"
+)
+
+// poolNode builds a real in-process node so the tests can watch its
+// batch pool through OutstandingBatches.
+func poolNode(t *testing.T, capacity int) *node.Node {
+	t.Helper()
+	n, err := node.New(node.Config{
+		Params:   lshhash.Params{Dim: 2000, K: 8, M: 6, Seed: 42},
+		Capacity: capacity,
+		Build:    core.Defaults(),
+		Query:    core.QueryDefaults(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// waitOutstandingZero polls until every node reports zero checked-out
+// batch buffers — the release-exactly-once invariant after all in-flight
+// searches (including async loser drains) have settled. A strand keeps a
+// count positive forever; a double release drives one negative; either
+// way the poll times out and fails with the stuck value.
+func waitOutstandingZero(t *testing.T, nodes ...*node.Node) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bad, got := -1, int64(0)
+		for i, n := range nodes {
+			if o := n.OutstandingBatches(); o != 0 {
+				bad, got = i, o
+			}
+		}
+		if bad < 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d settled at %d outstanding pooled batches, want 0 (positive = stranded, negative = double-released)", bad, got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// slowDeliver wraps a member: Search computes the answer first — checking
+// a pooled batch out of the member's pool — and only then sleeps, modeling
+// a replica that is healthy but slow to deliver. The sleep deliberately
+// ignores cancellation: the computed answer is already in flight, exactly
+// the late-loser shape that used to strand its buffers.
+type slowDeliver struct {
+	transport.NodeClient
+	delay time.Duration
+}
+
+func (s *slowDeliver) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
+	res, err := s.NodeClient.Search(ctx, qs, p)
+	time.Sleep(s.delay)
+	return res, err
+}
+
+// ReleaseResults forwards to the wrapped member's pool. Embedding does not
+// provide it: Releaser is deliberately not part of NodeClient.
+func (s *slowDeliver) ReleaseResults(res [][]core.Neighbor) {
+	if rel, ok := s.NodeClient.(transport.Releaser); ok {
+		rel.ReleaseResults(res)
+	}
+}
+
+// TestHedgedLoserReleasesPooledBatch pins the searchGroup drain fix: a
+// hedged search whose preferred replica answers successfully but slowly
+// used to leave that loser's result sitting unread in the buffered
+// results channel, its pooled batch checked out of the node forever. The
+// group must drain resolved-but-late attempts and hand their buffers
+// back.
+func TestHedgedLoserReleasesPooledBatch(t *testing.T) {
+	n0, n1 := poolNode(t, 200), poolNode(t, 200)
+	clients := []transport.NodeClient{
+		// Replica 0 is first in rotation for the first search; it computes
+		// its answer immediately but delivers long after the hedge fires,
+		// so the hedged replica 1 wins and replica 0 is a late loser with
+		// a checked-out batch.
+		&slowDeliver{NodeClient: transport.NewLocal(n0), delay: 60 * time.Millisecond},
+		transport.NewLocal(n1),
+	}
+	c, err := NewReplicated(bg, clients, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(50, 7)
+	if _, err := c.Insert(bg, vs); err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := c.Search(bg, vs[:4], node.SearchParams{}, BatchOptions{Hedge: time.Millisecond, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HedgesWon() == 0 {
+		t.Fatal("hedge did not win the group; the test lost its late loser")
+	}
+	c.ReleaseResults(res)
+	waitOutstandingZero(t, n0, n1)
+}
+
+// TestCallerCancelReleasesInflightBatches pins the ctx.Done() drain path:
+// when the caller gives up while replicas are still delivering, their
+// eventual successful answers must still be handed back to the pools.
+func TestCallerCancelReleasesInflightBatches(t *testing.T) {
+	n0, n1 := poolNode(t, 200), poolNode(t, 200)
+	clients := []transport.NodeClient{
+		&slowDeliver{NodeClient: transport.NewLocal(n0), delay: 50 * time.Millisecond},
+		&slowDeliver{NodeClient: transport.NewLocal(n1), delay: 50 * time.Millisecond},
+	}
+	c, err := NewReplicated(bg, clients, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(50, 7)
+	if _, err := c.Insert(bg, vs); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg, 5*time.Millisecond)
+	defer cancel()
+	// Hedge well inside the caller's deadline so both replicas are in
+	// flight — both computed, both sleeping — when the caller gives up.
+	_, _, err = c.Search(ctx, vs[:4], node.SearchParams{}, BatchOptions{Hedge: time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("search returned %v, want deadline exceeded", err)
+	}
+	waitOutstandingZero(t, n0, n1)
+}
+
+// flakyMember wraps a member with randomized delivery delay and injected
+// post-compute failures: Search checks a pooled batch out of the inner
+// member, sleeps, and then either delivers it or — modeling a transport
+// that computed an answer the caller never receives — releases it itself
+// and reports an error.
+type flakyMember struct {
+	transport.NodeClient
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var errInjected = errors.New("injected member failure")
+
+func (f *flakyMember) plan() (delay time.Duration, fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.Duration(f.rng.Intn(2000)) * time.Microsecond, f.rng.Intn(4) == 0
+}
+
+func (f *flakyMember) Search(ctx context.Context, qs []sparse.Vector, p node.SearchParams) ([][]core.Neighbor, error) {
+	delay, fail := f.plan()
+	res, err := f.NodeClient.Search(ctx, qs, p)
+	time.Sleep(delay)
+	if err != nil {
+		return nil, err
+	}
+	if fail {
+		f.ReleaseResults(res)
+		return nil, errInjected
+	}
+	return res, nil
+}
+
+func (f *flakyMember) ReleaseResults(res [][]core.Neighbor) {
+	if rel, ok := f.NodeClient.(transport.Releaser); ok {
+		rel.ReleaseResults(res)
+	}
+}
+
+// TestSearchGroupInterleavingsReleaseAllBatches drives the failover/hedge
+// state machine through randomized interleavings — winner-first,
+// loser-first, all-fail, caller-cancel, per-node timeout — across a
+// 3-replica group and asserts the release-exactly-once invariant: after
+// everything settles, every node's outstanding pooled-batch count is
+// exactly zero. Run under -race this also exercises the drain goroutine
+// against concurrent searches.
+func TestSearchGroupInterleavingsReleaseAllBatches(t *testing.T) {
+	const replicas = 3
+	nodes := make([]*node.Node, replicas)
+	clients := make([]transport.NodeClient, replicas)
+	rng := rand.New(rand.NewSource(1))
+	for i := range nodes {
+		nodes[i] = poolNode(t, 200)
+		clients[i] = &flakyMember{
+			NodeClient: transport.NewLocal(nodes[i]),
+			rng:        rand.New(rand.NewSource(int64(i + 100))),
+		}
+	}
+	c, err := NewReplicated(bg, clients, 1, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := testDocs(60, 11)
+	if _, err := c.Insert(bg, vs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		opts := BatchOptions{Partial: rng.Intn(2) == 0}
+		if rng.Intn(2) == 0 {
+			opts.Hedge = time.Duration(rng.Intn(1500)) * time.Microsecond
+		}
+		if rng.Intn(4) == 0 {
+			opts.PerNodeTimeout = time.Duration(500+rng.Intn(1500)) * time.Microsecond
+		}
+		ctx := bg
+		if rng.Intn(3) == 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(bg, time.Duration(rng.Intn(2500))*time.Microsecond)
+			defer cancel()
+		}
+		res, _, err := c.Search(ctx, vs[:1+rng.Intn(3)], node.SearchParams{}, opts)
+		if err == nil {
+			c.ReleaseResults(res)
+		}
+	}
+	waitOutstandingZero(t, nodes...)
+}

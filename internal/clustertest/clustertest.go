@@ -1,16 +1,19 @@
-// Package clustertest runs real multi-process PLSH clusters for
-// fault-injection tests: it builds cmd/plsh-node once per test run,
-// spawns N node processes — each with its own TCP address and data
-// directory — and lets a test SIGKILL chosen nodes at chosen points and
-// restart them (recovering from their write-ahead journals) to verify
-// the cluster-level failover and rejoin guarantees.
+// Package clustertest runs real multi-process PLSH clusters: it builds
+// cmd/plsh-node once per process, spawns N node processes — each with its
+// own TCP address and data directory — and lets the caller SIGKILL chosen
+// nodes at chosen points and restart them (recovering from their
+// write-ahead journals) to verify the cluster-level failover and rejoin
+// guarantees.
 //
 // Unlike the in-process killable servers used by the fast tests, a node
 // killed here dies the way a machine does: no Go cleanup runs, sockets
 // are torn down by the kernel, and the only state that survives is what
-// the durability layer journaled before the acknowledgment. The suite
-// that drives this package is gated behind the `slow` build tag and runs
-// in CI's integration job.
+// the durability layer journaled before the acknowledgment.
+//
+// The package has two front doors over one error-returning core: the
+// testing wrapper Start (t.Fatal/t.Skip semantics, cleanup-registered
+// kills) used by the `slow`-tagged fault-injection suite, and Spawn,
+// which cmd/plsh-soak uses to drive the same fleets from a plain binary.
 package clustertest
 
 import (
@@ -23,6 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -35,15 +39,17 @@ var (
 	buildErr  error
 )
 
-// nodeBinary builds cmd/plsh-node once per test-binary run and returns
-// its path. Tests are skipped when no go toolchain is available (the
-// same policy as the root package's kill -9 recovery test).
-func nodeBinary(t testing.TB) string {
-	t.Helper()
+// errNoToolchain marks the build failure tests translate into a skip.
+const errNoToolchain = "go toolchain unavailable"
+
+// BuildNodeBinary builds cmd/plsh-node once per process and returns its
+// path. The binary lands in a temp directory that outlives the caller
+// (the OS reaps it); repeated calls return the first build.
+func BuildNodeBinary() (string, error) {
 	buildOnce.Do(func() {
 		goBin, err := exec.LookPath("go")
 		if err != nil {
-			buildErr = fmt.Errorf("go toolchain unavailable: %w", err)
+			buildErr = fmt.Errorf("%s: %w", errNoToolchain, err)
 			return
 		}
 		out, err := exec.Command(goBin, "env", "GOMOD").Output()
@@ -66,13 +72,22 @@ func nodeBinary(t testing.TB) string {
 		}
 		buildBin = bin
 	})
-	if buildErr != nil {
-		if strings.Contains(buildErr.Error(), "toolchain unavailable") {
-			t.Skip(buildErr)
+	return buildBin, buildErr
+}
+
+// nodeBinary is BuildNodeBinary with test policy: skip when no go
+// toolchain is available (the same policy as the root package's kill -9
+// recovery test), fail on real build errors.
+func nodeBinary(t testing.TB) string {
+	t.Helper()
+	bin, err := BuildNodeBinary()
+	if err != nil {
+		if strings.Contains(err.Error(), errNoToolchain) {
+			t.Skip(err)
 		}
-		t.Fatal(buildErr)
+		t.Fatal(err)
 	}
-	return buildBin
+	return bin
 }
 
 // Node is one plsh-node process of a Fleet. Addr and Dir are stable
@@ -82,7 +97,6 @@ type Node struct {
 	Addr string
 	Dir  string
 
-	t    testing.TB
 	bin  string
 	args []string
 	cmd  *exec.Cmd
@@ -91,25 +105,27 @@ type Node struct {
 // Start launches (or relaunches) the node process and waits until it
 // answers RPCs — after a kill, that includes its snapshot load and
 // journal replay.
-func (n *Node) Start() {
-	n.t.Helper()
+func (n *Node) Start() error {
 	if n.cmd != nil {
-		n.t.Fatal("clustertest: Start on a running node (Kill it first)")
+		return fmt.Errorf("clustertest: Start on a running node at %s (Kill or Stop it first)", n.Addr)
 	}
 	args := append([]string{"-addr", n.Addr, "-data", n.Dir}, n.args...)
 	cmd := exec.Command(n.bin, args...)
 	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
 	if err := cmd.Start(); err != nil {
-		n.t.Fatalf("clustertest: start plsh-node: %v", err)
+		return fmt.Errorf("clustertest: start plsh-node: %w", err)
 	}
 	n.cmd = cmd
-	n.waitReady(15 * time.Second)
+	if err := n.waitReady(15 * time.Second); err != nil {
+		n.Kill()
+		return err
+	}
+	return nil
 }
 
 // Kill SIGKILLs the node process and reaps it — no shutdown path runs,
 // exactly like a machine loss. Idempotent on an already-dead node.
 func (n *Node) Kill() {
-	n.t.Helper()
 	if n.cmd == nil {
 		return
 	}
@@ -120,15 +136,57 @@ func (n *Node) Kill() {
 	n.cmd = nil
 }
 
+// Stop SIGTERMs the node and waits up to timeout for it to exit — the
+// graceful path: the process drains in-flight RPCs, checkpoints, and
+// exits 0. A process still alive at the deadline is SIGKILLed and the
+// call errors; a nonzero exit status errors too. Idempotent on an
+// already-dead node.
+func (n *Node) Stop(timeout time.Duration) error {
+	if n.cmd == nil {
+		return nil
+	}
+	cmd := n.cmd
+	n.cmd = nil
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return fmt.Errorf("clustertest: SIGTERM node at %s: %w", n.Addr, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("clustertest: node at %s exited uncleanly after SIGTERM: %w", n.Addr, err)
+		}
+		return nil
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("clustertest: node at %s did not exit within %v of SIGTERM", n.Addr, timeout)
+	}
+}
+
 // Running reports whether the node process is currently up (as far as
-// this harness knows — a crash the test did not inject is not tracked).
+// this harness knows — a crash the caller did not inject is not tracked).
 func (n *Node) Running() bool { return n.cmd != nil }
+
+// Signal sends sig to the node process; a no-op when the node is down.
+// SIGSTOP/SIGCONT pairs freeze a live replica — the process holds its
+// sockets but answers nothing — which is the fault that forces hedged
+// searches to fire and win (a dead replica fails fast and exercises
+// failover instead).
+func (n *Node) Signal(sig os.Signal) error {
+	if n.cmd == nil {
+		return nil
+	}
+	return n.cmd.Process.Signal(sig)
+}
 
 // waitReady polls the node with real RPCs until it answers (the listener
 // may be up before Serve is wired, and a restart replays its journal
 // first).
-func (n *Node) waitReady(timeout time.Duration) {
-	n.t.Helper()
+func (n *Node) waitReady(timeout time.Duration) error {
 	ctx := context.Background()
 	deadline := time.Now().Add(timeout)
 	var lastErr error
@@ -138,55 +196,81 @@ func (n *Node) waitReady(timeout time.Duration) {
 			_, serr := c.Stats(ctx)
 			c.Close()
 			if serr == nil {
-				return
+				return nil
 			}
 			err = serr
 		}
 		lastErr = err
 		if time.Now().After(deadline) {
-			n.t.Fatalf("clustertest: node at %s not ready: %v", n.Addr, lastErr)
+			return fmt.Errorf("clustertest: node at %s not ready: %w", n.Addr, lastErr)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 }
 
-// Fleet is a set of plsh-node processes under one test's control.
+// Fleet is a set of plsh-node processes under one caller's control.
 type Fleet struct {
 	Nodes []*Node
 }
 
-// Start builds the node binary, reserves n TCP addresses, and launches n
-// durable node processes, each with its own data directory under the
-// test's temp space plus the given extra flags (dimensions, seed, ...).
-// Every process still running at test end is SIGKILLed by cleanup.
-func Start(t testing.TB, n int, extraArgs ...string) *Fleet {
-	t.Helper()
-	bin := nodeBinary(t)
+// Spawn builds the node binary, reserves n TCP addresses, and launches n
+// durable node processes, each with its own data directory under
+// dataRoot plus the given extra flags (dimensions, seed, ...). On error,
+// any processes already launched are killed. The caller owns shutdown:
+// KillAll (or per-node Kill/Stop) when done.
+func Spawn(n int, dataRoot string, extraArgs ...string) (*Fleet, error) {
+	bin, err := BuildNodeBinary()
+	if err != nil {
+		return nil, err
+	}
 	f := &Fleet{}
 	for i := 0; i < n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
 		addr := l.Addr().String()
 		l.Close()
+		dir := filepath.Join(dataRoot, fmt.Sprintf("node-%02d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
 		f.Nodes = append(f.Nodes, &Node{
 			Addr: addr,
-			Dir:  t.TempDir(),
-			t:    t,
+			Dir:  dir,
 			bin:  bin,
 			args: extraArgs,
 		})
 	}
-	t.Cleanup(func() {
-		for _, nd := range f.Nodes {
-			nd.Kill()
-		}
-	})
 	for _, nd := range f.Nodes {
-		nd.Start()
+		if err := nd.Start(); err != nil {
+			f.KillAll()
+			return nil, err
+		}
 	}
+	return f, nil
+}
+
+// Start is the testing front door over Spawn: node data directories live
+// under the test's temp space, failures are t.Fatal (or t.Skip without a
+// toolchain), and every process still running at test end is SIGKILLed
+// by cleanup.
+func Start(t testing.TB, n int, extraArgs ...string) *Fleet {
+	t.Helper()
+	nodeBinary(t) // resolve skip-vs-fatal before Spawn can fail on it
+	f, err := Spawn(n, t.TempDir(), extraArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.KillAll)
 	return f
+}
+
+// KillAll SIGKILLs every node still running, in fleet order.
+func (f *Fleet) KillAll() {
+	for _, nd := range f.Nodes {
+		nd.Kill()
+	}
 }
 
 // Addrs returns every node's address, in fleet order (group-major when

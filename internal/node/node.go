@@ -191,6 +191,23 @@ type Stats struct {
 	// healthy. Failed checkpoints leave the journal untruncated, so
 	// recovery still sees every acknowledged write.
 	PersistErr string
+
+	// Operation counters, accumulated since construction (gob-appended
+	// after PersistErr — the wire response carries Stats whole, and a
+	// peer that predates these fields reads/serves zeros). Searches
+	// counts queries answered by SearchBatch, Inserts documents
+	// accepted, Deletes tombstones acknowledged.
+	SearchesServed uint64
+	InsertsServed  uint64
+	DeletesServed  uint64
+	// WAL latency quantiles in nanoseconds over the node's lifetime:
+	// per-record segment write and (with SyncWrites) per-record fsync —
+	// the server-side cause a soak report correlates acknowledged-write
+	// tails against. Zero on in-memory nodes.
+	WALAppendP50NS int64
+	WALAppendP99NS int64
+	WALFsyncP50NS  int64
+	WALFsyncP99NS  int64
 }
 
 // segment is one frozen delta table covering arena rows
@@ -254,6 +271,18 @@ type Node struct {
 	// each per-query entry's backing array) between batches; see
 	// ReleaseResults for the ownership contract.
 	batchPool sync.Pool
+	// outstanding counts batch answer buffers checked out of batchPool and
+	// not yet released. Tests use it to prove the release-exactly-once
+	// contract (a strand leaves it positive, a double release drives it
+	// negative); it costs one atomic add per batch on each side.
+	outstanding atomic.Int64
+
+	// Operation counters behind Stats (one atomic add per op; survive
+	// Retire, unlike the maintenance counters, because they describe
+	// served traffic, not current contents).
+	searchesServed atomic.Uint64
+	insertsServed  atomic.Uint64
+	deletesServed  atomic.Uint64
 }
 
 // deltaWorkspace is one search's private delta-merge state.
@@ -565,6 +594,7 @@ func (n *Node) Insert(ctx context.Context, vs []sparse.Vector) ([]uint32, error)
 		n.startMergeLocked(n.store.Rows())
 	}
 	n.mu.Unlock()
+	n.insertsServed.Add(uint64(len(vs)))
 	return ids, nil
 }
 
@@ -825,6 +855,7 @@ func (n *Node) Delete(id uint32) error {
 			return ErrNotFound
 		}
 		s.deleted.SetAtomic(int(id))
+		n.deletesServed.Add(1)
 		return nil
 	}
 	// Durable path: journal, then apply, both under the writer mutex.
@@ -842,6 +873,7 @@ func (n *Node) Delete(id uint32) error {
 		return err
 	}
 	n.deleted.SetAtomic(int(id))
+	n.deletesServed.Add(1)
 	return nil
 }
 
@@ -1018,6 +1050,15 @@ func (n *Node) Stats() Stats {
 	if p := n.persistErr.Load(); p != nil {
 		st.PersistErr = *p
 	}
+	st.SearchesServed = n.searchesServed.Load()
+	st.InsertsServed = n.insertsServed.Load()
+	st.DeletesServed = n.deletesServed.Load()
+	if n.wal != nil {
+		st.WALAppendP50NS = int64(n.wal.WriteQuantile(0.50))
+		st.WALAppendP99NS = int64(n.wal.WriteQuantile(0.99))
+		st.WALFsyncP50NS = int64(n.wal.SyncQuantile(0.50))
+		st.WALFsyncP99NS = int64(n.wal.SyncQuantile(0.99))
+	}
 	return st
 }
 
@@ -1067,6 +1108,7 @@ func (n *Node) SearchBatch(ctx context.Context, qs []sparse.Vector, p SearchPara
 		n.ReleaseResults(out)
 		return nil, err
 	}
+	n.searchesServed.Add(uint64(len(qs)))
 	return out, nil
 }
 
@@ -1075,6 +1117,7 @@ func (n *Node) SearchBatch(ctx context.Context, qs []sparse.Vector, p SearchPara
 // earlier batches (truncated to length 0), so a warmed node answers
 // batches without allocating result storage.
 func (n *Node) getBatchOut(nq int) [][]core.Neighbor {
+	n.outstanding.Add(1)
 	var out [][]core.Neighbor
 	if p, _ := n.batchPool.Get().(*[][]core.Neighbor); p != nil {
 		out = *p
@@ -1100,8 +1143,16 @@ func (n *Node) ReleaseResults(out [][]core.Neighbor) {
 	if out == nil {
 		return
 	}
+	n.outstanding.Add(-1)
 	n.batchPool.Put(&out)
 }
+
+// OutstandingBatches reports how many SearchBatch answer buffers are
+// currently checked out (returned to a caller and not yet released). It
+// is a test hook for the release-exactly-once contract: after every
+// in-flight search has resolved and released, it must read 0 — positive
+// means a strand, negative a double release.
+func (n *Node) OutstandingBatches() int64 { return n.outstanding.Load() }
 
 // finishSearch imposes the answer contract of Search on the raw
 // candidates appended past res[:base]: top-k selection when bounded,

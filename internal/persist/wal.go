@@ -12,6 +12,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"plsh/internal/histo"
 
 	"plsh/internal/sparse"
 )
@@ -98,6 +101,12 @@ type WAL struct {
 
 	cpMu    sync.Mutex
 	cpToken int // highest token whose checkpoint has been written
+
+	// appendHist and syncHist track per-record write and fsync latency —
+	// the server-side cause behind most acknowledged-write tail latency,
+	// surfaced through node.Stats for soak reports. Recording is two
+	// atomic adds per append; quantile reads are lock-free.
+	appendHist, syncHist histo.Histogram
 }
 
 // OpenWAL opens dir's journal for appending, creating a fresh segment
@@ -186,18 +195,32 @@ func (w *WAL) appendFrameLocked() error {
 			w.buf = make([]byte, 0, 1<<12)
 		}
 	}()
+	t0 := time.Now()
 	if _, err := w.f.Write(w.buf); err != nil {
 		w.broken = err
 		return fmt.Errorf("persist: journal append: %w", err)
 	}
+	w.appendHist.Record(time.Since(t0))
 	if w.sync {
+		t1 := time.Now()
 		if err := w.f.Sync(); err != nil {
 			w.broken = err
 			return fmt.Errorf("persist: journal sync: %w", err)
 		}
+		w.syncHist.Record(time.Since(t1))
 	}
 	return nil
 }
+
+// WriteQuantile returns an upper bound for the q-quantile of per-record
+// segment-write latency over the WAL's lifetime; 0 before any append.
+// (Not named Append*: those are the journal-mutation methods the
+// walorder analyzer holds to the fsync-reachability contract.)
+func (w *WAL) WriteQuantile(q float64) time.Duration { return w.appendHist.Quantile(q) }
+
+// SyncQuantile is WriteQuantile for the per-record fsync; always 0 on a
+// WAL opened without SyncWrites.
+func (w *WAL) SyncQuantile(q float64) time.Duration { return w.syncHist.Quantile(q) }
 
 // AppendInsert journals an acknowledged insert batch landing at arena row
 // base. It must complete before the insert is acknowledged to the caller.

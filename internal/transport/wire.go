@@ -187,10 +187,49 @@ func putResponse(r *response) {
 // errors, response encode errors) that would otherwise be silent; it may
 // be called from multiple goroutines.
 func Serve(ctx context.Context, l net.Listener, backend NodeClient, onError func(error)) error {
+	return ServeWithOptions(ctx, l, backend, ServeOptions{OnError: onError})
+}
+
+// ServeOptions configures Serve's shutdown behavior.
+type ServeOptions struct {
+	// Drain is the graceful-shutdown window. When the serve context is
+	// canceled, intake stops immediately — the listener closes and no
+	// further requests are decoded — but requests already in flight keep
+	// their backend contexts and connections alive for up to Drain, so
+	// their answers (and, on a durable node, their journal appends) land
+	// instead of being torn mid-write. Requests still running at the end
+	// of the window are hard-canceled. Zero reproduces the legacy
+	// behavior: cancellation aborts in-flight requests at once.
+	Drain time.Duration
+	// OnError, if non-nil, receives connection-level failures (frame
+	// decode errors, response encode errors) that would otherwise be
+	// silent; it may be called from multiple goroutines.
+	OnError func(error)
+}
+
+// ServeWithOptions is Serve with explicit shutdown options; see Serve for
+// the serving contract and ServeOptions.Drain for the graceful-shutdown
+// window. Like Serve it returns only after every in-flight handler has
+// finished, so the backend is quiescent — checkpointable — when it does.
+func ServeWithOptions(ctx context.Context, l net.Listener, backend NodeClient, opts ServeOptions) error {
 	if ctx == nil {
 		//plshvet:ignore ctxcheck nil-ctx fallback at the public serve boundary; Serve owns its root context when the caller passes none
 		ctx = context.Background()
 	}
+	// Request contexts derive from hardCtx, which outlives the serve
+	// context by the drain window: canceling ctx stops intake (soft stop)
+	// while in-flight requests keep running until they finish or the
+	// window closes.
+	hardCtx, hardCancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer hardCancel()
+	stopDrain := context.AfterFunc(ctx, func() {
+		if opts.Drain <= 0 {
+			hardCancel()
+			return
+		}
+		time.AfterFunc(opts.Drain, hardCancel)
+	})
+	defer stopDrain()
 	stop := context.AfterFunc(ctx, func() { l.Close() })
 	defer stop()
 	var conns sync.WaitGroup
@@ -206,14 +245,24 @@ func Serve(ctx context.Context, l net.Listener, backend NodeClient, onError func
 		conns.Add(1)
 		go func() {
 			defer conns.Done()
-			serveConn(ctx, conn, backend, onError)
+			serveConn(ctx, hardCtx, conn, backend, opts.OnError)
 		}()
 	}
 }
 
-func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError func(error)) {
+// serveConn serves one connection. ctx is the serve (soft-stop) context:
+// its cancellation stops decoding — via an immediate read deadline, so
+// the connection stays writable for draining answers. hardCtx bounds the
+// in-flight requests themselves; its cancellation closes the connection
+// outright. Without a drain window the two cancel together, which is the
+// legacy abort-everything shutdown.
+func serveConn(ctx, hardCtx context.Context, conn net.Conn, backend NodeClient, onError func(error)) {
 	defer conn.Close() // best-effort; the peer sees EOF either way
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	stopSoft := context.AfterFunc(ctx, func() {
+		_ = conn.SetReadDeadline(time.Unix(1, 0)) // unblock the decoder, keep the conn writable
+	})
+	defer stopSoft()
+	stop := context.AfterFunc(hardCtx, func() { conn.Close() })
 	defer stop()
 	// One decoder, one encoder, one write buffer per connection — frames
 	// reuse them for the connection's whole life instead of paying
@@ -254,9 +303,9 @@ func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError f
 		var rctx context.Context
 		var rcancel context.CancelFunc
 		if req.Deadline > 0 {
-			rctx, rcancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+			rctx, rcancel = context.WithDeadline(hardCtx, time.Unix(0, req.Deadline))
 		} else {
-			rctx, rcancel = context.WithCancel(ctx)
+			rctx, rcancel = context.WithCancel(hardCtx)
 		}
 		inflightMu.Lock()
 		inflight[req.Seq] = rcancel
@@ -295,13 +344,19 @@ func serveConn(ctx context.Context, conn net.Conn, backend NodeClient, onError f
 			}
 		}(req, rctx)
 	}
-	// The connection is gone: nobody will read the remaining answers, so
-	// abort their backend work instead of letting it run to completion.
-	inflightMu.Lock()
-	for _, cancel := range inflight {
-		cancel()
+	// The decode loop is done. On a real peer disconnect nobody will read
+	// the remaining answers, so abort their backend work instead of
+	// letting it run to completion. On a soft stop (serve context
+	// canceled, connection still writable) the in-flight requests are
+	// exactly what the drain window exists for: let them finish and
+	// answer, bounded by hardCtx.
+	if ctx.Err() == nil {
+		inflightMu.Lock()
+		for _, cancel := range inflight {
+			cancel()
+		}
+		inflightMu.Unlock()
 	}
-	inflightMu.Unlock()
 	wg.Wait()
 }
 
